@@ -1,0 +1,8 @@
+//! `cargo bench --bench ablations` — runs the design-choice ablations at
+//! quick scale (custom harness, prints tables).
+fn main() {
+    println!("vNetTracer — design ablations, quick scale\n");
+    for table in vnet_bench::ablations::all(vnet_bench::Scale::quick()) {
+        println!("{table}");
+    }
+}

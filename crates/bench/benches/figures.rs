@@ -1,0 +1,18 @@
+//! `cargo bench --bench figures` — regenerates every table and figure of
+//! the paper's evaluation at quick scale and prints them. This is a
+//! custom harness (not Criterion): the deliverable is the *shape* of
+//! each figure, not wall-clock timing.
+
+use std::time::Instant;
+
+fn main() {
+    let start = Instant::now();
+    println!("vNetTracer (ICDCS 2018) — figure reproduction, quick scale\n");
+    for table in vnet_bench::all(vnet_bench::Scale::quick()) {
+        println!("{table}");
+    }
+    println!(
+        "(all figures regenerated in {:.1}s)",
+        start.elapsed().as_secs_f64()
+    );
+}

@@ -1,0 +1,6 @@
+//! Runs the ablation studies on the design choices at full scale.
+fn main() {
+    for table in vnet_bench::ablations::all(vnet_bench::Scale::full()) {
+        println!("{table}");
+    }
+}

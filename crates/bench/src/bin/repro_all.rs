@@ -1,0 +1,6 @@
+//! Regenerates every table and figure of the evaluation at full scale.
+fn main() {
+    for table in vnet_bench::all(vnet_bench::Scale::full()) {
+        println!("{table}");
+    }
+}

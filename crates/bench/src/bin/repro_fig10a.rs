@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig10a at full scale.
+fn main() {
+    println!("{}", vnet_bench::figures::fig10a(vnet_bench::Scale::full()));
+}

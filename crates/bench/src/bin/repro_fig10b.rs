@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig10b at full scale.
+fn main() {
+    println!("{}", vnet_bench::figures::fig10b(vnet_bench::Scale::full()));
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig11 at full scale.
+fn main() {
+    println!("{}", vnet_bench::figures::fig11(vnet_bench::Scale::full()));
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig12b at full scale.
+fn main() {
+    println!("{}", vnet_bench::figures::fig12b(vnet_bench::Scale::full()));
+}

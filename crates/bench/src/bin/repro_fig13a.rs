@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig13a at full scale.
+fn main() {
+    println!("{}", vnet_bench::figures::fig13a(vnet_bench::Scale::full()));
+}

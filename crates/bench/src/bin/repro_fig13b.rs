@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig13b at full scale.
+fn main() {
+    println!("{}", vnet_bench::figures::fig13b(vnet_bench::Scale::full()));
+}

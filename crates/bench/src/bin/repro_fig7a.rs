@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig7a at full scale.
+fn main() {
+    println!("{}", vnet_bench::figures::fig7a(vnet_bench::Scale::full()));
+}

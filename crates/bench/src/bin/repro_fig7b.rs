@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig7b at full scale.
+fn main() {
+    println!("{}", vnet_bench::figures::fig7b(vnet_bench::Scale::full()));
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig8b at full scale.
+fn main() {
+    println!("{}", vnet_bench::figures::fig8b(vnet_bench::Scale::full()));
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig9a at full scale.
+fn main() {
+    println!("{}", vnet_bench::figures::fig9a(vnet_bench::Scale::full()));
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig9b at full scale.
+fn main() {
+    println!("{}", vnet_bench::figures::fig9b(vnet_bench::Scale::full()));
+}

@@ -1,0 +1,233 @@
+//! `vnt` — a command-line front end for the tracer, in the spirit of the
+//! paper's dispatcher front end that "reads the user input from terminal
+//! and generates the formatted configuration files".
+//!
+//! Runs one of the prebuilt testbed scenarios, deploys a control package
+//! (the scenario's default, or one loaded from a JSON file), and prints
+//! the collected metrics.
+//!
+//! ```text
+//! vnt <scenario> [--package FILE.json] [--messages N] [--emit-package]
+//!
+//! scenarios: two-host | ovs | xen | container
+//! ```
+//!
+//! `--emit-package` prints the scenario's default control package as JSON
+//! (a starting point for hand-edited packages) and exits.
+
+use std::process::ExitCode;
+
+use vnet_bench::report::Table;
+use vnettracer::config::ControlPackage;
+use vnettracer::metrics;
+
+struct Args {
+    scenario: String,
+    package: Option<String>,
+    messages: u64,
+    emit_package: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = std::env::args().skip(1);
+    let scenario = args.next().ok_or_else(usage)?;
+    let mut out = Args {
+        scenario,
+        package: None,
+        messages: 500,
+        emit_package: false,
+    };
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--package" => {
+                out.package = Some(args.next().ok_or("--package needs a file".to_owned())?)
+            }
+            "--messages" => {
+                out.messages = args
+                    .next()
+                    .ok_or("--messages needs a number".to_owned())?
+                    .parse()
+                    .map_err(|e| format!("bad --messages: {e}"))?
+            }
+            "--emit-package" => out.emit_package = true,
+            other => return Err(format!("unknown flag `{other}`\n{}", usage())),
+        }
+    }
+    Ok(out)
+}
+
+fn usage() -> String {
+    "usage: vnt <two-host|ovs|xen|container> [--package FILE.json] [--messages N] [--emit-package]"
+        .to_owned()
+}
+
+fn load_package(args: &Args, default: ControlPackage) -> Result<ControlPackage, String> {
+    match &args.package {
+        None => Ok(default),
+        Some(path) => {
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            ControlPackage::from_json(&text).map_err(|e| format!("bad package JSON: {e}"))
+        }
+    }
+}
+
+/// Prints the per-table record counts and the flow summary after a run.
+fn print_db_summary(tracer: &vnettracer::VNetTracer) {
+    let mut t = Table::new("trace database", &["table", "records", "throughput (Mbps)"]);
+    let mut names: Vec<&str> = tracer.db().measurements().collect();
+    names.sort_unstable();
+    for name in names {
+        let len = tracer.db().table(name).map_or(0, |tb| tb.len());
+        let tput = metrics::throughput_at(tracer.db(), name) / 1e6;
+        t.row(&[name.into(), len.to_string(), format!("{tput:.1}")]);
+    }
+    println!("{t}");
+}
+
+fn run(args: &Args) -> Result<(), String> {
+    match args.scenario.as_str() {
+        "two-host" => {
+            let cfg = vnet_testbed::two_host::TwoHostConfig {
+                messages: args.messages,
+                ..Default::default()
+            };
+            let mut s = vnet_testbed::two_host::TwoHostScenario::build(&cfg);
+            let pkg = load_package(args, s.control_package())?;
+            if args.emit_package {
+                println!("{}", pkg.to_json());
+                return Ok(());
+            }
+            let mut tracer = s.make_tracer();
+            tracer
+                .deploy(&mut s.world, &pkg)
+                .map_err(|e| e.to_string())?;
+            s.run(&cfg);
+            let n = tracer.collect(&s.world);
+            println!("collected {n} records\n");
+            print_db_summary(&tracer);
+            if let Some(summary) = s.latency.borrow().summary() {
+                println!(
+                    "sockperf: avg {:.1} us, p99.9 {:.1} us over {} messages",
+                    summary.mean_us(),
+                    summary.p999_us(),
+                    summary.count
+                );
+            }
+            Ok(())
+        }
+        "ovs" => {
+            let cfg = vnet_testbed::ovs::OvsConfig {
+                case: vnet_testbed::ovs::OvsCase::III,
+                messages: args.messages,
+                ..Default::default()
+            };
+            let mut s = vnet_testbed::ovs::OvsScenario::build(&cfg);
+            let pkg = load_package(args, s.control_package())?;
+            if args.emit_package {
+                println!("{}", pkg.to_json());
+                return Ok(());
+            }
+            let mut tracer = s.make_tracer();
+            tracer
+                .deploy(&mut s.world, &pkg)
+                .map_err(|e| e.to_string())?;
+            s.run(&cfg);
+            tracer.collect(&s.world);
+            print_db_summary(&tracer);
+            let mut t = Table::new("latency decomposition", &["segment", "mean (us)"]);
+            for seg in tracer.decompose(&vnet_testbed::ovs::OvsScenario::decomposition_chain()) {
+                t.row(&[
+                    format!("{} -> {}", seg.from, seg.to),
+                    format!("{:.1}", seg.stats.mean_ns / 1e3),
+                ]);
+            }
+            println!("{t}");
+            Ok(())
+        }
+        "xen" => {
+            let cfg = vnet_testbed::xen::XenConfig {
+                consolidation: vnet_testbed::xen::Consolidation::SharedDefaultRatelimit,
+                requests: args.messages,
+                ..Default::default()
+            };
+            let mut s = vnet_testbed::xen::XenScenario::build(&cfg);
+            let pkg = load_package(args, s.control_package())?;
+            if args.emit_package {
+                println!("{}", pkg.to_json());
+                return Ok(());
+            }
+            let mut tracer = s.make_tracer();
+            tracer
+                .deploy(&mut s.world, &pkg)
+                .map_err(|e| e.to_string())?;
+            s.run(&cfg);
+            tracer.collect(&s.world);
+            print_db_summary(&tracer);
+            let mut t = Table::new("latency decomposition", &["segment", "mean (us)"]);
+            for seg in tracer.decompose(&vnet_testbed::xen::XenScenario::decomposition_chain()) {
+                t.row(&[
+                    format!("{} -> {}", seg.from, seg.to),
+                    format!("{:.1}", seg.stats.mean_ns / 1e3),
+                ]);
+            }
+            println!("{t}");
+            Ok(())
+        }
+        "container" => {
+            let cfg = vnet_testbed::container::ContainerConfig {
+                mode: vnet_testbed::container::NetMode::Overlay,
+                transport: vnet_testbed::container::Transport::NetperfUdp,
+                count: args.messages,
+                ..Default::default()
+            };
+            let mut s = vnet_testbed::container::ContainerScenario::build(&cfg);
+            let pkg = load_package(args, s.control_package())?;
+            if args.emit_package {
+                println!("{}", pkg.to_json());
+                return Ok(());
+            }
+            let mut tracer = s.make_tracer();
+            tracer
+                .deploy(&mut s.world, &pkg)
+                .map_err(|e| e.to_string())?;
+            s.run(&cfg);
+            let mut t = Table::new(
+                "softirq counters (vm2)",
+                &["counter", "cpu0", "cpu1", "cpu2", "cpu3"],
+            );
+            for name in ["net_rx_action", "get_rps_cpu"] {
+                if let Some(c) = tracer.counter_per_cpu(name) {
+                    t.row(&[
+                        name.into(),
+                        c[0].to_string(),
+                        c[1].to_string(),
+                        c[2].to_string(),
+                        c[3].to_string(),
+                    ]);
+                }
+            }
+            println!("{t}");
+            println!("goodput: {:.0} Mbps", s.goodput_mbps());
+            Ok(())
+        }
+        other => Err(format!("unknown scenario `{other}`\n{}", usage())),
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,25 @@
+//! # vnet-bench — the benchmark harness
+//!
+//! Regenerates every table and figure of the vNetTracer evaluation:
+//!
+//! * [`figures`] — one runner per figure (7a, 7b, 8b, 9a, 9b, 10a, 10b,
+//!   11, 12b, 13a, 13b), each printing the same rows/series the paper
+//!   reports. Run them via the `repro_*` binaries (full scale) or
+//!   `cargo bench --bench figures` (quick scale).
+//! * `benches/micro.rs` — Criterion microbenchmarks backing the paper's
+//!   point claims: trace-ID injection costs tens of nanoseconds (§III-B),
+//!   eBPF filter execution is far cheaper than a SystemTap event, and the
+//!   simulator sustains millions of events per second.
+//!
+//! `EXPERIMENTS.md` at the repository root records a full run against the
+//! paper's numbers.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod ablations;
+pub mod figures;
+pub mod report;
+
+pub use figures::{all, Scale};
+pub use report::Table;

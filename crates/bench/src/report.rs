@@ -1,0 +1,107 @@
+//! Plain-text table reporting for the figure reproductions.
+
+use std::fmt::Write as _;
+
+/// A printable results table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+    notes: Vec<String>,
+}
+
+impl Table {
+    /// Creates a table with a title and column headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| (*s).to_owned()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    pub fn row(&mut self, cells: &[String]) -> &mut Self {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row arity must match headers"
+        );
+        self.rows.push(cells.to_vec());
+        self
+    }
+
+    /// Appends a footnote line (paper comparison, caveats).
+    pub fn note(&mut self, note: impl Into<String>) -> &mut Self {
+        self.notes.push(note.into());
+        self
+    }
+}
+
+impl std::fmt::Display for Table {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        writeln!(out, "=== {} ===", self.title)?;
+        for (i, h) in self.headers.iter().enumerate() {
+            let _ = write!(out, "{:>w$}  ", h, w = widths[i]);
+        }
+        let _ = writeln!(out);
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                let _ = write!(out, "{:>w$}  ", cell, w = widths[i]);
+            }
+            let _ = writeln!(out);
+        }
+        for note in &self.notes {
+            let _ = writeln!(out, "  note: {note}");
+        }
+        f.write_str(&out)
+    }
+}
+
+/// Formats a nanosecond quantity as microseconds with one decimal.
+pub fn us(ns: f64) -> String {
+    format!("{:.1}", ns / 1e3)
+}
+
+/// Formats a bit/s quantity as Mbps with no decimals.
+pub fn mbps(bps: f64) -> String {
+    format!("{:.0}", bps / 1e6)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new("Fig X", &["case", "value"]);
+        t.row(&["a".into(), "1.0".into()]);
+        t.row(&["longer".into(), "2.5".into()]);
+        t.note("paper: something");
+        let s = t.to_string();
+        assert!(s.contains("=== Fig X ==="));
+        assert!(s.contains("longer"));
+        assert!(s.contains("note: paper"));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn row_arity_checked() {
+        Table::new("t", &["a", "b"]).row(&["only-one".into()]);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(us(12_345.0), "12.3");
+        assert_eq!(mbps(940_000_000.0), "940");
+    }
+}

@@ -1,0 +1,573 @@
+//! The per-node tracing agent.
+//!
+//! Agents are the daemons of §III-A: they receive configured trace
+//! scripts from the dispatcher, load them (verifier + relocation) into
+//! the node's eBPF runtime, attach them at the requested tracepoints, and
+//! periodically drain the kernel-side buffers toward the collector. All
+//! of this happens at runtime against a live [`World`] — no restart of
+//! the monitored network.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use vnet_ebpf::context::TraceContext;
+use vnet_ebpf::map::{MapDef, MapRegistry};
+use vnet_ebpf::program::LoadedProgram;
+use vnet_ebpf::vm::{execution_cost_ns, standard_helpers, Vm, VmEnv};
+use vnet_sim::ids::NodeId;
+use vnet_sim::probe::{Direction, ProbeEvent, ProbeId, ProbeOutcome, ProbeSink};
+use vnet_sim::time::SimDuration;
+use vnet_sim::world::World;
+
+use crate::config::{Action, CollectionMode, TraceSpec};
+use crate::error::{Result, TracerError};
+use crate::record::{TraceRecord, RECORD_SIZE};
+
+/// Identifies an installed script on an agent.
+pub type ScriptId = u64;
+
+/// Execution statistics for one installed script.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScriptStats {
+    /// Times the probe fired and the program ran.
+    pub executions: u64,
+    /// Times the program reported a rule match.
+    pub matched: u64,
+    /// Runtime aborts (should stay zero for compiler-generated scripts).
+    pub errors: u64,
+}
+
+/// CPU cost of shipping one record to user space immediately in
+/// [`CollectionMode::Online`]: a wakeup, a copy out of the ring and a
+/// send. The offline mode amortizes this over whole-buffer dumps, which
+/// is why the paper recommends it for overhead-sensitive applications
+/// (§III-C).
+pub const ONLINE_SHIP_COST_NS: u64 = 1_500;
+
+/// The [`ProbeSink`] wrapper that runs a loaded eBPF program each time
+/// its hook fires, charging the simulated CPU cost of the execution back
+/// to the packet being processed — the mechanism behind the overhead
+/// measurements of Fig. 7.
+pub struct EbpfProbeSink {
+    program: LoadedProgram,
+    maps: Rc<RefCell<MapRegistry>>,
+    vm: Vm,
+    stats: ScriptStats,
+    prandom_state: u64,
+    per_match_extra_ns: u64,
+}
+
+impl std::fmt::Debug for EbpfProbeSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EbpfProbeSink")
+            .field("program", &self.program.name())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+struct EventEnv<'a> {
+    time_ns: u64,
+    cpu: u32,
+    prandom_state: &'a mut u64,
+}
+
+impl VmEnv for EventEnv<'_> {
+    fn ktime_get_ns(&mut self) -> u64 {
+        self.time_ns
+    }
+
+    fn prandom_u32(&mut self) -> u32 {
+        *self.prandom_state = self.prandom_state.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = *self.prandom_state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        (z ^ (z >> 31)) as u32
+    }
+
+    fn smp_processor_id(&self) -> u32 {
+        self.cpu
+    }
+}
+
+impl ProbeSink for EbpfProbeSink {
+    fn handle(&mut self, event: &ProbeEvent<'_>) -> ProbeOutcome {
+        let pkt: &[u8] = event.packet.map(|p| p.bytes()).unwrap_or(&[]);
+        let ctx = TraceContext {
+            timestamp_ns: event.monotonic_ns,
+            pkt_len: pkt.len() as u32,
+            cpu: u32::from(event.cpu.0),
+            node: event.node.0,
+            device: event.device.map_or(u32::MAX, |d| d.0),
+            direction: match event.direction {
+                Direction::Rx => 0,
+                Direction::Tx => 1,
+            },
+        };
+        let mut env = EventEnv {
+            time_ns: event.monotonic_ns,
+            cpu: ctx.cpu,
+            prandom_state: &mut self.prandom_state,
+        };
+        let mut maps = self.maps.borrow_mut();
+        match self
+            .vm
+            .execute(&self.program, &ctx, pkt, &mut maps, &mut env)
+        {
+            Ok(out) => {
+                self.stats.executions += 1;
+                let mut cost = execution_cost_ns(out.insns_executed);
+                if out.ret == 1 {
+                    self.stats.matched += 1;
+                    cost += self.per_match_extra_ns;
+                }
+                ProbeOutcome::with_cost(SimDuration::from_nanos(cost))
+            }
+            Err(_) => {
+                self.stats.errors += 1;
+                ProbeOutcome::with_cost(SimDuration::from_nanos(execution_cost_ns(0)))
+            }
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Installed {
+    spec: TraceSpec,
+    probe: ProbeId,
+    perf_fd: Option<i32>,
+    counter_fd: Option<i32>,
+    sink: Rc<RefCell<EbpfProbeSink>>,
+}
+
+/// A per-node tracing agent.
+#[derive(Debug)]
+pub struct Agent {
+    node: NodeId,
+    node_name: String,
+    num_cpus: u16,
+    maps: Rc<RefCell<MapRegistry>>,
+    installed: HashMap<ScriptId, Installed>,
+    next_id: ScriptId,
+    heartbeat_seq: u64,
+}
+
+impl Agent {
+    /// Creates an agent for `node`.
+    pub fn new(node: NodeId, node_name: impl Into<String>, num_cpus: u16) -> Self {
+        Agent {
+            node,
+            node_name: node_name.into(),
+            num_cpus,
+            maps: Rc::new(RefCell::new(MapRegistry::new())),
+            installed: HashMap::new(),
+            next_id: 1,
+            heartbeat_seq: 0,
+        }
+    }
+
+    /// The node this agent runs on.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// The node's name.
+    pub fn node_name(&self) -> &str {
+        &self.node_name
+    }
+
+    /// Compiles, loads and attaches a trace script; `buffer_size` sizes
+    /// the per-CPU perf buffer for record-producing scripts.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TracerError`] if maps cannot be created, the program
+    /// fails verification, or assembly fails.
+    pub fn install(
+        &mut self,
+        world: &mut World,
+        spec: &TraceSpec,
+        buffer_size: u32,
+    ) -> Result<ScriptId> {
+        self.install_with_mode(world, spec, buffer_size, CollectionMode::Offline)
+    }
+
+    /// Like [`Agent::install`], with an explicit collection mode: in
+    /// [`CollectionMode::Online`] every matched record additionally pays
+    /// [`ONLINE_SHIP_COST_NS`] of CPU to be shipped to user space
+    /// immediately.
+    ///
+    /// # Errors
+    ///
+    /// See [`Agent::install`].
+    pub fn install_with_mode(
+        &mut self,
+        world: &mut World,
+        spec: &TraceSpec,
+        buffer_size: u32,
+        mode: CollectionMode,
+    ) -> Result<ScriptId> {
+        let cpus = usize::from(self.num_cpus);
+        let (perf_fd, counter_fd) = match spec.action {
+            Action::RecordPacketInfo => {
+                let fd = self
+                    .maps
+                    .borrow_mut()
+                    .create(MapDef::perf(buffer_size), cpus)?;
+                (Some(fd), None)
+            }
+            Action::CountPerCpu => {
+                let fd = self
+                    .maps
+                    .borrow_mut()
+                    .create(MapDef::per_cpu_array(8, 1), cpus)?;
+                (None, Some(fd))
+            }
+        };
+        let program = crate::compile::compile(spec, perf_fd, counter_fd)?;
+        let loaded = {
+            let maps = self.maps.borrow();
+            vnet_ebpf::program::load(program, &maps, &standard_helpers())?
+        };
+        let per_match_extra_ns = match mode {
+            CollectionMode::Offline => 0,
+            CollectionMode::Online => ONLINE_SHIP_COST_NS,
+        };
+        let sink = Rc::new(RefCell::new(EbpfProbeSink {
+            program: loaded,
+            maps: Rc::clone(&self.maps),
+            vm: Vm::new(),
+            stats: ScriptStats::default(),
+            prandom_state: 0x5eed ^ self.next_id,
+            per_match_extra_ns,
+        }));
+        let probe = world.attach_probe(self.node, spec.hook.to_sim_hook(), sink.clone());
+        let id = self.next_id;
+        self.next_id += 1;
+        self.installed.insert(
+            id,
+            Installed {
+                spec: spec.clone(),
+                probe,
+                perf_fd,
+                counter_fd,
+                sink,
+            },
+        );
+        Ok(id)
+    }
+
+    /// Loads and attaches a hand-written eBPF program at `hook` — the
+    /// escape hatch for trace logic beyond the built-in filter/action
+    /// compiler. The program is verified and its map fds relocated
+    /// against this agent's map registry (see [`Agent::maps`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TracerError::Load`] if verification or relocation fails.
+    pub fn install_raw(
+        &mut self,
+        world: &mut World,
+        name: &str,
+        hook: &crate::config::HookSpec,
+        insns: Vec<vnet_ebpf::Insn>,
+    ) -> Result<ScriptId> {
+        let program = vnet_ebpf::Program::new(name, crate::compile::attach_type(hook), insns);
+        let loaded = {
+            let maps = self.maps.borrow();
+            vnet_ebpf::program::load(program, &maps, &standard_helpers())?
+        };
+        let sink = Rc::new(RefCell::new(EbpfProbeSink {
+            program: loaded,
+            maps: Rc::clone(&self.maps),
+            vm: Vm::new(),
+            stats: ScriptStats::default(),
+            prandom_state: 0x5eed ^ self.next_id,
+            per_match_extra_ns: 0,
+        }));
+        let probe = world.attach_probe(self.node, hook.to_sim_hook(), sink.clone());
+        let id = self.next_id;
+        self.next_id += 1;
+        let spec = TraceSpec {
+            name: name.to_owned(),
+            node: self.node_name.clone(),
+            hook: hook.clone(),
+            filter: crate::config::FilterRule::any(),
+            action: Action::CountPerCpu,
+        };
+        self.installed.insert(
+            id,
+            Installed {
+                spec,
+                probe,
+                perf_fd: None,
+                counter_fd: None,
+                sink,
+            },
+        );
+        Ok(id)
+    }
+
+    /// The agent's map registry, shared with its loaded programs. Create
+    /// maps here before assembling a raw program that references their
+    /// fds, and read results back after the run.
+    pub fn maps(&self) -> Rc<RefCell<MapRegistry>> {
+        Rc::clone(&self.maps)
+    }
+
+    /// Detaches and removes a script (runtime reconfiguration).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TracerError::UnknownScript`] if `id` is not installed.
+    pub fn uninstall(&mut self, world: &mut World, id: ScriptId) -> Result<()> {
+        let installed = self
+            .installed
+            .remove(&id)
+            .ok_or(TracerError::UnknownScript(id))?;
+        world.detach_probe(installed.probe);
+        Ok(())
+    }
+
+    /// Detaches every installed script.
+    pub fn uninstall_all(&mut self, world: &mut World) {
+        let ids: Vec<ScriptId> = self.installed.keys().copied().collect();
+        for id in ids {
+            let _ = self.uninstall(world, id);
+        }
+    }
+
+    /// Installed script ids.
+    pub fn script_ids(&self) -> Vec<ScriptId> {
+        let mut ids: Vec<ScriptId> = self.installed.keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Execution statistics for a script.
+    pub fn stats(&self, id: ScriptId) -> Option<ScriptStats> {
+        self.installed.get(&id).map(|i| i.sink.borrow().stats)
+    }
+
+    /// Drains all perf buffers: the periodic buffer dump of §III-C.
+    /// Returns `(table name, record)` pairs.
+    pub fn drain(&mut self) -> Vec<(String, TraceRecord)> {
+        let mut out = Vec::new();
+        let mut maps = self.maps.borrow_mut();
+        for installed in self.installed.values() {
+            let Some(fd) = installed.perf_fd else {
+                continue;
+            };
+            let Some(map) = maps.get_mut(fd) else {
+                continue;
+            };
+            for raw in map.perf_drain_all() {
+                if raw.len() == RECORD_SIZE {
+                    if let Some(rec) = TraceRecord::decode(&raw) {
+                        out.push((installed.spec.name.clone(), rec));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Number of records lost to perf-buffer overflow for a script.
+    pub fn lost_records(&self, id: ScriptId) -> u64 {
+        let Some(installed) = self.installed.get(&id) else {
+            return 0;
+        };
+        let Some(fd) = installed.perf_fd else {
+            return 0;
+        };
+        let maps = self.maps.borrow();
+        let Some(map) = maps.get(fd) else { return 0 };
+        (0..usize::from(self.num_cpus))
+            .map(|c| map.perf_lost(c))
+            .sum()
+    }
+
+    /// Per-CPU counter values of a [`Action::CountPerCpu`] script.
+    pub fn counter_per_cpu(&self, id: ScriptId) -> Option<Vec<u64>> {
+        let installed = self.installed.get(&id)?;
+        let fd = installed.counter_fd?;
+        let mut maps = self.maps.borrow_mut();
+        let map = maps.get_mut(fd)?;
+        let mut out = Vec::with_capacity(usize::from(self.num_cpus));
+        for cpu in 0..usize::from(self.num_cpus) {
+            let v = map
+                .lookup(&0u32.to_le_bytes(), cpu)
+                .ok()
+                .map(|b| u64::from_le_bytes(b.try_into().expect("8-byte counter")))
+                .unwrap_or(0);
+            out.push(v);
+        }
+        Some(out)
+    }
+
+    /// Produces the next heartbeat sequence number (the collector uses
+    /// these to monitor agent liveness, §III-C).
+    pub fn heartbeat(&mut self) -> u64 {
+        self.heartbeat_seq += 1;
+        self.heartbeat_seq
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{FilterRule, HookSpec};
+    use std::net::Ipv4Addr;
+    use std::net::SocketAddrV4;
+    use vnet_sim::device::{DeviceConfig, Forwarding};
+    use vnet_sim::node::NodeClock;
+    use vnet_sim::packet::{FlowKey, PacketBuilder, SocketAddrV4Ext};
+    use vnet_sim::time::SimTime;
+
+    fn world_with_device() -> (World, NodeId) {
+        let mut w = World::new(11);
+        let n = w.add_node("server1", 4, NodeClock::perfect());
+        let _eth0 = w.add_device(DeviceConfig::new("eth0", n).forwarding(Forwarding::Deliver));
+        (w, n)
+    }
+
+    fn udp_spec() -> TraceSpec {
+        TraceSpec {
+            name: "eth0_rx".into(),
+            node: "server1".into(),
+            hook: HookSpec::DeviceRx("eth0".into()),
+            filter: FilterRule::udp_flow(
+                (Ipv4Addr::new(10, 0, 0, 1), 1000),
+                (Ipv4Addr::new(10, 0, 0, 2), 2000),
+            ),
+            action: Action::RecordPacketInfo,
+        }
+    }
+
+    fn udp_pkt() -> vnet_sim::packet::Packet {
+        let flow = FlowKey::udp(
+            SocketAddrV4::sock("10.0.0.1", 1000),
+            SocketAddrV4::sock("10.0.0.2", 2000),
+        );
+        PacketBuilder::udp(flow, vec![0xaa; 20]).build()
+    }
+
+    #[test]
+    fn install_fire_drain_cycle() {
+        let (mut w, n) = world_with_device();
+        let mut agent = Agent::new(n, "server1", 4);
+        let id = agent.install(&mut w, &udp_spec(), 4096).unwrap();
+        let dev = w.find_device(n, "eth0").unwrap();
+        for _ in 0..3 {
+            w.inject(dev, udp_pkt());
+        }
+        w.run_until(SimTime::from_millis(1));
+        let stats = agent.stats(id).unwrap();
+        assert_eq!(stats.executions, 3);
+        assert_eq!(stats.matched, 3);
+        assert_eq!(stats.errors, 0);
+        let records = agent.drain();
+        assert_eq!(records.len(), 3);
+        assert!(records.iter().all(|(name, _)| name == "eth0_rx"));
+        // Second drain is empty.
+        assert!(agent.drain().is_empty());
+    }
+
+    #[test]
+    fn non_matching_traffic_not_recorded() {
+        let (mut w, n) = world_with_device();
+        let mut agent = Agent::new(n, "server1", 4);
+        let id = agent.install(&mut w, &udp_spec(), 4096).unwrap();
+        let dev = w.find_device(n, "eth0").unwrap();
+        let other = FlowKey::udp(
+            SocketAddrV4::sock("10.9.9.9", 1),
+            SocketAddrV4::sock("10.0.0.2", 2000),
+        );
+        w.inject(dev, PacketBuilder::udp(other, vec![0; 8]).build());
+        w.run_until(SimTime::from_millis(1));
+        let stats = agent.stats(id).unwrap();
+        assert_eq!(stats.executions, 1, "program ran");
+        assert_eq!(stats.matched, 0, "but did not match");
+        assert!(agent.drain().is_empty());
+    }
+
+    #[test]
+    fn uninstall_detaches_probe() {
+        let (mut w, n) = world_with_device();
+        let mut agent = Agent::new(n, "server1", 4);
+        let id = agent.install(&mut w, &udp_spec(), 4096).unwrap();
+        agent.uninstall(&mut w, id).unwrap();
+        assert!(matches!(
+            agent.uninstall(&mut w, id),
+            Err(TracerError::UnknownScript(_))
+        ));
+        let dev = w.find_device(n, "eth0").unwrap();
+        w.inject(dev, udp_pkt());
+        w.run_until(SimTime::from_millis(1));
+        assert_eq!(w.probes_fired(), 0);
+    }
+
+    #[test]
+    fn counter_script_counts() {
+        let (mut w, n) = world_with_device();
+        let mut agent = Agent::new(n, "server1", 4);
+        let spec = TraceSpec {
+            name: "count".into(),
+            node: "server1".into(),
+            hook: HookSpec::DeviceRx("eth0".into()),
+            filter: FilterRule::any(),
+            action: Action::CountPerCpu,
+        };
+        let id = agent.install(&mut w, &spec, 4096).unwrap();
+        let dev = w.find_device(n, "eth0").unwrap();
+        for _ in 0..5 {
+            w.inject(dev, udp_pkt());
+        }
+        w.run_until(SimTime::from_millis(1));
+        let counts = agent.counter_per_cpu(id).unwrap();
+        assert_eq!(counts.iter().sum::<u64>(), 5);
+        assert_eq!(agent.counter_per_cpu(999), None);
+    }
+
+    #[test]
+    fn probe_timestamps_use_node_clock() {
+        let mut w = World::new(12);
+        let n = w.add_node("skewed", 2, NodeClock::with_offset_ns(1_000_000));
+        w.add_device(DeviceConfig::new("eth0", n).forwarding(Forwarding::Deliver));
+        let mut agent = Agent::new(n, "skewed", 2);
+        agent.install(&mut w, &udp_spec(), 4096).unwrap();
+        let dev = w.find_device(n, "eth0").unwrap();
+        w.inject(dev, udp_pkt());
+        w.run_until(SimTime::from_millis(1));
+        let records = agent.drain();
+        assert_eq!(records.len(), 1);
+        assert_eq!(
+            records[0].1.timestamp_ns, 1_000_000,
+            "injection at t=0 on a +1ms clock"
+        );
+    }
+
+    #[test]
+    fn heartbeats_increment() {
+        let (_, n) = world_with_device();
+        let mut agent = Agent::new(n, "server1", 4);
+        assert_eq!(agent.heartbeat(), 1);
+        assert_eq!(agent.heartbeat(), 2);
+    }
+
+    #[test]
+    fn lost_records_counted_on_tiny_buffer() {
+        let (mut w, n) = world_with_device();
+        let mut agent = Agent::new(n, "server1", 4);
+        // 32-byte buffer holds exactly one record.
+        let id = agent.install(&mut w, &udp_spec(), 32).unwrap();
+        let dev = w.find_device(n, "eth0").unwrap();
+        for _ in 0..4 {
+            w.inject(dev, udp_pkt());
+        }
+        w.run_until(SimTime::from_millis(1));
+        assert_eq!(agent.lost_records(id), 3);
+        assert_eq!(agent.drain().len(), 1);
+    }
+}

@@ -1,0 +1,151 @@
+//! The raw-data collector (master side).
+//!
+//! "The raw data collector also executes on the master node. It collects
+//! the raw tracing data from the agents and performs offline analysis
+//! based on the tracing data. … As the raw data collector periodically
+//! receives tracing data from the agents, it also acts as a heartbeat
+//! monitor to guarantee that the agents work properly." (§III-A, §III-C)
+
+use std::collections::HashMap;
+
+use vnet_sim::time::{SimDuration, SimTime};
+use vnet_tsdb::TraceDb;
+
+use crate::record::TraceRecord;
+
+#[derive(Debug, Clone, Copy)]
+struct AgentHealth {
+    last_seq: u64,
+    last_seen: SimTime,
+}
+
+/// The collector: ingests agent batches into the trace database and
+/// monitors agent liveness.
+#[derive(Debug, Default)]
+pub struct Collector {
+    db: TraceDb,
+    health: HashMap<String, AgentHealth>,
+    records_ingested: u64,
+}
+
+impl Collector {
+    /// Creates an empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Ingests a batch of `(table, record)` pairs from `node`'s agent,
+    /// which doubles as a heartbeat.
+    pub fn ingest(
+        &mut self,
+        node: &str,
+        heartbeat_seq: u64,
+        batch: Vec<(String, TraceRecord)>,
+        now: SimTime,
+    ) {
+        self.heartbeat(node, heartbeat_seq, now);
+        for (table, record) in batch {
+            self.records_ingested += 1;
+            self.db.insert(record.to_point(&table, node));
+        }
+    }
+
+    /// Records a standalone heartbeat from `node`.
+    pub fn heartbeat(&mut self, node: &str, seq: u64, now: SimTime) {
+        self.health.insert(
+            node.to_owned(),
+            AgentHealth {
+                last_seq: seq,
+                last_seen: now,
+            },
+        );
+    }
+
+    /// Agents that have not been heard from within `timeout` of `now`.
+    pub fn silent_agents(&self, now: SimTime, timeout: SimDuration) -> Vec<String> {
+        let mut out: Vec<String> = self
+            .health
+            .iter()
+            .filter(|(_, h)| now.saturating_since(h.last_seen) > timeout)
+            .map(|(n, _)| n.clone())
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// Last heartbeat sequence number seen from `node`.
+    pub fn last_heartbeat(&self, node: &str) -> Option<u64> {
+        self.health.get(node).map(|h| h.last_seq)
+    }
+
+    /// Total records ingested.
+    pub fn records_ingested(&self) -> u64 {
+        self.records_ingested
+    }
+
+    /// The trace database.
+    pub fn db(&self) -> &TraceDb {
+        &self.db
+    }
+
+    /// Consumes the collector, returning the database.
+    pub fn into_db(self) -> TraceDb {
+        self.db
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(ts: u64) -> TraceRecord {
+        TraceRecord {
+            timestamp_ns: ts,
+            trace_id: 7,
+            flags: 1,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn ingest_fills_tables() {
+        let mut c = Collector::new();
+        c.ingest(
+            "server1",
+            1,
+            vec![("tp_a".into(), record(10)), ("tp_b".into(), record(20))],
+            SimTime::from_micros(1),
+        );
+        assert_eq!(c.records_ingested(), 2);
+        assert_eq!(c.db().table("tp_a").unwrap().len(), 1);
+        assert_eq!(c.db().table("tp_b").unwrap().len(), 1);
+        let p = &c.db().table("tp_a").unwrap().points()[0];
+        assert_eq!(p.tag_value("node"), Some("server1"));
+    }
+
+    #[test]
+    fn heartbeat_monitoring() {
+        let mut c = Collector::new();
+        c.heartbeat("a", 1, SimTime::from_millis(0));
+        c.heartbeat("b", 1, SimTime::from_millis(100));
+        let silent = c.silent_agents(SimTime::from_millis(150), SimDuration::from_millis(60));
+        assert_eq!(silent, vec!["a".to_owned()]);
+        assert_eq!(c.last_heartbeat("a"), Some(1));
+        assert_eq!(c.last_heartbeat("zzz"), None);
+        // Agent `a` reports again and is healthy; `b` (last seen at
+        // 100ms) has now gone silent.
+        c.heartbeat("a", 2, SimTime::from_millis(160));
+        assert_eq!(
+            c.silent_agents(SimTime::from_millis(200), SimDuration::from_millis(60)),
+            vec!["b".to_owned()]
+        );
+    }
+
+    #[test]
+    fn into_db_transfers_ownership() {
+        let mut c = Collector::new();
+        c.ingest("n", 1, vec![("t".into(), record(5))], SimTime::ZERO);
+        let db = c.into_db();
+        assert_eq!(db.len(), 1);
+    }
+}

@@ -1,0 +1,604 @@
+//! Compiles trace specifications into eBPF programs.
+//!
+//! This is vNetTracer's "customized tracing scripts" generator (§III-D):
+//! the dispatcher formats the user's filter rules, tracepoint locations
+//! and actions into per-script configuration, and this module turns each
+//! into verified eBPF bytecode:
+//!
+//! * the **filter** parses the packet's Ethernet/IPv4/transport headers
+//!   in-place (through the context's `data`/`data_end` pointers, every
+//!   access bounds-checked) and bails out early on mismatch, so
+//!   "network packets which do not match the tracing rules will not be
+//!   traced" at a cost of a few instructions;
+//! * the **trace-ID extractor** pulls the 4-byte packet ID from the UDP
+//!   payload trailer, or scans the TCP options for the experimental
+//!   option kind 253 — with a bounded, *unrolled* scan, since verified
+//!   programs cannot loop;
+//! * the **action** either emits a 32-byte [`TraceRecord`] into the perf
+//!   buffer or bumps a per-CPU counter.
+//!
+//! [`TraceRecord`]: crate::record::TraceRecord
+
+use vnet_ebpf::asm::{reg::*, AluOp, Asm, Cond, Size};
+use vnet_ebpf::context::{CTX_OFF_DATA, CTX_OFF_DATA_END, CTX_OFF_DIRECTION, CTX_OFF_PKT_LEN};
+use vnet_ebpf::program::{AttachType, Program};
+use vnet_ebpf::vm::helper_ids;
+
+use crate::config::{Action, FilterRule, HookSpec, Proto, TraceSpec};
+use crate::error::{Result, TracerError};
+use crate::record::{offsets, RECORD_SIZE};
+
+// Frame offsets: Ethernet header is 14 bytes, IPv4 fixed 20 (the
+// simulated stack never emits IP options), so L4 starts at 34.
+const OFF_ETHERTYPE: i16 = 12;
+const OFF_PROTO: i16 = 23;
+const OFF_SADDR: i16 = 26;
+const OFF_DADDR: i16 = 30;
+const OFF_SPORT: i16 = 34;
+const OFF_DPORT: i16 = 36;
+const OFF_TCP_DOFF: i16 = 46;
+const OFF_TCP_OPTS: i32 = 54;
+/// Smallest frame the filter needs to parse through the L4 ports.
+const MIN_PARSE_LEN: i32 = 38;
+/// Iterations of the unrolled TCP option scan (each option is ≥1 byte;
+/// 10 iterations cover any realistic option mix in a 40-byte area).
+const TCP_OPT_SCAN_ITERS: usize = 10;
+/// TCP option kind carrying the trace ID.
+const TRACE_ID_OPTION_KIND: i32 = 253;
+
+const R_SIZE: i16 = RECORD_SIZE as i16;
+
+/// Field offset → frame-pointer-relative stack offset.
+fn fp_off(field: i16) -> i16 {
+    field - R_SIZE
+}
+
+/// Converts a [`HookSpec`] into an eBPF attach type.
+pub fn attach_type(hook: &HookSpec) -> AttachType {
+    match hook {
+        HookSpec::Kprobe(f) => AttachType::Kprobe(f.clone()),
+        HookSpec::Kretprobe(f) => AttachType::Kretprobe(f.clone()),
+        HookSpec::Tracepoint(f) => AttachType::Tracepoint(f.clone()),
+        HookSpec::DeviceRx(d) => AttachType::SocketRx(d.clone()),
+        HookSpec::DeviceTx(d) => AttachType::SocketTx(d.clone()),
+        HookSpec::Uprobe(a) => AttachType::Uprobe(a.clone()),
+    }
+}
+
+/// Compiles `spec` into an eBPF program.
+///
+/// `perf_fd` must be provided for [`Action::RecordPacketInfo`] and
+/// `counter_fd` for [`Action::CountPerCpu`]; the agent creates the maps
+/// and passes their fds.
+///
+/// # Errors
+///
+/// Returns [`TracerError::Config`] when the needed map fd is missing, or
+/// [`TracerError::Assemble`] if the generated program fails to assemble
+/// (an internal invariant violation).
+pub fn compile(spec: &TraceSpec, perf_fd: Option<i32>, counter_fd: Option<i32>) -> Result<Program> {
+    let asm = match spec.action {
+        Action::RecordPacketInfo => {
+            let fd = perf_fd.ok_or_else(|| {
+                TracerError::Config(format!("script `{}` needs a perf buffer", spec.name))
+            })?;
+            emit_record_program(&spec.filter, fd)
+        }
+        Action::CountPerCpu => {
+            let fd = counter_fd.ok_or_else(|| {
+                TracerError::Config(format!("script `{}` needs a counter map", spec.name))
+            })?;
+            emit_count_program(&spec.filter, fd)
+        }
+    };
+    let insns = asm.build()?;
+    Ok(Program::new(
+        spec.name.clone(),
+        attach_type(&spec.hook),
+        insns,
+    ))
+}
+
+/// Emits the shared prologue: save the context in `r6`, load the packet
+/// region bounds into `r7`/`r8`, and verify the frame is long enough to
+/// parse (jumping to `miss` otherwise).
+fn emit_prologue(asm: Asm) -> Asm {
+    asm.mov64(R6, R1)
+        .ldx(Size::DW, R7, R1, CTX_OFF_DATA)
+        .ldx(Size::DW, R8, R1, CTX_OFF_DATA_END)
+        .mov64(R2, R7)
+        .add64_imm(R2, MIN_PARSE_LEN)
+        .jmp_reg(Cond::Gt, R2, R8, "miss")
+}
+
+/// Emits the filter-rule checks; each mismatch jumps to `miss`.
+fn emit_filter(mut asm: Asm, rule: &FilterRule) -> Asm {
+    if let Some(et) = rule.ether_type {
+        asm = asm.ldx(Size::H, R2, R7, OFF_ETHERTYPE).be16(R2).jmp32_imm(
+            Cond::Ne,
+            R2,
+            i32::from(et),
+            "miss",
+        );
+    }
+    if let Some(proto) = rule.protocol {
+        let p = match proto {
+            Proto::Tcp => 6,
+            Proto::Udp => 17,
+        };
+        asm = asm
+            .ldx(Size::B, R2, R7, OFF_PROTO)
+            .jmp32_imm(Cond::Ne, R2, p, "miss");
+    }
+    if let Some(ip) = rule.src_ip {
+        asm = asm.ldx(Size::W, R2, R7, OFF_SADDR).be32(R2).jmp32_imm(
+            Cond::Ne,
+            R2,
+            u32::from(ip) as i32,
+            "miss",
+        );
+    }
+    if let Some(ip) = rule.dst_ip {
+        asm = asm.ldx(Size::W, R2, R7, OFF_DADDR).be32(R2).jmp32_imm(
+            Cond::Ne,
+            R2,
+            u32::from(ip) as i32,
+            "miss",
+        );
+    }
+    if let Some(port) = rule.src_port {
+        asm = asm.ldx(Size::H, R2, R7, OFF_SPORT).be16(R2).jmp32_imm(
+            Cond::Ne,
+            R2,
+            i32::from(port),
+            "miss",
+        );
+    }
+    if let Some(port) = rule.dst_port {
+        asm = asm.ldx(Size::H, R2, R7, OFF_DPORT).be16(R2).jmp32_imm(
+            Cond::Ne,
+            R2,
+            i32::from(port),
+            "miss",
+        );
+    }
+    asm
+}
+
+/// Emits trace-ID extraction into the record's `TRACE_ID` and `FLAGS`
+/// stack slots; all paths continue at `emit`.
+fn emit_trace_id(mut asm: Asm) -> Asm {
+    // Default: no ID.
+    asm = asm
+        .st(Size::W, R10, fp_off(offsets::TRACE_ID), 0)
+        .st(Size::B, R10, fp_off(offsets::FLAGS), 0)
+        .ldx(Size::B, R2, R7, OFF_PROTO)
+        .jmp32_imm(Cond::Eq, R2, 17, "udp_id")
+        .jmp32_imm(Cond::Eq, R2, 6, "tcp_id")
+        .jump("emit");
+
+    // UDP: the 4-byte trailer appended by `udp_send_skb` sits at the very
+    // end of the datagram.
+    asm = asm
+        .label("udp_id")
+        .mov64(R2, R8)
+        .add64_imm(R2, -4)
+        .mov64(R4, R7)
+        .add64_imm(R4, 42) // eth(14) + ip(20) + udp(8): payload start
+        .jmp_reg(Cond::Lt, R2, R4, "emit")
+        .ldx(Size::W, R3, R2, 0)
+        .be32(R3)
+        .stx(Size::W, R10, R3, fp_off(offsets::TRACE_ID))
+        .st(Size::B, R10, fp_off(offsets::FLAGS), 1)
+        .jump("emit");
+
+    // TCP: unrolled scan of the options area for kind 253.
+    asm = asm
+        .label("tcp_id")
+        .ldx(Size::B, R2, R7, OFF_TCP_DOFF)
+        .alu64_imm(AluOp::Rsh, R2, 4)
+        .alu64_imm(AluOp::Lsh, R2, 2)
+        .mov64(R5, R7)
+        .add64_imm(R5, OFF_SPORT as i32) // L4 start
+        .add64(R5, R2) // options end
+        .jmp_reg(Cond::Gt, R5, R8, "emit") // malformed header
+        .mov64(R9, R7)
+        .add64_imm(R9, OFF_TCP_OPTS); // cursor
+
+    for i in 0..TCP_OPT_SCAN_ITERS {
+        let next = if i + 1 == TCP_OPT_SCAN_ITERS {
+            "emit".to_owned()
+        } else {
+            format!("opt{}", i + 1)
+        };
+        if i > 0 {
+            asm = asm.label(&format!("opt{i}"));
+        }
+        asm = asm
+            .jmp_reg(Cond::Ge, R9, R5, "emit")
+            .ldx(Size::B, R2, R9, 0)
+            .jmp32_imm(Cond::Eq, R2, 0, "emit") // end-of-options
+            .jmp32_imm(Cond::Ne, R2, 1, &format!("notnop{i}"))
+            .add64_imm(R9, 1)
+            .jump(&next)
+            .label(&format!("notnop{i}"))
+            .jmp32_imm(Cond::Ne, R2, TRACE_ID_OPTION_KIND, &format!("skip{i}"))
+            // Found the trace-ID option: ensure its 6 bytes fit.
+            .mov64(R2, R9)
+            .add64_imm(R2, 6)
+            .jmp_reg(Cond::Gt, R2, R5, "emit")
+            .ldx(Size::W, R3, R9, 2)
+            .be32(R3)
+            .stx(Size::W, R10, R3, fp_off(offsets::TRACE_ID))
+            .st(Size::B, R10, fp_off(offsets::FLAGS), 1)
+            .jump("emit")
+            .label(&format!("skip{i}"))
+            .ldx(Size::B, R4, R9, 1)
+            .jmp32_imm(Cond::Lt, R4, 2, "emit") // malformed option
+            .add64(R9, R4);
+        if i + 1 == TCP_OPT_SCAN_ITERS {
+            asm = asm.jump("emit");
+        }
+    }
+    asm
+}
+
+/// Emits the record-building action and the `miss` tail.
+fn emit_record_action(asm: Asm, perf_fd: i32) -> Asm {
+    asm.label("emit")
+        // Timestamp from the node's CLOCK_MONOTONIC (§III-B).
+        .call(helper_ids::KTIME_GET_NS)
+        .stx(Size::DW, R10, R0, fp_off(offsets::TIMESTAMP))
+        .call(helper_ids::GET_SMP_PROCESSOR_ID)
+        .stx(Size::H, R10, R0, fp_off(offsets::CPU))
+        // Packet length and direction from the context.
+        .ldx(Size::W, R2, R6, CTX_OFF_PKT_LEN)
+        .stx(Size::W, R10, R2, fp_off(offsets::PKT_LEN))
+        .ldx(Size::W, R2, R6, CTX_OFF_DIRECTION)
+        .stx(Size::B, R10, R2, fp_off(offsets::DIRECTION))
+        // Flow tuple from the packet bytes.
+        .ldx(Size::W, R2, R7, OFF_SADDR)
+        .be32(R2)
+        .stx(Size::W, R10, R2, fp_off(offsets::SADDR))
+        .ldx(Size::W, R2, R7, OFF_DADDR)
+        .be32(R2)
+        .stx(Size::W, R10, R2, fp_off(offsets::DADDR))
+        .ldx(Size::H, R2, R7, OFF_SPORT)
+        .be16(R2)
+        .stx(Size::H, R10, R2, fp_off(offsets::SPORT))
+        .ldx(Size::H, R2, R7, OFF_DPORT)
+        .be16(R2)
+        .stx(Size::H, R10, R2, fp_off(offsets::DPORT))
+        // Ship the record.
+        .mov64(R1, R6)
+        .ld_map_fd(R2, perf_fd)
+        .mov32_imm(R3, -1) // BPF_F_CURRENT_CPU
+        .mov64(R4, R10)
+        .add64_imm(R4, -(R_SIZE as i32))
+        .mov64_imm(R5, R_SIZE as i32)
+        .call(helper_ids::PERF_EVENT_OUTPUT)
+        .mov64_imm(R0, 1)
+        .exit()
+        .label("miss")
+        .mov64_imm(R0, 0)
+        .exit()
+}
+
+fn emit_record_program(rule: &FilterRule, perf_fd: i32) -> Asm {
+    let mut asm = emit_prologue(Asm::new());
+    asm = emit_filter(asm, rule);
+    asm = emit_trace_id(asm);
+    emit_record_action(asm, perf_fd)
+}
+
+fn emit_count_program(rule: &FilterRule, counter_fd: i32) -> Asm {
+    let mut asm = Asm::new();
+    let filtered = !rule.is_empty();
+    if filtered {
+        asm = emit_prologue(asm);
+        asm = emit_filter(asm, rule);
+    }
+    asm = asm
+        .st(Size::W, R10, -4, 0)
+        .ld_map_fd(R1, counter_fd)
+        .mov64(R2, R10)
+        .add64_imm(R2, -4)
+        .call(helper_ids::MAP_LOOKUP_ELEM)
+        .jmp_imm(Cond::Eq, R0, 0, "miss")
+        .ldx(Size::DW, R2, R0, 0)
+        .add64_imm(R2, 1)
+        .stx(Size::DW, R0, R2, 0)
+        .mov64_imm(R0, 1)
+        .exit()
+        .label("miss")
+        .mov64_imm(R0, 0)
+        .exit();
+    asm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+    use std::net::SocketAddrV4;
+    use vnet_ebpf::context::TraceContext;
+    use vnet_ebpf::map::{MapDef, MapRegistry};
+    use vnet_ebpf::program::load;
+    use vnet_ebpf::vm::{standard_helpers, FixedEnv, Vm};
+    use vnet_sim::packet::{
+        trace_id, FlowKey, PacketBuilder, SocketAddrV4Ext, TcpFlags, TcpOption,
+    };
+
+    fn spec(filter: FilterRule, action: Action) -> TraceSpec {
+        TraceSpec {
+            name: "t".into(),
+            node: "n".into(),
+            hook: HookSpec::DeviceRx("eth0".into()),
+            filter,
+            action,
+        }
+    }
+
+    fn udp_rule() -> FilterRule {
+        FilterRule::udp_flow(
+            (Ipv4Addr::new(10, 0, 0, 1), 9000),
+            (Ipv4Addr::new(10, 0, 0, 2), 7),
+        )
+    }
+
+    fn udp_flow() -> FlowKey {
+        FlowKey::udp(
+            SocketAddrV4::sock("10.0.0.1", 9000),
+            SocketAddrV4::sock("10.0.0.2", 7),
+        )
+    }
+
+    /// Runs a compiled record program against a packet; returns
+    /// (matched, drained perf records).
+    fn run_record(rule: FilterRule, pkt: &[u8]) -> (bool, Vec<crate::record::TraceRecord>) {
+        let mut maps = MapRegistry::new();
+        let perf_fd = maps.create(MapDef::perf(4096), 2).unwrap();
+        let prog = compile(&spec(rule, Action::RecordPacketInfo), Some(perf_fd), None).unwrap();
+        let loaded = load(prog, &maps, &standard_helpers()).unwrap();
+        let ctx = TraceContext {
+            timestamp_ns: 5555,
+            pkt_len: pkt.len() as u32,
+            cpu: 1,
+            node: 0,
+            device: 0,
+            direction: 0,
+        };
+        let mut env = FixedEnv {
+            time_ns: 5555,
+            cpu: 1,
+            ..Default::default()
+        };
+        let out = Vm::new()
+            .execute(&loaded, &ctx, pkt, &mut maps, &mut env)
+            .unwrap();
+        let recs = maps
+            .get_mut(perf_fd)
+            .unwrap()
+            .perf_drain_all()
+            .iter()
+            .map(|b| crate::record::TraceRecord::decode(b).unwrap())
+            .collect();
+        (out.ret == 1, recs)
+    }
+
+    #[test]
+    fn matching_udp_packet_produces_record_with_trace_id() {
+        let mut pkt = PacketBuilder::udp(udp_flow(), vec![7u8; 56]).build();
+        trace_id::inject_udp_trailer(&mut pkt, 0xfeedc0de).unwrap();
+        let (matched, recs) = run_record(udp_rule(), pkt.bytes());
+        assert!(matched);
+        assert_eq!(recs.len(), 1);
+        let r = recs[0];
+        assert!(r.has_trace_id());
+        assert_eq!(r.trace_id, 0xfeedc0de);
+        assert_eq!(r.timestamp_ns, 5555);
+        assert_eq!(r.pkt_len as usize, pkt.len());
+        assert_eq!(r.sport, 9000);
+        assert_eq!(r.dport, 7);
+        assert_eq!(
+            std::net::Ipv4Addr::from(r.saddr),
+            Ipv4Addr::new(10, 0, 0, 1)
+        );
+        assert_eq!(
+            std::net::Ipv4Addr::from(r.daddr),
+            Ipv4Addr::new(10, 0, 0, 2)
+        );
+        assert_eq!(r.cpu, 1);
+        assert_eq!(r.direction, 0);
+    }
+
+    #[test]
+    fn non_matching_packets_filtered_out() {
+        // Wrong dst port.
+        let other = FlowKey::udp(
+            SocketAddrV4::sock("10.0.0.1", 9000),
+            SocketAddrV4::sock("10.0.0.2", 8),
+        );
+        let pkt = PacketBuilder::udp(other, vec![0; 16]).build();
+        let (matched, recs) = run_record(udp_rule(), pkt.bytes());
+        assert!(!matched);
+        assert!(recs.is_empty());
+        // Wrong src ip.
+        let other = FlowKey::udp(
+            SocketAddrV4::sock("10.0.0.9", 9000),
+            SocketAddrV4::sock("10.0.0.2", 7),
+        );
+        let pkt = PacketBuilder::udp(other, vec![0; 16]).build();
+        assert!(!run_record(udp_rule(), pkt.bytes()).0);
+        // Wrong protocol (TCP packet against a UDP rule).
+        let tcp = FlowKey::tcp(
+            SocketAddrV4::sock("10.0.0.1", 9000),
+            SocketAddrV4::sock("10.0.0.2", 7),
+        );
+        let pkt = PacketBuilder::tcp(tcp, 0, 0, TcpFlags::ACK, vec![]).build();
+        assert!(!run_record(udp_rule(), pkt.bytes()).0);
+    }
+
+    #[test]
+    fn udp_without_trailer_reports_no_id() {
+        // A 56-byte payload without injection: the "trailer" would be
+        // payload bytes; but the packet is still recorded. The program
+        // cannot distinguish, so it reports whatever the last 4 bytes
+        // hold — with flag set. To test the *absent* case use a packet
+        // whose payload is empty (no room for a trailer).
+        let pkt = PacketBuilder::udp(udp_flow(), vec![]).build();
+        let (matched, recs) = run_record(udp_rule(), pkt.bytes());
+        assert!(matched);
+        assert_eq!(recs.len(), 1);
+        assert!(!recs[0].has_trace_id());
+    }
+
+    #[test]
+    fn tcp_option_scan_finds_trace_id() {
+        let tcp = FlowKey::tcp(
+            SocketAddrV4::sock("10.0.0.1", 9000),
+            SocketAddrV4::sock("10.0.0.2", 7),
+        );
+        let rule = FilterRule::tcp_flow(
+            (Ipv4Addr::new(10, 0, 0, 1), 9000),
+            (Ipv4Addr::new(10, 0, 0, 2), 7),
+        );
+        // Trace ID as the only option.
+        let pkt = PacketBuilder::tcp(tcp, 1, 2, TcpFlags::ACK, vec![1, 2, 3])
+            .tcp_option(TcpOption::TraceId(0xabcd1234))
+            .build();
+        let (matched, recs) = run_record(rule, pkt.bytes());
+        assert!(matched);
+        assert_eq!(recs[0].trace_id, 0xabcd1234);
+        assert!(recs[0].has_trace_id());
+        // Trace ID after an MSS option.
+        let pkt = PacketBuilder::tcp(tcp, 1, 2, TcpFlags::ACK, vec![])
+            .tcp_option(TcpOption::Mss(1460))
+            .tcp_option(TcpOption::TraceId(0x00c0ffee))
+            .build();
+        let (_, recs) = run_record(rule, pkt.bytes());
+        assert_eq!(recs[0].trace_id, 0x00c0ffee);
+        // No options at all: no id.
+        let pkt = PacketBuilder::tcp(tcp, 1, 2, TcpFlags::ACK, vec![]).build();
+        let (matched, recs) = run_record(rule, pkt.bytes());
+        assert!(matched);
+        assert!(!recs[0].has_trace_id());
+        // Unrelated option only.
+        let pkt = PacketBuilder::tcp(tcp, 1, 2, TcpFlags::ACK, vec![])
+            .tcp_option(TcpOption::Other(99, vec![1, 2]))
+            .build();
+        let (_, recs) = run_record(rule, pkt.bytes());
+        assert!(!recs[0].has_trace_id());
+    }
+
+    #[test]
+    fn count_program_counts_per_cpu() {
+        let mut maps = MapRegistry::new();
+        let counter_fd = maps.create(MapDef::per_cpu_array(8, 1), 4).unwrap();
+        let prog = compile(
+            &spec(FilterRule::any(), Action::CountPerCpu),
+            None,
+            Some(counter_fd),
+        )
+        .unwrap();
+        let loaded = load(prog, &maps, &standard_helpers()).unwrap();
+        for cpu in [0u32, 0, 2] {
+            let mut env = FixedEnv {
+                cpu,
+                ..Default::default()
+            };
+            let out = Vm::new()
+                .execute(&loaded, &TraceContext::default(), &[], &mut maps, &mut env)
+                .unwrap();
+            assert_eq!(out.ret, 1);
+        }
+        let map = maps.get_mut(counter_fd).unwrap();
+        let v0 = u64::from_le_bytes(
+            map.lookup(&0u32.to_le_bytes(), 0)
+                .unwrap()
+                .try_into()
+                .unwrap(),
+        );
+        let v2 = u64::from_le_bytes(
+            map.lookup(&0u32.to_le_bytes(), 2)
+                .unwrap()
+                .try_into()
+                .unwrap(),
+        );
+        assert_eq!((v0, v2), (2, 1));
+    }
+
+    #[test]
+    fn filtered_count_program_respects_rule() {
+        let mut maps = MapRegistry::new();
+        let counter_fd = maps.create(MapDef::per_cpu_array(8, 1), 1).unwrap();
+        let prog = compile(
+            &spec(udp_rule(), Action::CountPerCpu),
+            None,
+            Some(counter_fd),
+        )
+        .unwrap();
+        let loaded = load(prog, &maps, &standard_helpers()).unwrap();
+        let matching = PacketBuilder::udp(udp_flow(), vec![0; 8]).build();
+        let other = PacketBuilder::udp(udp_flow().reversed(), vec![0; 8]).build();
+        for pkt in [&matching, &other, &matching] {
+            let ctx = TraceContext {
+                pkt_len: pkt.len() as u32,
+                ..Default::default()
+            };
+            let mut env = FixedEnv::default();
+            Vm::new()
+                .execute(&loaded, &ctx, pkt.bytes(), &mut maps, &mut env)
+                .unwrap();
+        }
+        let map = maps.get_mut(counter_fd).unwrap();
+        let v = u64::from_le_bytes(
+            map.lookup(&0u32.to_le_bytes(), 0)
+                .unwrap()
+                .try_into()
+                .unwrap(),
+        );
+        assert_eq!(v, 2, "only the two matching packets counted");
+    }
+
+    #[test]
+    fn compile_rejects_missing_maps() {
+        assert!(compile(&spec(udp_rule(), Action::RecordPacketInfo), None, None).is_err());
+        assert!(compile(&spec(udp_rule(), Action::CountPerCpu), None, None).is_err());
+    }
+
+    #[test]
+    fn compiled_programs_pass_the_verifier() {
+        // `load` runs the verifier; exercise all rule shapes.
+        let mut maps = MapRegistry::new();
+        let perf = maps.create(MapDef::perf(4096), 1).unwrap();
+        let counter = maps.create(MapDef::per_cpu_array(8, 1), 1).unwrap();
+        let rules = [
+            FilterRule::any(),
+            udp_rule(),
+            FilterRule {
+                dst_port: Some(80),
+                ..FilterRule::any()
+            },
+            FilterRule {
+                protocol: Some(Proto::Tcp),
+                ..FilterRule::any()
+            },
+        ];
+        for rule in rules {
+            let p = compile(&spec(rule, Action::RecordPacketInfo), Some(perf), None).unwrap();
+            assert!(p.insns.len() <= vnet_ebpf::MAX_INSNS);
+            load(p, &maps, &standard_helpers()).expect("record program verifies");
+            let p = compile(&spec(rule, Action::CountPerCpu), None, Some(counter)).unwrap();
+            load(p, &maps, &standard_helpers()).expect("count program verifies");
+        }
+    }
+
+    #[test]
+    fn record_program_ignores_packetless_hooks() {
+        // No packet bytes: bounds check fails, nothing recorded.
+        let (matched, recs) = run_record(FilterRule::any(), &[]);
+        assert!(!matched);
+        assert!(recs.is_empty());
+    }
+}

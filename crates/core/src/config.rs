@@ -1,0 +1,301 @@
+//! Control packages: the formatted configuration vNetTracer's dispatcher
+//! ships to agents.
+//!
+//! The paper's control-plane workflow (§III-A, §III-D): the user supplies
+//! (1) filter rules (source/destination IP and port, protocol, ethernet
+//! type), (2) tracepoint information (device or kernel function, node),
+//! (3) the action to perform, and (4) global configuration (database,
+//! table names, buffer sizes). The dispatcher formats these into a
+//! *control package* per trace script and sends them to the agents; all
+//! of it can be modified and re-sent at runtime.
+//!
+//! Everything here is serde-serializable — control packages really travel
+//! as JSON between dispatcher and agents in this implementation.
+
+use std::net::Ipv4Addr;
+
+use serde::{Deserialize, Serialize};
+
+/// Transport protocol selector for filter rules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Proto {
+    /// Match TCP segments.
+    Tcp,
+    /// Match UDP datagrams.
+    Udp,
+}
+
+/// A packet filter rule: the five-tuple (plus EtherType) match of §III-A.
+/// Every field is optional; an empty rule matches everything (used for
+/// kernel-function counting probes that are not packet-specific).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct FilterRule {
+    /// EtherType to match (`0x0800` for IPv4; the only type the
+    /// simulated stack carries).
+    pub ether_type: Option<u16>,
+    /// Transport protocol.
+    pub protocol: Option<Proto>,
+    /// Source IPv4 address.
+    pub src_ip: Option<Ipv4Addr>,
+    /// Destination IPv4 address.
+    pub dst_ip: Option<Ipv4Addr>,
+    /// Source transport port.
+    pub src_port: Option<u16>,
+    /// Destination transport port.
+    pub dst_port: Option<u16>,
+}
+
+impl FilterRule {
+    /// A rule matching every packet.
+    pub fn any() -> Self {
+        Self::default()
+    }
+
+    /// A rule matching one direction of a UDP flow.
+    pub fn udp_flow(src: (Ipv4Addr, u16), dst: (Ipv4Addr, u16)) -> Self {
+        FilterRule {
+            ether_type: Some(0x0800),
+            protocol: Some(Proto::Udp),
+            src_ip: Some(src.0),
+            dst_ip: Some(dst.0),
+            src_port: Some(src.1),
+            dst_port: Some(dst.1),
+        }
+    }
+
+    /// A rule matching one direction of a TCP flow.
+    pub fn tcp_flow(src: (Ipv4Addr, u16), dst: (Ipv4Addr, u16)) -> Self {
+        FilterRule {
+            protocol: Some(Proto::Tcp),
+            ..Self::udp_flow(src, dst)
+        }
+    }
+
+    /// Whether the rule matches everything (no packet parsing needed).
+    pub fn is_empty(&self) -> bool {
+        *self == Self::default()
+    }
+
+    /// The rule matching the opposite direction of the same flow.
+    pub fn reversed(&self) -> FilterRule {
+        FilterRule {
+            ether_type: self.ether_type,
+            protocol: self.protocol,
+            src_ip: self.dst_ip,
+            dst_ip: self.src_ip,
+            src_port: self.dst_port,
+            dst_port: self.src_port,
+        }
+    }
+}
+
+/// The action a trace script performs when its rule matches (§III-A item
+/// 3: e.g. "records the current system time in nanosecond").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Action {
+    /// Emit a full [`crate::record::TraceRecord`] (timestamp, trace ID,
+    /// length, flow, CPU, direction) into the perf buffer.
+    RecordPacketInfo,
+    /// Count matching events in a per-CPU counter (used for
+    /// `net_rx_action` / `get_rps_cpu` statistics, Fig. 13a).
+    CountPerCpu,
+}
+
+/// Where the script attaches, by name, on a named node.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum HookSpec {
+    /// Kernel function entry (kprobe).
+    Kprobe(String),
+    /// Kernel function return (kretprobe).
+    Kretprobe(String),
+    /// A static kernel tracepoint (attached like a function-entry hook;
+    /// the simulated kernel names its tracepoints after the functions
+    /// that would host them).
+    Tracepoint(String),
+    /// Device receive tap (raw socket).
+    DeviceRx(String),
+    /// Device transmit tap.
+    DeviceTx(String),
+    /// User-level probe on a named application (uprobe, §III-B:
+    /// "Application monitoring could be traced through user level
+    /// tracepoints such as uprobe and uretprobe").
+    Uprobe(String),
+}
+
+impl HookSpec {
+    /// Converts to the simulator's hook representation.
+    pub fn to_sim_hook(&self) -> vnet_sim::probe::Hook {
+        use vnet_sim::probe::Hook;
+        match self {
+            HookSpec::Kprobe(f) => Hook::FunctionEntry(f.clone()),
+            HookSpec::Kretprobe(f) => Hook::FunctionReturn(f.clone()),
+            HookSpec::Tracepoint(f) => Hook::FunctionEntry(f.clone()),
+            HookSpec::DeviceRx(d) => Hook::DeviceRx(d.clone()),
+            HookSpec::DeviceTx(d) => Hook::DeviceTx(d.clone()),
+            HookSpec::Uprobe(a) => Hook::Uprobe(a.clone()),
+        }
+    }
+
+    /// The attach target's name.
+    pub fn target(&self) -> &str {
+        match self {
+            HookSpec::Kprobe(s)
+            | HookSpec::Kretprobe(s)
+            | HookSpec::Tracepoint(s)
+            | HookSpec::DeviceRx(s)
+            | HookSpec::DeviceTx(s)
+            | HookSpec::Uprobe(s) => s,
+        }
+    }
+}
+
+/// One trace script: name (its table in the database), node, tracepoint,
+/// filter and action.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceSpec {
+    /// Script name; trace records land in the table of this name.
+    pub name: String,
+    /// Node (by name) the script runs on.
+    pub node: String,
+    /// Where it attaches.
+    pub hook: HookSpec,
+    /// Which packets it matches.
+    pub filter: FilterRule,
+    /// What it records.
+    pub action: Action,
+}
+
+/// How trace data travels from agents to the collector (§III-C).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum CollectionMode {
+    /// Records buffered in kernel memory, dumped and shipped
+    /// periodically — the low-overhead default.
+    #[default]
+    Offline,
+    /// Records shipped as soon as collected (costs CPU and bandwidth).
+    Online,
+}
+
+/// Global configuration carried in every control package.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GlobalConfig {
+    /// Trace database name.
+    pub database: String,
+    /// Per-CPU kernel buffer size in bytes (the `mmap`ed buffer of
+    /// §III-C; valid range 32..=128k−16 per the paper's footnote).
+    pub buffer_size: u32,
+    /// Collection mode.
+    pub mode: CollectionMode,
+}
+
+impl Default for GlobalConfig {
+    fn default() -> Self {
+        GlobalConfig {
+            database: "vnettracer".into(),
+            buffer_size: 64 * 1024,
+            mode: CollectionMode::Offline,
+        }
+    }
+}
+
+/// A complete control package: global config plus trace scripts.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ControlPackage {
+    /// Global configuration.
+    pub global: GlobalConfig,
+    /// The trace scripts to deploy.
+    pub traces: Vec<TraceSpec>,
+}
+
+impl ControlPackage {
+    /// Creates a package with default global configuration.
+    pub fn new(traces: Vec<TraceSpec>) -> Self {
+        ControlPackage {
+            global: GlobalConfig::default(),
+            traces,
+        }
+    }
+
+    /// Serializes to the JSON wire form the dispatcher sends.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("control packages are always serializable")
+    }
+
+    /// Parses the JSON wire form.
+    ///
+    /// # Errors
+    ///
+    /// Returns the serde error text if the JSON is malformed.
+    pub fn from_json(s: &str) -> Result<Self, String> {
+        serde_json::from_str(s).map_err(|e| e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_spec() -> TraceSpec {
+        TraceSpec {
+            name: "flannel1_rx".into(),
+            node: "server1".into(),
+            hook: HookSpec::DeviceRx("flannel.1".into()),
+            filter: FilterRule::udp_flow(
+                (Ipv4Addr::new(10, 0, 0, 1), 9000),
+                (Ipv4Addr::new(10, 0, 0, 2), 7),
+            ),
+            action: Action::RecordPacketInfo,
+        }
+    }
+
+    #[test]
+    fn package_json_round_trip() {
+        let pkg = ControlPackage::new(vec![sample_spec()]);
+        let json = pkg.to_json();
+        let back = ControlPackage::from_json(&json).unwrap();
+        assert_eq!(back, pkg);
+        assert!(ControlPackage::from_json("{nope").is_err());
+    }
+
+    #[test]
+    fn empty_rule_detection() {
+        assert!(FilterRule::any().is_empty());
+        assert!(!sample_spec().filter.is_empty());
+        let mut r = FilterRule::any();
+        r.dst_port = Some(80);
+        assert!(!r.is_empty());
+    }
+
+    #[test]
+    fn flow_constructors() {
+        let f = FilterRule::tcp_flow(
+            (Ipv4Addr::new(1, 2, 3, 4), 5),
+            (Ipv4Addr::new(6, 7, 8, 9), 10),
+        );
+        assert_eq!(f.protocol, Some(Proto::Tcp));
+        assert_eq!(f.ether_type, Some(0x0800));
+        assert_eq!(f.src_port, Some(5));
+        assert_eq!(f.dst_port, Some(10));
+    }
+
+    #[test]
+    fn hook_spec_conversion() {
+        use vnet_sim::probe::Hook;
+        assert_eq!(
+            HookSpec::Kprobe("net_rx_action".into()).to_sim_hook(),
+            Hook::FunctionEntry("net_rx_action".into())
+        );
+        assert_eq!(
+            HookSpec::DeviceTx("vnet0".into()).to_sim_hook(),
+            Hook::DeviceTx("vnet0".into())
+        );
+        assert_eq!(HookSpec::Kretprobe("f".into()).target(), "f");
+    }
+
+    #[test]
+    fn default_global_config_is_offline() {
+        let g = GlobalConfig::default();
+        assert_eq!(g.mode, CollectionMode::Offline);
+        assert!(g.buffer_size as usize <= 128 * 1024 - 16);
+    }
+}

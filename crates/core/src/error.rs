@@ -1,0 +1,97 @@
+//! Error types for the tracer.
+
+use vnet_ebpf::program::LoadError;
+
+/// Errors surfaced by vNetTracer operations.
+#[derive(Debug)]
+pub enum TracerError {
+    /// The control package referenced a node the tracer has no agent on.
+    UnknownNode(String),
+    /// The tracepoint referenced a device that does not exist on the node.
+    UnknownDevice {
+        /// Node name.
+        node: String,
+        /// Device name.
+        device: String,
+    },
+    /// A generated or user-supplied eBPF program failed to load.
+    Load(LoadError),
+    /// A map could not be created.
+    Map(vnet_ebpf::map::MapError),
+    /// The generated program failed to assemble (an internal bug if it
+    /// ever happens for a valid rule).
+    Assemble(vnet_ebpf::asm::AsmError),
+    /// A control package failed to serialize or parse.
+    Config(String),
+    /// A script id that is not installed.
+    UnknownScript(u64),
+}
+
+impl core::fmt::Display for TracerError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            TracerError::UnknownNode(n) => write!(f, "no agent registered for node `{n}`"),
+            TracerError::UnknownDevice { node, device } => {
+                write!(f, "device `{device}` not found on node `{node}`")
+            }
+            TracerError::Load(e) => write!(f, "program load failed: {e}"),
+            TracerError::Map(e) => write!(f, "map creation failed: {e}"),
+            TracerError::Assemble(e) => write!(f, "program assembly failed: {e}"),
+            TracerError::Config(s) => write!(f, "invalid control package: {s}"),
+            TracerError::UnknownScript(id) => write!(f, "script {id} is not installed"),
+        }
+    }
+}
+
+impl std::error::Error for TracerError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TracerError::Load(e) => Some(e),
+            TracerError::Map(e) => Some(e),
+            TracerError::Assemble(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LoadError> for TracerError {
+    fn from(e: LoadError) -> Self {
+        TracerError::Load(e)
+    }
+}
+
+impl From<vnet_ebpf::map::MapError> for TracerError {
+    fn from(e: vnet_ebpf::map::MapError) -> Self {
+        TracerError::Map(e)
+    }
+}
+
+impl From<vnet_ebpf::asm::AsmError> for TracerError {
+    fn from(e: vnet_ebpf::asm::AsmError) -> Self {
+        TracerError::Assemble(e)
+    }
+}
+
+/// Convenience result alias.
+pub type Result<T> = std::result::Result<T, TracerError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_nonempty() {
+        let errs: Vec<TracerError> = vec![
+            TracerError::UnknownNode("n".into()),
+            TracerError::UnknownDevice {
+                node: "n".into(),
+                device: "d".into(),
+            },
+            TracerError::Config("bad".into()),
+            TracerError::UnknownScript(9),
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

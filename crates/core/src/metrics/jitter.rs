@@ -1,0 +1,46 @@
+//! Jitter: variability of packet latency.
+//!
+//! "We calculate the network jitter as ΔT_{i+1} − ΔT_i, where ΔT_i refers
+//! to the i-th network latency of traced packet." (§III-D) The paper
+//! reports jitter as a range, e.g. "(−7.2 µs, 9.2 µs)" growing to
+//! "(−117.8 µs, 1041.4 µs)" under CPU contention (Case Study II).
+
+/// Successive differences of a latency series, in signed nanoseconds.
+pub fn jitter_series(latencies_ns: &[u64]) -> Vec<i64> {
+    latencies_ns
+        .windows(2)
+        .map(|w| w[1] as i64 - w[0] as i64)
+        .collect()
+}
+
+/// The (min, max) jitter range, in signed nanoseconds. `None` with fewer
+/// than two latency samples.
+pub fn jitter_range(latencies_ns: &[u64]) -> Option<(i64, i64)> {
+    let series = jitter_series(latencies_ns);
+    let min = *series.iter().min()?;
+    let max = *series.iter().max()?;
+    Some((min, max))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_is_successive_differences() {
+        assert_eq!(jitter_series(&[100, 150, 120, 120]), vec![50, -30, 0]);
+        assert!(jitter_series(&[42]).is_empty());
+    }
+
+    #[test]
+    fn range_captures_extremes() {
+        assert_eq!(jitter_range(&[100, 150, 120, 300]), Some((-30, 180)));
+        assert_eq!(jitter_range(&[5]), None);
+        assert_eq!(jitter_range(&[]), None);
+    }
+
+    #[test]
+    fn steady_latency_has_zero_jitter() {
+        assert_eq!(jitter_range(&[77, 77, 77]), Some((0, 0)));
+    }
+}

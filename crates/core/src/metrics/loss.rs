@@ -1,0 +1,85 @@
+//! Packet loss between two tracepoints.
+//!
+//! "To measure packet loss, we track the number of packet N_i at each
+//! tracepoint and calculate the packet loss between two tracepoints as
+//! N_loss = N_i − N_j and the packet loss rate as R_loss = N_loss / N_i."
+//! (§III-D)
+
+use serde::{Deserialize, Serialize};
+use vnet_tsdb::TraceDb;
+
+/// Loss between an upstream and a downstream tracepoint.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PacketLoss {
+    /// Packets seen upstream (`N_i`).
+    pub upstream: u64,
+    /// Packets seen downstream (`N_j`).
+    pub downstream: u64,
+    /// `N_loss = N_i − N_j` (zero if downstream saw more).
+    pub lost: u64,
+    /// `R_loss = N_loss / N_i` (zero when upstream is empty).
+    pub rate: f64,
+}
+
+/// Computes packet loss between tracepoint tables `upstream` and
+/// `downstream`.
+pub fn packet_loss(db: &TraceDb, upstream: &str, downstream: &str) -> PacketLoss {
+    let n_i = db.table(upstream).map_or(0, |t| t.len() as u64);
+    let n_j = db.table(downstream).map_or(0, |t| t.len() as u64);
+    let lost = n_i.saturating_sub(n_j);
+    PacketLoss {
+        upstream: n_i,
+        downstream: n_j,
+        lost,
+        rate: if n_i == 0 {
+            0.0
+        } else {
+            lost as f64 / n_i as f64
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vnet_tsdb::DataPoint;
+
+    #[test]
+    fn counts_and_rate() {
+        let mut db = TraceDb::new();
+        for i in 0..10u64 {
+            db.insert(DataPoint::new("in", i));
+        }
+        for i in 0..7u64 {
+            db.insert(DataPoint::new("out", i));
+        }
+        let loss = packet_loss(&db, "in", "out");
+        assert_eq!(loss.upstream, 10);
+        assert_eq!(loss.downstream, 7);
+        assert_eq!(loss.lost, 3);
+        assert!((loss.rate - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_loss_and_empty_tables() {
+        let mut db = TraceDb::new();
+        db.insert(DataPoint::new("in", 0));
+        db.insert(DataPoint::new("out", 0));
+        let loss = packet_loss(&db, "in", "out");
+        assert_eq!(loss.lost, 0);
+        assert_eq!(loss.rate, 0.0);
+        let loss = packet_loss(&db, "absent_a", "absent_b");
+        assert_eq!(loss.upstream, 0);
+        assert_eq!(loss.rate, 0.0);
+    }
+
+    #[test]
+    fn downstream_surplus_clamps_to_zero() {
+        let mut db = TraceDb::new();
+        db.insert(DataPoint::new("in", 0));
+        for i in 0..3u64 {
+            db.insert(DataPoint::new("out", i));
+        }
+        assert_eq!(packet_loss(&db, "in", "out").lost, 0);
+    }
+}

@@ -1,0 +1,21 @@
+//! Network performance metrics computed from raw trace data (§III-D).
+//!
+//! All metrics are *offline* computations over the trace database:
+//! throughput, latency (two-tracepoint deltas joined by trace ID), jitter,
+//! packet loss, per-flow breakdowns and end-to-end latency decomposition.
+
+pub mod arrival;
+pub mod decomposition;
+pub mod flow;
+pub mod jitter;
+pub mod latency;
+pub mod loss;
+pub mod throughput;
+
+pub use arrival::{arrival_rate, interarrival_ns};
+pub use decomposition::{decompose, per_packet_segments, SegmentStats};
+pub use flow::{per_flow_loss, per_flow_throughput};
+pub use jitter::{jitter_range, jitter_series};
+pub use latency::{latency_between, stats_from_ns, LatencyStats};
+pub use loss::{packet_loss, PacketLoss};
+pub use throughput::{throughput_at, throughput_bps, TRACE_ID_WIRE_BYTES};

@@ -1,0 +1,95 @@
+//! Throughput at a tracepoint.
+//!
+//! "We track the packet size S_i and the arrival time T_i during the data
+//! transmission, and calculate the network throughput as
+//! Σ_{i=1}^{N} (S_i − S_ID) / (T_N − T_1), where … S_ID is the 4 bytes
+//! packet unique ID." (§III-D)
+
+use vnet_tsdb::{TraceDb, TRACE_ID_TAG};
+
+/// Bytes the trace ID adds to each packet on the wire (`S_ID`).
+pub const TRACE_ID_WIRE_BYTES: u64 = 4;
+
+/// Computes throughput in bits/second from `(timestamp_ns, size_bytes,
+/// carries_trace_id)` samples. Returns 0.0 with fewer than two samples or
+/// zero elapsed time.
+pub fn throughput_bps(samples: &[(u64, u32, bool)]) -> f64 {
+    if samples.len() < 2 {
+        return 0.0;
+    }
+    let t_first = samples.iter().map(|s| s.0).min().expect("non-empty");
+    let t_last = samples.iter().map(|s| s.0).max().expect("non-empty");
+    if t_last == t_first {
+        return 0.0;
+    }
+    let bytes: u64 = samples
+        .iter()
+        .map(|&(_, len, has_id)| {
+            u64::from(len).saturating_sub(if has_id { TRACE_ID_WIRE_BYTES } else { 0 })
+        })
+        .sum();
+    (bytes * 8) as f64 / ((t_last - t_first) as f64 / 1e9)
+}
+
+/// Computes throughput at a tracepoint's table, reading each record's
+/// `pkt_len` field and whether it carries a trace ID.
+pub fn throughput_at(db: &TraceDb, measurement: &str) -> f64 {
+    let Some(table) = db.table(measurement) else {
+        return 0.0;
+    };
+    let samples: Vec<(u64, u32, bool)> = table
+        .points()
+        .iter()
+        .filter_map(|p| {
+            let len = p.field_value("pkt_len")?.as_u64()? as u32;
+            Some((p.timestamp_ns, len, p.tag_value(TRACE_ID_TAG).is_some()))
+        })
+        .collect();
+    throughput_bps(&samples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vnet_tsdb::DataPoint;
+
+    #[test]
+    fn formula_subtracts_trace_id_bytes() {
+        // 10 packets of 104 bytes with IDs over 1 ms: (104-4)*10*8 bits.
+        let samples: Vec<(u64, u32, bool)> = (0..10).map(|i| (i * 111_111, 104, true)).collect();
+        let elapsed_s = (9.0 * 111_111.0) / 1e9;
+        let expected = 100.0 * 10.0 * 8.0 / elapsed_s;
+        assert!((throughput_bps(&samples) - expected).abs() / expected < 1e-9);
+    }
+
+    #[test]
+    fn untagged_packets_count_fully() {
+        let with_id = [(0u64, 104u32, true), (1_000_000, 104, true)];
+        let without = [(0u64, 104u32, false), (1_000_000, 104, false)];
+        assert!(throughput_bps(&without) > throughput_bps(&with_id));
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(throughput_bps(&[]), 0.0);
+        assert_eq!(throughput_bps(&[(5, 100, false)]), 0.0);
+        assert_eq!(throughput_bps(&[(5, 100, false), (5, 100, false)]), 0.0);
+    }
+
+    #[test]
+    fn throughput_from_database() {
+        let mut db = TraceDb::new();
+        for i in 0..100u64 {
+            db.insert(
+                DataPoint::new("nic_rx", i * 1_000)
+                    .tag(TRACE_ID_TAG, format!("{i:08x}"))
+                    .field("pkt_len", 104u64),
+            );
+        }
+        // 100 packets * 100 effective bytes * 8 bits over 99us.
+        let bps = throughput_at(&db, "nic_rx");
+        let expected = (100.0 * 100.0 * 8.0) / (99_000.0 / 1e9);
+        assert!((bps - expected).abs() / expected < 1e-9);
+        assert_eq!(throughput_at(&db, "absent"), 0.0);
+    }
+}

@@ -1,0 +1,186 @@
+//! The on-wire trace record trace scripts emit into the perf buffer.
+//!
+//! Besides the unique packet ID, "vNetTracer also records the packet
+//! number, packet length and current system time for the detailed network
+//! measurement" (§III-B); the flow tuple is captured too so per-flow
+//! metrics (§III-D) can be computed offline. The layout is fixed at 32
+//! bytes; the eBPF trace scripts build it on their stack and the agent
+//! decodes it when draining buffers.
+
+use serde::{Deserialize, Serialize};
+
+/// Size of an encoded record in bytes.
+pub const RECORD_SIZE: usize = 32;
+
+/// One trace record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct TraceRecord {
+    /// Node-local `CLOCK_MONOTONIC` timestamp, nanoseconds.
+    pub timestamp_ns: u64,
+    /// The packet's trace ID (0 when absent; see `has_trace_id`).
+    pub trace_id: u32,
+    /// Packet length in bytes (including the 4-byte trace ID for UDP).
+    pub pkt_len: u32,
+    /// Source IPv4 address (numeric, host order).
+    pub saddr: u32,
+    /// Destination IPv4 address (numeric, host order).
+    pub daddr: u32,
+    /// Source port.
+    pub sport: u16,
+    /// Destination port.
+    pub dport: u16,
+    /// CPU the probe fired on.
+    pub cpu: u16,
+    /// 0 = RX, 1 = TX.
+    pub direction: u8,
+    /// Bit 0: a trace ID was found in the packet.
+    pub flags: u8,
+}
+
+impl TraceRecord {
+    /// Whether the packet carried a trace ID.
+    pub fn has_trace_id(&self) -> bool {
+        self.flags & 1 != 0
+    }
+
+    /// Encodes to the 32-byte layout (matching the eBPF stack layout:
+    /// offsets 0 ts, 8 id, 12 len, 16 saddr, 20 daddr, 24 sport,
+    /// 26 dport, 28 cpu, 30 direction, 31 flags).
+    pub fn encode(&self) -> [u8; RECORD_SIZE] {
+        let mut b = [0u8; RECORD_SIZE];
+        b[0..8].copy_from_slice(&self.timestamp_ns.to_le_bytes());
+        b[8..12].copy_from_slice(&self.trace_id.to_le_bytes());
+        b[12..16].copy_from_slice(&self.pkt_len.to_le_bytes());
+        b[16..20].copy_from_slice(&self.saddr.to_le_bytes());
+        b[20..24].copy_from_slice(&self.daddr.to_le_bytes());
+        b[24..26].copy_from_slice(&self.sport.to_le_bytes());
+        b[26..28].copy_from_slice(&self.dport.to_le_bytes());
+        b[28..30].copy_from_slice(&self.cpu.to_le_bytes());
+        b[30] = self.direction;
+        b[31] = self.flags;
+        b
+    }
+
+    /// Decodes from the 32-byte layout.
+    ///
+    /// Returns `None` if `bytes` is not exactly [`RECORD_SIZE`] long.
+    pub fn decode(bytes: &[u8]) -> Option<Self> {
+        if bytes.len() != RECORD_SIZE {
+            return None;
+        }
+        Some(TraceRecord {
+            timestamp_ns: u64::from_le_bytes(bytes[0..8].try_into().ok()?),
+            trace_id: u32::from_le_bytes(bytes[8..12].try_into().ok()?),
+            pkt_len: u32::from_le_bytes(bytes[12..16].try_into().ok()?),
+            saddr: u32::from_le_bytes(bytes[16..20].try_into().ok()?),
+            daddr: u32::from_le_bytes(bytes[20..24].try_into().ok()?),
+            sport: u16::from_le_bytes(bytes[24..26].try_into().ok()?),
+            dport: u16::from_le_bytes(bytes[26..28].try_into().ok()?),
+            cpu: u16::from_le_bytes(bytes[28..30].try_into().ok()?),
+            direction: bytes[30],
+            flags: bytes[31],
+        })
+    }
+
+    /// Converts to a database point for the table `measurement`, tagged
+    /// with node name, flow and trace ID.
+    pub fn to_point(&self, measurement: &str, node: &str) -> vnet_tsdb::DataPoint {
+        let src = std::net::Ipv4Addr::from(self.saddr);
+        let dst = std::net::Ipv4Addr::from(self.daddr);
+        let mut p = vnet_tsdb::DataPoint::new(measurement, self.timestamp_ns)
+            .tag("node", node)
+            .tag(
+                "flow",
+                format!("{src}:{}->{dst}:{}", self.sport, self.dport),
+            )
+            .tag("direction", if self.direction == 0 { "rx" } else { "tx" })
+            .field("pkt_len", u64::from(self.pkt_len))
+            .field("cpu", u64::from(self.cpu));
+        if self.has_trace_id() {
+            p = p.tag(vnet_tsdb::TRACE_ID_TAG, format!("{:08x}", self.trace_id));
+        }
+        p
+    }
+}
+
+/// Byte offsets of the record fields, used by the script compiler when
+/// building the record on the eBPF stack (negative offsets from the frame
+/// pointer: field at offset `o` lives at `fp - RECORD_SIZE + o`).
+pub mod offsets {
+    /// Timestamp.
+    pub const TIMESTAMP: i16 = 0;
+    /// Trace ID.
+    pub const TRACE_ID: i16 = 8;
+    /// Packet length.
+    pub const PKT_LEN: i16 = 12;
+    /// Source address.
+    pub const SADDR: i16 = 16;
+    /// Destination address.
+    pub const DADDR: i16 = 20;
+    /// Source port.
+    pub const SPORT: i16 = 24;
+    /// Destination port.
+    pub const DPORT: i16 = 26;
+    /// CPU.
+    pub const CPU: i16 = 28;
+    /// Direction.
+    pub const DIRECTION: i16 = 30;
+    /// Flags.
+    pub const FLAGS: i16 = 31;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TraceRecord {
+        TraceRecord {
+            timestamp_ns: 0x1122334455667788,
+            trace_id: 0xdeadbeef,
+            pkt_len: 102,
+            saddr: u32::from(std::net::Ipv4Addr::new(10, 0, 0, 1)),
+            daddr: u32::from(std::net::Ipv4Addr::new(10, 0, 0, 2)),
+            sport: 9000,
+            dport: 7,
+            cpu: 3,
+            direction: 1,
+            flags: 1,
+        }
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let r = sample();
+        let b = r.encode();
+        assert_eq!(TraceRecord::decode(&b), Some(r));
+        assert_eq!(TraceRecord::decode(&b[..31]), None);
+    }
+
+    #[test]
+    fn flags_gate_trace_id() {
+        let mut r = sample();
+        assert!(r.has_trace_id());
+        r.flags = 0;
+        assert!(!r.has_trace_id());
+    }
+
+    #[test]
+    fn to_point_tags_and_fields() {
+        let p = sample().to_point("ovs_rx", "server1");
+        assert_eq!(p.measurement, "ovs_rx");
+        assert_eq!(p.timestamp_ns, 0x1122334455667788);
+        assert_eq!(p.tag_value("node"), Some("server1"));
+        assert_eq!(p.tag_value(vnet_tsdb::TRACE_ID_TAG), Some("deadbeef"));
+        assert_eq!(p.tag_value("flow"), Some("10.0.0.1:9000->10.0.0.2:7"));
+        assert_eq!(p.tag_value("direction"), Some("tx"));
+        assert_eq!(p.field_value("pkt_len").unwrap().as_u64(), Some(102));
+    }
+
+    #[test]
+    fn point_without_trace_id_untagged() {
+        let mut r = sample();
+        r.flags = 0;
+        let p = r.to_point("m", "n");
+        assert_eq!(p.tag_value(vnet_tsdb::TRACE_ID_TAG), None);
+    }
+}

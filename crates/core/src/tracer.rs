@@ -1,0 +1,374 @@
+//! The `VNetTracer` façade: dispatcher + agents + collector wired
+//! together (Fig. 2 of the paper).
+
+use std::collections::HashMap;
+
+use vnet_sim::world::World;
+use vnet_tsdb::TraceDb;
+
+use crate::agent::{Agent, ScriptId, ScriptStats};
+use crate::collector::Collector;
+use crate::config::ControlPackage;
+use crate::dispatcher::Dispatcher;
+use crate::error::{Result, TracerError};
+use crate::metrics;
+
+/// A handle to one deployed script: the node it runs on and its id there.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeployedScript {
+    /// Script (table) name.
+    pub name: String,
+    /// Node name.
+    pub node: String,
+    /// Agent-local script id.
+    pub id: ScriptId,
+}
+
+/// The whole tracing system: a control-data dispatcher and raw-data
+/// collector on the master, plus one agent per monitored node.
+///
+/// # Examples
+///
+/// See the crate-level documentation and `examples/quickstart.rs` for an
+/// end-to-end walkthrough.
+#[derive(Debug, Default)]
+pub struct VNetTracer {
+    dispatcher: Dispatcher,
+    agents: HashMap<String, Agent>,
+    collector: Collector,
+    deployed: Vec<DeployedScript>,
+}
+
+impl VNetTracer {
+    /// Creates a tracer with no agents.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers an agent for its node. Replaces any previous agent with
+    /// the same node name.
+    pub fn add_agent(&mut self, agent: Agent) {
+        self.agents.insert(agent.node_name().to_owned(), agent);
+    }
+
+    /// Borrows an agent by node name.
+    pub fn agent(&self, node: &str) -> Option<&Agent> {
+        self.agents.get(node)
+    }
+
+    /// Mutably borrows an agent by node name.
+    pub fn agent_mut(&mut self, node: &str) -> Option<&mut Agent> {
+        self.agents.get_mut(node)
+    }
+
+    /// Deploys a control package: the dispatcher formats per-node control
+    /// messages (JSON), each agent parses its message and installs its
+    /// scripts into the live world.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TracerError`] if validation, compilation or
+    /// installation fails. Scripts installed before the failure stay
+    /// installed (matching the incremental nature of runtime
+    /// reconfiguration); call [`VNetTracer::undeploy_all`] to roll back.
+    pub fn deploy(
+        &mut self,
+        world: &mut World,
+        package: &ControlPackage,
+    ) -> Result<Vec<DeployedScript>> {
+        let messages = self.dispatcher.dispatch(package)?;
+        let mut newly = Vec::new();
+        for message in messages {
+            let agent = self
+                .agents
+                .get_mut(&message.node)
+                .ok_or_else(|| TracerError::UnknownNode(message.node.clone()))?;
+            let sub = ControlPackage::from_json(&message.payload).map_err(TracerError::Config)?;
+            for spec in &sub.traces {
+                let id = agent.install_with_mode(
+                    world,
+                    spec,
+                    sub.global.buffer_size,
+                    sub.global.mode,
+                )?;
+                let handle = DeployedScript {
+                    name: spec.name.clone(),
+                    node: message.node.clone(),
+                    id,
+                };
+                self.deployed.push(handle.clone());
+                newly.push(handle);
+            }
+        }
+        Ok(newly)
+    }
+
+    /// Detaches every deployed script, flushing pending kernel buffers to
+    /// the collector first so no records are lost.
+    pub fn undeploy_all(&mut self, world: &mut World) {
+        self.collect(world);
+        for handle in self.deployed.drain(..) {
+            if let Some(agent) = self.agents.get_mut(&handle.node) {
+                let _ = agent.uninstall(world, handle.id);
+            }
+        }
+    }
+
+    /// Currently deployed scripts.
+    pub fn deployed(&self) -> &[DeployedScript] {
+        &self.deployed
+    }
+
+    /// Execution statistics of a deployed script, by name.
+    pub fn script_stats(&self, name: &str) -> Option<ScriptStats> {
+        let handle = self.deployed.iter().find(|d| d.name == name)?;
+        self.agents.get(&handle.node)?.stats(handle.id)
+    }
+
+    /// Per-CPU counter values of a deployed [`crate::config::Action::CountPerCpu`]
+    /// script, by name.
+    pub fn counter_per_cpu(&self, name: &str) -> Option<Vec<u64>> {
+        let handle = self.deployed.iter().find(|d| d.name == name)?;
+        self.agents.get(&handle.node)?.counter_per_cpu(handle.id)
+    }
+
+    /// Records lost to perf-buffer overflow for a deployed script.
+    pub fn lost_records(&self, name: &str) -> u64 {
+        let Some(handle) = self.deployed.iter().find(|d| d.name == name) else {
+            return 0;
+        };
+        self.agents
+            .get(&handle.node)
+            .map_or(0, |a| a.lost_records(handle.id))
+    }
+
+    /// The periodic collection cycle: every agent dumps its kernel
+    /// buffers and ships the batch (with a heartbeat) to the collector.
+    /// Returns the number of records collected.
+    pub fn collect(&mut self, world: &World) -> usize {
+        let now = world.now();
+        let mut total = 0;
+        let mut names: Vec<String> = self.agents.keys().cloned().collect();
+        names.sort();
+        for name in names {
+            let agent = self.agents.get_mut(&name).expect("listed agent exists");
+            let batch = agent.drain();
+            total += batch.len();
+            let seq = agent.heartbeat();
+            self.collector.ingest(&name, seq, batch, now);
+        }
+        total
+    }
+
+    /// The trace database accumulated so far.
+    pub fn db(&self) -> &TraceDb {
+        self.collector.db()
+    }
+
+    /// The collector (heartbeat status, ingest counters).
+    pub fn collector(&self) -> &Collector {
+        &self.collector
+    }
+
+    /// Convenience: per-packet latency samples between two deployed
+    /// tracepoints (same clock domain).
+    pub fn latency_between(&self, from: &str, to: &str) -> Vec<u64> {
+        metrics::latency_between(self.db(), from, to, None)
+    }
+
+    /// Convenience: throughput observed at a tracepoint.
+    pub fn throughput_at(&self, measurement: &str) -> f64 {
+        metrics::throughput_at(self.db(), measurement)
+    }
+
+    /// Convenience: latency decomposition across a tracepoint chain.
+    pub fn decompose(&self, tracepoints: &[&str]) -> Vec<metrics::SegmentStats> {
+        metrics::decompose(self.db(), tracepoints)
+    }
+
+    /// Convenience: packet loss between two tracepoints.
+    pub fn packet_loss(&self, upstream: &str, downstream: &str) -> metrics::PacketLoss {
+        metrics::packet_loss(self.db(), upstream, downstream)
+    }
+
+    /// Convenience: jitter range of the latency between two tracepoints
+    /// (`None` with fewer than two joinable packets).
+    pub fn jitter_between(&self, from: &str, to: &str) -> Option<(i64, i64)> {
+        metrics::jitter_range(&self.latency_between(from, to))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{Action, FilterRule, HookSpec, TraceSpec};
+    use std::net::Ipv4Addr;
+    use std::net::SocketAddrV4;
+    use vnet_sim::device::{DeviceConfig, Forwarding, ServiceModel};
+    use vnet_sim::node::NodeClock;
+    use vnet_sim::packet::{FlowKey, PacketBuilder, SocketAddrV4Ext};
+    use vnet_sim::time::{SimDuration, SimTime};
+
+    /// Two devices in series on one node; probes at both; UDP flow with
+    /// injected trace IDs.
+    fn setup() -> (World, VNetTracer, vnet_sim::DeviceId) {
+        let mut w = World::new(3);
+        let n = w.add_node("server1", 4, NodeClock::perfect());
+        let d0 = w.add_device(
+            DeviceConfig::new("eth0", n)
+                .service(ServiceModel::Fixed(SimDuration::from_micros(5)))
+                .trace_id(vnet_sim::device::TraceIdRole::Inject),
+        );
+        let d1 = w.add_device(
+            DeviceConfig::new("eth1", n)
+                .service(ServiceModel::Fixed(SimDuration::from_micros(1)))
+                .forwarding(Forwarding::Deliver),
+        );
+        w.connect(d0, d1, SimDuration::from_micros(10));
+
+        let mut tracer = VNetTracer::new();
+        tracer.add_agent(Agent::new(n, "server1", 4));
+        (w, tracer, d0)
+    }
+
+    fn flow_spec(name: &str, hook: HookSpec) -> TraceSpec {
+        TraceSpec {
+            name: name.into(),
+            node: "server1".into(),
+            hook,
+            filter: FilterRule::udp_flow(
+                (Ipv4Addr::new(10, 0, 0, 1), 1000),
+                (Ipv4Addr::new(10, 0, 0, 2), 2000),
+            ),
+            action: Action::RecordPacketInfo,
+        }
+    }
+
+    fn send_packets(w: &mut World, d0: vnet_sim::DeviceId, n: usize) {
+        // Inject via a sender app so the trace-ID patch applies.
+        struct Sender {
+            count: usize,
+        }
+        impl vnet_sim::app::App for Sender {
+            fn on_start(&mut self, ctx: &mut vnet_sim::app::AppCtx<'_>) {
+                for _ in 0..self.count {
+                    let flow = FlowKey::udp(
+                        SocketAddrV4::sock("10.0.0.1", 1000),
+                        SocketAddrV4::sock("10.0.0.2", 2000),
+                    );
+                    ctx.send(PacketBuilder::udp(flow, vec![1u8; 56]).build());
+                }
+            }
+            fn on_packet(
+                &mut self,
+                _: &mut vnet_sim::app::AppCtx<'_>,
+                _: vnet_sim::packet::Packet,
+            ) {
+            }
+        }
+        w.add_app(vnet_sim::NodeId(0), d0, Box::new(Sender { count: n }));
+    }
+
+    #[test]
+    fn end_to_end_deploy_trace_collect_analyze() {
+        let (mut w, mut tracer, d0) = setup();
+        let pkg = ControlPackage::new(vec![
+            flow_spec("eth0_rx", HookSpec::DeviceRx("eth0".into())),
+            flow_spec("eth1_rx", HookSpec::DeviceRx("eth1".into())),
+        ]);
+        let deployed = tracer.deploy(&mut w, &pkg).unwrap();
+        assert_eq!(deployed.len(), 2);
+        send_packets(&mut w, d0, 10);
+        w.run_until(SimTime::from_millis(5));
+        let collected = tracer.collect(&w);
+        assert_eq!(collected, 20, "10 packets at 2 tracepoints");
+        // Latency eth0->eth1 = 5us service + 10us link (+probe overhead).
+        // All 10 packets are injected at t=0, so they queue at eth0's
+        // 5us server: packet i leaves at 5us*(i+1) and crosses the 10us
+        // link, while its eth0_rx record was stamped at arrival (t=0).
+        let mut lat = tracer.latency_between("eth0_rx", "eth1_rx");
+        lat.sort_unstable();
+        assert_eq!(lat.len(), 10);
+        assert!(
+            (15_000..17_000).contains(&lat[0]),
+            "fastest packet ~15us + probe overhead, got {}ns",
+            lat[0]
+        );
+        assert!(
+            (60_000..62_000).contains(&lat[9]),
+            "slowest packet queued behind 9 others, got {}ns",
+            lat[9]
+        );
+        // No loss between the two tracepoints.
+        let loss = tracer.packet_loss("eth0_rx", "eth1_rx");
+        assert_eq!(loss.lost, 0);
+        // Decomposition over the chain gives one segment.
+        let segs = tracer.decompose(&["eth0_rx", "eth1_rx"]);
+        assert_eq!(segs.len(), 1);
+        assert_eq!(segs[0].stats.count, 10);
+        // Throughput at eth1_rx (timestamps spread by eth0's service
+        // times) is positive; at eth0_rx all records share one arrival
+        // instant, so the T_N − T_1 denominator is zero.
+        assert!(tracer.throughput_at("eth1_rx") > 0.0);
+        assert_eq!(tracer.throughput_at("eth0_rx"), 0.0);
+        // Stats: every firing matched.
+        let stats = tracer.script_stats("eth0_rx").unwrap();
+        assert_eq!(stats.executions, 10);
+        assert_eq!(stats.matched, 10);
+        assert_eq!(stats.errors, 0);
+        // Heartbeats recorded.
+        assert_eq!(tracer.collector().last_heartbeat("server1"), Some(1));
+    }
+
+    #[test]
+    fn deploy_unknown_node_fails() {
+        let (mut w, mut tracer, _) = setup();
+        let mut spec = flow_spec("x", HookSpec::DeviceRx("eth0".into()));
+        spec.node = "mars".into();
+        let err = tracer
+            .deploy(&mut w, &ControlPackage::new(vec![spec]))
+            .unwrap_err();
+        assert!(matches!(err, TracerError::UnknownNode(_)));
+    }
+
+    #[test]
+    fn undeploy_stops_tracing() {
+        let (mut w, mut tracer, d0) = setup();
+        let pkg = ControlPackage::new(vec![flow_spec(
+            "eth0_rx",
+            HookSpec::DeviceRx("eth0".into()),
+        )]);
+        tracer.deploy(&mut w, &pkg).unwrap();
+        send_packets(&mut w, d0, 2);
+        w.run_until(SimTime::from_millis(1));
+        tracer.undeploy_all(&mut w);
+        assert!(tracer.deployed().is_empty());
+        // Undeploy flushed the pending records first.
+        assert_eq!(tracer.db().table("eth0_rx").unwrap().len(), 2);
+        // New traffic after undeploy is not traced.
+        send_packets(&mut w, d0, 3);
+        w.run_until(SimTime::from_millis(2));
+        assert_eq!(tracer.collect(&w), 0);
+        assert_eq!(tracer.db().table("eth0_rx").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn runtime_reconfiguration_swaps_scripts() {
+        let (mut w, mut tracer, d0) = setup();
+        let pkg1 =
+            ControlPackage::new(vec![flow_spec("phase1", HookSpec::DeviceRx("eth0".into()))]);
+        tracer.deploy(&mut w, &pkg1).unwrap();
+        send_packets(&mut w, d0, 1);
+        w.run_until(SimTime::from_millis(1));
+        tracer.undeploy_all(&mut w);
+        // Reconfigure at runtime: different tracepoint, different table.
+        let pkg2 =
+            ControlPackage::new(vec![flow_spec("phase2", HookSpec::DeviceRx("eth1".into()))]);
+        tracer.deploy(&mut w, &pkg2).unwrap();
+        send_packets(&mut w, d0, 1);
+        w.run_until(SimTime::from_millis(2));
+        tracer.collect(&w);
+        assert_eq!(tracer.db().table("phase1").unwrap().len(), 1);
+        assert_eq!(tracer.db().table("phase2").unwrap().len(), 1);
+    }
+}

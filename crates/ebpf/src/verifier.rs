@@ -1,0 +1,682 @@
+//! The static verifier.
+//!
+//! Before a program may attach, it must pass the same class of checks the
+//! Linux verifier applies (for the 4.x kernels the paper targets):
+//!
+//! * at most [`MAX_INSNS`] (4096) instructions — the size limit the paper
+//!   calls out in §II;
+//! * only known opcodes and registers; `r10` is read-only;
+//! * every jump lands in bounds, never into the second slot of an `lddw`,
+//!   and never **backwards** — the control-flow graph is a DAG, so every
+//!   program provably terminates;
+//! * no path falls off the end of the program, and every path reaches
+//!   `exit` with `r0` initialised;
+//! * no read of an uninitialised register (data-flow analysis over the
+//!   DAG);
+//! * no division or modulo by a zero immediate;
+//! * helper calls reference registered helpers only;
+//! * direct stack accesses through `r10` stay within the 512-byte frame.
+//!
+//! Unlike the kernel, pointer/scalar *type* tracking is not implemented;
+//! memory accesses through computed pointers are instead bounds-checked at
+//! runtime by the interpreter, which is equivalent for safety in a
+//! simulator (a rejected access aborts the program, it cannot corrupt the
+//! host).
+
+use crate::insn::*;
+
+/// Why the verifier rejected a program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VerifyError {
+    /// The program is empty.
+    Empty,
+    /// More than [`MAX_INSNS`] instructions.
+    TooLong(usize),
+    /// Unknown or malformed opcode at the given index.
+    BadOpcode {
+        /// The opcode byte.
+        opcode: u8,
+        /// Instruction index.
+        insn: usize,
+    },
+    /// A register operand above `r10`.
+    BadRegister {
+        /// The register number.
+        reg: u8,
+        /// Instruction index.
+        insn: usize,
+    },
+    /// A write targeting the read-only frame pointer.
+    WriteToFramePointer(usize),
+    /// Jump target outside the program.
+    JumpOutOfBounds(usize),
+    /// Jump target is the second slot of an `lddw`.
+    JumpIntoLddw(usize),
+    /// A backward jump (loops are not allowed).
+    BackwardJump(usize),
+    /// An `lddw` missing its second slot, or a second slot that is not
+    /// all-zero apart from the immediate.
+    TruncatedLddw(usize),
+    /// Execution can run past the last instruction.
+    FallsOffEnd(usize),
+    /// A read of a register never written on some path.
+    UninitializedRegister {
+        /// The register number.
+        reg: u8,
+        /// Instruction index.
+        insn: usize,
+    },
+    /// Division or modulo by a zero immediate.
+    DivisionByZero(usize),
+    /// A call to a helper id that is not registered.
+    UnknownHelper {
+        /// The helper id.
+        id: i32,
+        /// Instruction index.
+        insn: usize,
+    },
+    /// A direct `r10`-relative access outside the 512-byte stack frame.
+    InvalidStackAccess {
+        /// The offset used.
+        off: i32,
+        /// Instruction index.
+        insn: usize,
+    },
+}
+
+impl core::fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            VerifyError::Empty => f.write_str("empty program"),
+            VerifyError::TooLong(n) => write!(f, "program has {n} insns, limit is {MAX_INSNS}"),
+            VerifyError::BadOpcode { opcode, insn } => {
+                write!(f, "unknown opcode {opcode:#04x} at insn {insn}")
+            }
+            VerifyError::BadRegister { reg, insn } => {
+                write!(f, "invalid register r{reg} at insn {insn}")
+            }
+            VerifyError::WriteToFramePointer(i) => write!(f, "write to read-only r10 at insn {i}"),
+            VerifyError::JumpOutOfBounds(i) => write!(f, "jump out of bounds at insn {i}"),
+            VerifyError::JumpIntoLddw(i) => write!(f, "jump into lddw body at insn {i}"),
+            VerifyError::BackwardJump(i) => write!(f, "back-edge at insn {i} (loops forbidden)"),
+            VerifyError::TruncatedLddw(i) => write!(f, "truncated lddw at insn {i}"),
+            VerifyError::FallsOffEnd(i) => write!(f, "control falls off program end at insn {i}"),
+            VerifyError::UninitializedRegister { reg, insn } => {
+                write!(f, "read of uninitialized r{reg} at insn {insn}")
+            }
+            VerifyError::DivisionByZero(i) => write!(f, "division by zero immediate at insn {i}"),
+            VerifyError::UnknownHelper { id, insn } => {
+                write!(f, "unknown helper {id} at insn {insn}")
+            }
+            VerifyError::InvalidStackAccess { off, insn } => {
+                write!(f, "stack access at fp{off:+} outside frame at insn {insn}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+const ALU_OPS: [u8; 13] = [
+    BPF_ADD, BPF_SUB, BPF_MUL, BPF_DIV, BPF_OR, BPF_AND, BPF_LSH, BPF_RSH, BPF_NEG, BPF_MOD,
+    BPF_XOR, BPF_MOV, BPF_ARSH,
+];
+const JMP_OPS: [u8; 13] = [
+    BPF_JA, BPF_JEQ, BPF_JGT, BPF_JGE, BPF_JSET, BPF_JNE, BPF_JSGT, BPF_JSGE, BPF_JLT, BPF_JLE,
+    BPF_JSLT, BPF_JSLE, BPF_CALL,
+];
+
+fn size_of_access(opcode: u8) -> usize {
+    match opcode & 0x18 {
+        BPF_W => 4,
+        BPF_H => 2,
+        BPF_B => 1,
+        _ => 8, // BPF_DW
+    }
+}
+
+/// Verifies `insns`; `helpers` is the set of callable helper ids.
+///
+/// # Errors
+///
+/// Returns the first [`VerifyError`] encountered.
+pub fn verify(insns: &[Insn], helpers: &[i32]) -> Result<(), VerifyError> {
+    if insns.is_empty() {
+        return Err(VerifyError::Empty);
+    }
+    if insns.len() > MAX_INSNS {
+        return Err(VerifyError::TooLong(insns.len()));
+    }
+
+    // Pass 1: structural checks, and mark lddw second slots.
+    let mut is_lddw_body = vec![false; insns.len()];
+    {
+        let mut i = 0;
+        while i < insns.len() {
+            let insn = &insns[i];
+            if insn.is_lddw() {
+                if i + 1 >= insns.len() {
+                    return Err(VerifyError::TruncatedLddw(i));
+                }
+                let body = &insns[i + 1];
+                if body.opcode != 0 || body.dst != 0 || body.src != 0 || body.off != 0 {
+                    return Err(VerifyError::TruncatedLddw(i));
+                }
+                is_lddw_body[i + 1] = true;
+                i += 2;
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    for (i, insn) in insns.iter().enumerate() {
+        if is_lddw_body[i] {
+            continue;
+        }
+        if insn.dst as usize >= NUM_REGS {
+            return Err(VerifyError::BadRegister {
+                reg: insn.dst,
+                insn: i,
+            });
+        }
+        if insn.src as usize >= NUM_REGS && !insn.is_lddw() {
+            return Err(VerifyError::BadRegister {
+                reg: insn.src,
+                insn: i,
+            });
+        }
+        match insn.class() {
+            BPF_ALU | BPF_ALU64 => {
+                let op = insn.opcode & 0xf0;
+                if op == BPF_END {
+                    if !matches!(insn.imm, 16 | 32 | 64) {
+                        return Err(VerifyError::BadOpcode {
+                            opcode: insn.opcode,
+                            insn: i,
+                        });
+                    }
+                } else if !ALU_OPS.contains(&op) {
+                    return Err(VerifyError::BadOpcode {
+                        opcode: insn.opcode,
+                        insn: i,
+                    });
+                }
+                if (op == BPF_DIV || op == BPF_MOD) && insn.opcode & 0x08 == BPF_K && insn.imm == 0
+                {
+                    return Err(VerifyError::DivisionByZero(i));
+                }
+                if insn.dst == REG_FP {
+                    return Err(VerifyError::WriteToFramePointer(i));
+                }
+            }
+            BPF_JMP | BPF_JMP32 => {
+                let op = insn.opcode & 0xf0;
+                if op == BPF_EXIT {
+                    if insn.class() != BPF_JMP {
+                        return Err(VerifyError::BadOpcode {
+                            opcode: insn.opcode,
+                            insn: i,
+                        });
+                    }
+                    continue;
+                }
+                if !JMP_OPS.contains(&op) {
+                    return Err(VerifyError::BadOpcode {
+                        opcode: insn.opcode,
+                        insn: i,
+                    });
+                }
+                if op == BPF_CALL {
+                    if insn.class() != BPF_JMP {
+                        return Err(VerifyError::BadOpcode {
+                            opcode: insn.opcode,
+                            insn: i,
+                        });
+                    }
+                    if !helpers.contains(&insn.imm) {
+                        return Err(VerifyError::UnknownHelper {
+                            id: insn.imm,
+                            insn: i,
+                        });
+                    }
+                    continue;
+                }
+                // Jump target checks.
+                if insn.off < 0 {
+                    return Err(VerifyError::BackwardJump(i));
+                }
+                let target = i as i64 + 1 + insn.off as i64;
+                if target < 0 || target as usize >= insns.len() {
+                    return Err(VerifyError::JumpOutOfBounds(i));
+                }
+                if is_lddw_body[target as usize] {
+                    return Err(VerifyError::JumpIntoLddw(i));
+                }
+            }
+            BPF_LD => {
+                if !insn.is_lddw() {
+                    return Err(VerifyError::BadOpcode {
+                        opcode: insn.opcode,
+                        insn: i,
+                    });
+                }
+                if insn.dst == REG_FP {
+                    return Err(VerifyError::WriteToFramePointer(i));
+                }
+            }
+            BPF_LDX => {
+                if insn.opcode & 0xe0 != BPF_MEM {
+                    return Err(VerifyError::BadOpcode {
+                        opcode: insn.opcode,
+                        insn: i,
+                    });
+                }
+                if insn.dst == REG_FP {
+                    return Err(VerifyError::WriteToFramePointer(i));
+                }
+                if insn.src == REG_FP {
+                    check_stack(insn.off, size_of_access(insn.opcode), i)?;
+                }
+            }
+            BPF_ST | BPF_STX => {
+                let mode = insn.opcode & 0xe0;
+                let atomic = mode == BPF_ATOMIC && insn.class() == BPF_STX;
+                if mode != BPF_MEM && !atomic {
+                    return Err(VerifyError::BadOpcode {
+                        opcode: insn.opcode,
+                        insn: i,
+                    });
+                }
+                if atomic {
+                    // Only ADD (optionally with FETCH) on W/DW is
+                    // implemented, as in pre-5.12 kernels (BPF_XADD).
+                    let sz = insn.opcode & 0x18;
+                    if (sz != BPF_W && sz != BPF_DW) || (insn.imm & !BPF_FETCH) != BPF_ADD as i32 {
+                        return Err(VerifyError::BadOpcode {
+                            opcode: insn.opcode,
+                            insn: i,
+                        });
+                    }
+                }
+                if insn.dst == REG_FP {
+                    check_stack(insn.off, size_of_access(insn.opcode), i)?;
+                }
+            }
+            _ => {
+                return Err(VerifyError::BadOpcode {
+                    opcode: insn.opcode,
+                    insn: i,
+                })
+            }
+        }
+    }
+
+    // Pass 2: reachability + fall-off-end + register initialisation.
+    // Since the CFG is a DAG (no back-edges), a forward pass visiting
+    // instructions in order computes, for each reachable instruction, the
+    // intersection of initialised-register sets over all inbound paths.
+    const UNREACHED: u16 = u16::MAX;
+    let mut init_at = vec![UNREACHED; insns.len()];
+    // Entry: r1 (context) and r10 (frame pointer) are initialised.
+    init_at[0] = (1 << 1) | (1 << 10);
+
+    let mut i = 0;
+    while i < insns.len() {
+        if is_lddw_body[i] || init_at[i] == UNREACHED {
+            i += 1;
+            continue;
+        }
+        let insn = &insns[i];
+        let mut regs = init_at[i];
+        let require = |regs: u16, reg: u8, at: usize| -> Result<(), VerifyError> {
+            if regs & (1 << reg) == 0 {
+                Err(VerifyError::UninitializedRegister { reg, insn: at })
+            } else {
+                Ok(())
+            }
+        };
+        let merge = |init_at: &mut Vec<u16>, target: usize, regs: u16| {
+            if init_at[target] == UNREACHED {
+                init_at[target] = regs;
+            } else {
+                init_at[target] &= regs;
+            }
+        };
+        match insn.class() {
+            BPF_ALU | BPF_ALU64 => {
+                let op = insn.opcode & 0xf0;
+                if op == BPF_MOV {
+                    if insn.opcode & 0x08 == BPF_X {
+                        require(regs, insn.src, i)?;
+                    }
+                } else if op == BPF_NEG || op == BPF_END {
+                    require(regs, insn.dst, i)?;
+                } else {
+                    require(regs, insn.dst, i)?;
+                    if insn.opcode & 0x08 == BPF_X {
+                        require(regs, insn.src, i)?;
+                    }
+                }
+                regs |= 1 << insn.dst;
+            }
+            BPF_LD => {
+                // lddw
+                regs |= 1 << insn.dst;
+                if i + 2 >= insns.len() {
+                    return Err(VerifyError::FallsOffEnd(i));
+                }
+                merge(&mut init_at, i + 2, regs);
+                i += 2;
+                continue;
+            }
+            BPF_LDX => {
+                require(regs, insn.src, i)?;
+                regs |= 1 << insn.dst;
+            }
+            BPF_ST => {
+                require(regs, insn.dst, i)?;
+            }
+            BPF_STX => {
+                require(regs, insn.dst, i)?;
+                require(regs, insn.src, i)?;
+                // Atomic fetch-and-add writes the old value into src.
+                if insn.opcode & 0xe0 == BPF_ATOMIC && insn.imm & BPF_FETCH != 0 {
+                    regs |= 1 << insn.src;
+                }
+            }
+            BPF_JMP | BPF_JMP32 => {
+                let op = insn.opcode & 0xf0;
+                match op {
+                    BPF_EXIT => {
+                        require(regs, 0, i)?;
+                        i += 1;
+                        continue;
+                    }
+                    BPF_CALL => {
+                        // Helpers read r1–r5 as needed (checked at
+                        // runtime), clobber r1–r5 and set r0.
+                        regs &= !0b111110;
+                        regs |= 1;
+                    }
+                    BPF_JA => {
+                        let target = i + 1 + insn.off as usize;
+                        merge(&mut init_at, target, regs);
+                        i += 1;
+                        continue;
+                    }
+                    _ => {
+                        require(regs, insn.dst, i)?;
+                        if insn.opcode & 0x08 == BPF_X {
+                            require(regs, insn.src, i)?;
+                        }
+                        let target = i + 1 + insn.off as usize;
+                        merge(&mut init_at, target, regs);
+                    }
+                }
+            }
+            _ => unreachable!("pass 1 validated classes"),
+        }
+        if i + 1 >= insns.len() {
+            return Err(VerifyError::FallsOffEnd(i));
+        }
+        merge(&mut init_at, i + 1, regs);
+        i += 1;
+    }
+
+    Ok(())
+}
+
+fn check_stack(off: i16, size: usize, insn: usize) -> Result<(), VerifyError> {
+    let off = off as i32;
+    if off >= 0 || off < -(STACK_SIZE as i32) || off + size as i32 > 0 {
+        return Err(VerifyError::InvalidStackAccess { off, insn });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::{reg::*, Asm, Cond, Size};
+
+    const HELPERS: &[i32] = &[1, 2, 3, 5, 6, 7, 8, 25, 26];
+
+    fn ok(asm: Asm) {
+        verify(&asm.build().unwrap(), HELPERS).unwrap();
+    }
+
+    fn err(asm: Asm) -> VerifyError {
+        verify(&asm.build().unwrap(), HELPERS).unwrap_err()
+    }
+
+    #[test]
+    fn minimal_program_passes() {
+        ok(Asm::new().mov64_imm(R0, 0).exit());
+    }
+
+    #[test]
+    fn empty_and_too_long_rejected() {
+        assert_eq!(verify(&[], HELPERS), Err(VerifyError::Empty));
+        let mut asm = Asm::new();
+        for _ in 0..MAX_INSNS {
+            asm = asm.mov64_imm(R0, 0);
+        }
+        let e = err(asm.exit());
+        assert_eq!(e, VerifyError::TooLong(MAX_INSNS + 1));
+    }
+
+    #[test]
+    fn exactly_4096_insns_accepted() {
+        let mut asm = Asm::new();
+        for _ in 0..MAX_INSNS - 2 {
+            asm = asm.mov64_imm(R0, 0);
+        }
+        ok(asm.mov64_imm(R0, 0).exit());
+    }
+
+    #[test]
+    fn falls_off_end_rejected() {
+        assert!(matches!(
+            err(Asm::new().mov64_imm(R0, 0)),
+            VerifyError::FallsOffEnd(0)
+        ));
+    }
+
+    #[test]
+    fn backward_jump_rejected() {
+        let e = err(Asm::new().label("top").mov64_imm(R0, 0).jump("top").exit());
+        assert_eq!(e, VerifyError::BackwardJump(1));
+    }
+
+    #[test]
+    fn jump_out_of_bounds_rejected() {
+        let insns = vec![
+            Insn::new(BPF_JMP | BPF_JA, 0, 0, 100, 0),
+            Insn::new(BPF_JMP | BPF_EXIT, 0, 0, 0, 0),
+        ];
+        assert_eq!(
+            verify(&insns, HELPERS),
+            Err(VerifyError::JumpOutOfBounds(0))
+        );
+    }
+
+    #[test]
+    fn jump_into_lddw_body_rejected() {
+        let insns = vec![
+            Insn::new(BPF_JMP | BPF_JA, 0, 0, 1, 0), // targets slot 2 = lddw body
+            Insn::new(BPF_LD | BPF_IMM | BPF_DW, 1, 0, 0, 0),
+            Insn::new(0, 0, 0, 0, 0),
+            Insn::new(BPF_JMP | BPF_EXIT, 0, 0, 0, 0),
+        ];
+        assert_eq!(verify(&insns, HELPERS), Err(VerifyError::JumpIntoLddw(0)));
+    }
+
+    #[test]
+    fn truncated_lddw_rejected() {
+        let insns = vec![Insn::new(BPF_LD | BPF_IMM | BPF_DW, 1, 0, 0, 0)];
+        assert_eq!(verify(&insns, HELPERS), Err(VerifyError::TruncatedLddw(0)));
+    }
+
+    #[test]
+    fn uninitialized_register_read_rejected() {
+        let e = err(Asm::new().mov64(R0, R3).exit());
+        assert_eq!(e, VerifyError::UninitializedRegister { reg: 3, insn: 0 });
+    }
+
+    #[test]
+    fn exit_requires_r0() {
+        let e = err(Asm::new().exit());
+        assert_eq!(e, VerifyError::UninitializedRegister { reg: 0, insn: 0 });
+    }
+
+    #[test]
+    fn call_clobbers_caller_saved_registers() {
+        // r2 set before the call must not satisfy a read after it.
+        let e = err(Asm::new()
+            .mov64_imm(R2, 1)
+            .call(5) // ktime_get_ns
+            .mov64(R0, R2)
+            .exit());
+        assert_eq!(e, VerifyError::UninitializedRegister { reg: 2, insn: 2 });
+    }
+
+    #[test]
+    fn call_initialises_r0() {
+        ok(Asm::new().call(5).exit());
+    }
+
+    #[test]
+    fn callee_saved_survive_calls() {
+        ok(Asm::new().mov64_imm(R6, 1).call(5).mov64(R0, R6).exit());
+    }
+
+    #[test]
+    fn merge_takes_intersection_at_join() {
+        // r2 initialised on only one path into the join: read must fail.
+        let e = err(Asm::new()
+            .jmp_imm(Cond::Eq, R1, 0, "skip")
+            .mov64_imm(R2, 5)
+            .label("skip")
+            .mov64(R0, R2)
+            .exit());
+        assert_eq!(e, VerifyError::UninitializedRegister { reg: 2, insn: 2 });
+        // Initialised on both paths: fine.
+        ok(Asm::new()
+            .jmp_imm(Cond::Eq, R1, 0, "other")
+            .mov64_imm(R2, 5)
+            .jump("join")
+            .label("other")
+            .mov64_imm(R2, 6)
+            .label("join")
+            .mov64(R0, R2)
+            .exit());
+    }
+
+    #[test]
+    fn division_by_zero_immediate_rejected() {
+        let e = err(Asm::new()
+            .mov64_imm(R0, 10)
+            .alu64_imm(crate::asm::AluOp::Div, R0, 0)
+            .exit());
+        assert_eq!(e, VerifyError::DivisionByZero(1));
+        let e = err(Asm::new()
+            .mov64_imm(R0, 10)
+            .alu64_imm(crate::asm::AluOp::Mod, R0, 0)
+            .exit());
+        assert_eq!(e, VerifyError::DivisionByZero(1));
+    }
+
+    #[test]
+    fn unknown_helper_rejected() {
+        let e = err(Asm::new().call(9999).exit());
+        assert_eq!(e, VerifyError::UnknownHelper { id: 9999, insn: 0 });
+    }
+
+    #[test]
+    fn write_to_frame_pointer_rejected() {
+        assert_eq!(
+            err(Asm::new().mov64_imm(R10, 0).exit()),
+            VerifyError::WriteToFramePointer(0)
+        );
+        assert_eq!(
+            err(Asm::new().mov64_imm(R0, 0).ldx(Size::W, R10, R1, 0).exit()),
+            VerifyError::WriteToFramePointer(1)
+        );
+    }
+
+    #[test]
+    fn stack_bounds_checked_for_fp_accesses() {
+        ok(Asm::new()
+            .mov64_imm(R0, 0)
+            .stx(Size::DW, R10, R0, -8)
+            .exit());
+        ok(Asm::new()
+            .mov64_imm(R0, 0)
+            .stx(Size::B, R10, R0, -512)
+            .exit());
+        assert!(matches!(
+            err(Asm::new()
+                .mov64_imm(R0, 0)
+                .stx(Size::DW, R10, R0, -516)
+                .exit()),
+            VerifyError::InvalidStackAccess { off: -516, .. }
+        ));
+        assert!(matches!(
+            err(Asm::new()
+                .mov64_imm(R0, 0)
+                .stx(Size::DW, R10, R0, -4)
+                .exit()),
+            VerifyError::InvalidStackAccess { off: -4, .. }
+        ));
+        assert!(matches!(
+            err(Asm::new().mov64_imm(R0, 0).st(Size::W, R10, 8, 1).exit()),
+            VerifyError::InvalidStackAccess { off: 8, .. }
+        ));
+    }
+
+    #[test]
+    fn bad_register_rejected() {
+        let insns = vec![
+            Insn::new(BPF_ALU64 | BPF_MOV | BPF_K, 11, 0, 0, 0),
+            Insn::new(BPF_JMP | BPF_EXIT, 0, 0, 0, 0),
+        ];
+        assert_eq!(
+            verify(&insns, HELPERS),
+            Err(VerifyError::BadRegister { reg: 11, insn: 0 })
+        );
+    }
+
+    #[test]
+    fn bad_opcode_rejected() {
+        let insns = vec![
+            Insn::new(0xff, 0, 0, 0, 0),
+            Insn::new(BPF_JMP | BPF_EXIT, 0, 0, 0, 0),
+        ];
+        assert!(matches!(
+            verify(&insns, HELPERS),
+            Err(VerifyError::BadOpcode {
+                opcode: 0xff,
+                insn: 0
+            })
+        ));
+    }
+
+    #[test]
+    fn unreachable_code_is_ignored() {
+        // Dead code after exit never executes; it may read anything.
+        ok(Asm::new().mov64_imm(R0, 0).exit().mov64(R0, R9).exit());
+    }
+
+    #[test]
+    fn errors_display() {
+        for e in [
+            VerifyError::Empty,
+            VerifyError::TooLong(5000),
+            VerifyError::BackwardJump(3),
+            VerifyError::UninitializedRegister { reg: 4, insn: 2 },
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

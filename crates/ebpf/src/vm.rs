@@ -1,0 +1,1348 @@
+//! The in-kernel eBPF virtual machine (interpreter).
+//!
+//! Executes verified, relocated programs against a [`TraceContext`] and a
+//! read-only packet buffer. The VM emulates the kernel's flat address
+//! space with tagged regions — context, packet, stack, and map values —
+//! every access bounds-checked at runtime (the simulator's equivalent of
+//! the kernel verifier's pointer tracking: an out-of-bounds access aborts
+//! the program, it can never touch anything else).
+//!
+//! The VM also exposes the *cost model* used to charge tracing overhead to
+//! the traced system: a fixed trampoline cost per probe firing plus a
+//! per-instruction cost, approximating a JIT-compiled program (§II: "the
+//! JIT compiling minimizes the execution overhead of the eBPF code").
+
+use crate::context::{TraceContext, CTX_SIZE};
+use crate::insn::*;
+use crate::map::{MapError, MapRegistry};
+use crate::program::LoadedProgram;
+
+/// Base of the region where `lddw`-loaded map handles live. Looks like a
+/// kernel pointer, as real map pointers do.
+pub const MAP_HANDLE_BASE: u64 = 0xffff_8800_0000_0000;
+
+const CTX_BASE: u64 = 0x0000_0000_1000_0000;
+const PKT_BASE: u64 = 0x0000_0000_2000_0000;
+const STACK_BASE: u64 = 0x0000_0000_3000_0000;
+const MAP_VAL_BASE: u64 = 0x0000_0000_4000_0000;
+const MAP_VAL_STRIDE: u64 = 1 << 20;
+
+/// Fixed cost of entering a probe (trampoline + register save), in
+/// simulated nanoseconds.
+pub const PROBE_BASE_COST_NS: u64 = 25;
+/// Cost per executed instruction, in simulated nanoseconds (JIT-compiled
+/// eBPF executes close to native speed).
+pub const COST_PER_INSN_NS: u64 = 1;
+
+/// The simulated CPU time a program execution consumes.
+pub fn execution_cost_ns(insns_executed: u64) -> u64 {
+    PROBE_BASE_COST_NS + insns_executed * COST_PER_INSN_NS
+}
+
+/// Helper function ids (matching Linux `bpf.h` numbering).
+pub mod helper_ids {
+    /// `void *bpf_map_lookup_elem(map, key)`.
+    pub const MAP_LOOKUP_ELEM: i32 = 1;
+    /// `long bpf_map_update_elem(map, key, value, flags)`.
+    pub const MAP_UPDATE_ELEM: i32 = 2;
+    /// `long bpf_map_delete_elem(map, key)`.
+    pub const MAP_DELETE_ELEM: i32 = 3;
+    /// `u64 bpf_ktime_get_ns(void)` — reads the node's CLOCK_MONOTONIC
+    /// (§III-B).
+    pub const KTIME_GET_NS: i32 = 5;
+    /// `long bpf_trace_printk(fmt, fmt_size)`.
+    pub const TRACE_PRINTK: i32 = 6;
+    /// `u32 bpf_get_prandom_u32(void)`.
+    pub const GET_PRANDOM_U32: i32 = 7;
+    /// `u32 bpf_get_smp_processor_id(void)`.
+    pub const GET_SMP_PROCESSOR_ID: i32 = 8;
+    /// `long bpf_perf_event_output(ctx, map, flags, data, size)`.
+    pub const PERF_EVENT_OUTPUT: i32 = 25;
+    /// `long bpf_skb_load_bytes(skb, offset, to, len)`.
+    pub const SKB_LOAD_BYTES: i32 = 26;
+}
+
+/// The set of helpers this VM implements (what the verifier accepts).
+pub fn standard_helpers() -> Vec<i32> {
+    use helper_ids::*;
+    vec![
+        MAP_LOOKUP_ELEM,
+        MAP_UPDATE_ELEM,
+        MAP_DELETE_ELEM,
+        KTIME_GET_NS,
+        TRACE_PRINTK,
+        GET_PRANDOM_U32,
+        GET_SMP_PROCESSOR_ID,
+        PERF_EVENT_OUTPUT,
+        SKB_LOAD_BYTES,
+    ]
+}
+
+/// Flag value for `perf_event_output` meaning "use the current CPU's
+/// ring" (`BPF_F_CURRENT_CPU`).
+pub const BPF_F_CURRENT_CPU: u64 = 0xffff_ffff;
+
+/// Host services a program execution needs.
+pub trait VmEnv {
+    /// The node's `CLOCK_MONOTONIC`, in nanoseconds.
+    fn ktime_get_ns(&mut self) -> u64;
+    /// A pseudo-random 32-bit value.
+    fn prandom_u32(&mut self) -> u32;
+    /// The CPU the program runs on.
+    fn smp_processor_id(&self) -> u32;
+    /// Receives `bpf_trace_printk` output.
+    fn trace_printk(&mut self, msg: &str) {
+        let _ = msg;
+    }
+}
+
+/// A fixed-value environment for tests and standalone use.
+#[derive(Debug, Clone, Default)]
+pub struct FixedEnv {
+    /// Value returned by `ktime_get_ns`.
+    pub time_ns: u64,
+    /// Value returned by `smp_processor_id`.
+    pub cpu: u32,
+    /// Seed for the deterministic `prandom_u32` sequence.
+    pub prandom_state: u64,
+    /// Captured `trace_printk` output.
+    pub printk: Vec<String>,
+}
+
+impl VmEnv for FixedEnv {
+    fn ktime_get_ns(&mut self) -> u64 {
+        self.time_ns
+    }
+
+    fn prandom_u32(&mut self) -> u32 {
+        // SplitMix64 step — deterministic and well distributed.
+        self.prandom_state = self.prandom_state.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.prandom_state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        (z ^ (z >> 31)) as u32
+    }
+
+    fn smp_processor_id(&self) -> u32 {
+        self.cpu
+    }
+
+    fn trace_printk(&mut self, msg: &str) {
+        self.printk.push(msg.to_owned());
+    }
+}
+
+/// Runtime errors: a misbehaving program is aborted, never allowed to
+/// touch anything outside its regions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VmError {
+    /// A load or store outside every region.
+    MemoryOutOfBounds {
+        /// Faulting address.
+        addr: u64,
+        /// Access size.
+        len: usize,
+    },
+    /// A store to a read-only region (context or packet).
+    WriteToReadOnly {
+        /// Faulting address.
+        addr: u64,
+    },
+    /// A helper received something that is not a live map handle.
+    BadMapHandle(u64),
+    /// A map operation failed structurally (sizes, bounds).
+    Map(MapError),
+    /// A call to an unimplemented helper (should be caught at verify).
+    UnknownHelper(i32),
+    /// The instruction budget was exhausted.
+    BudgetExceeded(u64),
+    /// An instruction the interpreter cannot execute (should be caught at
+    /// verify).
+    BadInstruction(usize),
+}
+
+impl core::fmt::Display for VmError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            VmError::MemoryOutOfBounds { addr, len } => {
+                write!(f, "out-of-bounds access of {len} bytes at {addr:#x}")
+            }
+            VmError::WriteToReadOnly { addr } => write!(f, "write to read-only {addr:#x}"),
+            VmError::BadMapHandle(h) => write!(f, "bad map handle {h:#x}"),
+            VmError::Map(e) => write!(f, "map operation failed: {e}"),
+            VmError::UnknownHelper(id) => write!(f, "unknown helper {id}"),
+            VmError::BudgetExceeded(n) => write!(f, "instruction budget {n} exceeded"),
+            VmError::BadInstruction(i) => write!(f, "cannot execute instruction {i}"),
+        }
+    }
+}
+
+impl std::error::Error for VmError {}
+
+impl From<MapError> for VmError {
+    fn from(e: MapError) -> Self {
+        VmError::Map(e)
+    }
+}
+
+/// Result of a program execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecOutcome {
+    /// The program's return value (`r0` at exit).
+    pub ret: u64,
+    /// Instructions executed (drives [`execution_cost_ns`]).
+    pub insns_executed: u64,
+}
+
+#[derive(Debug, Clone)]
+struct ValueSlot {
+    fd: i32,
+    key: Vec<u8>,
+    value_size: usize,
+}
+
+struct Memory<'a> {
+    ctx: [u8; CTX_SIZE],
+    pkt: &'a [u8],
+    stack: [u8; STACK_SIZE],
+    slots: Vec<ValueSlot>,
+    cpu: usize,
+}
+
+impl<'a> Memory<'a> {
+    fn new(ctx: &TraceContext, pkt: &'a [u8], cpu: usize) -> Self {
+        let ctx_bytes = ctx.to_bytes(PKT_BASE, PKT_BASE + pkt.len() as u64);
+        Memory {
+            ctx: ctx_bytes,
+            pkt,
+            stack: [0u8; STACK_SIZE],
+            slots: Vec::new(),
+            cpu,
+        }
+    }
+
+    fn alloc_slot(&mut self, fd: i32, key: Vec<u8>, value_size: usize) -> u64 {
+        self.slots.push(ValueSlot {
+            fd,
+            key,
+            value_size,
+        });
+        MAP_VAL_BASE + (self.slots.len() as u64 - 1) * MAP_VAL_STRIDE
+    }
+
+    fn read_bytes(
+        &self,
+        maps: &mut MapRegistry,
+        addr: u64,
+        len: usize,
+        out: &mut Vec<u8>,
+    ) -> Result<(), VmError> {
+        out.clear();
+        if len == 0 {
+            return Ok(());
+        }
+        let oob = VmError::MemoryOutOfBounds { addr, len };
+        if addr >= CTX_BASE && addr + len as u64 <= CTX_BASE + CTX_SIZE as u64 {
+            let s = (addr - CTX_BASE) as usize;
+            out.extend_from_slice(&self.ctx[s..s + len]);
+        } else if addr >= PKT_BASE && addr + len as u64 <= PKT_BASE + self.pkt.len() as u64 {
+            let s = (addr - PKT_BASE) as usize;
+            out.extend_from_slice(&self.pkt[s..s + len]);
+        } else if addr >= STACK_BASE && addr + len as u64 <= STACK_BASE + STACK_SIZE as u64 {
+            let s = (addr - STACK_BASE) as usize;
+            out.extend_from_slice(&self.stack[s..s + len]);
+        } else if addr >= MAP_VAL_BASE {
+            let slot_idx = ((addr - MAP_VAL_BASE) / MAP_VAL_STRIDE) as usize;
+            let off = ((addr - MAP_VAL_BASE) % MAP_VAL_STRIDE) as usize;
+            let slot = self.slots.get(slot_idx).ok_or_else(|| oob.clone())?;
+            if off + len > slot.value_size {
+                return Err(oob);
+            }
+            let map = maps.get_mut(slot.fd).ok_or(VmError::BadMapHandle(addr))?;
+            let value = map.lookup(&slot.key, self.cpu).map_err(VmError::Map)?;
+            out.extend_from_slice(&value[off..off + len]);
+        } else {
+            return Err(oob);
+        }
+        Ok(())
+    }
+
+    fn read_u64(&self, maps: &mut MapRegistry, addr: u64, len: usize) -> Result<u64, VmError> {
+        let mut buf = Vec::with_capacity(8);
+        self.read_bytes(maps, addr, len, &mut buf)?;
+        let mut b = [0u8; 8];
+        b[..len].copy_from_slice(&buf);
+        Ok(u64::from_le_bytes(b))
+    }
+
+    fn write(
+        &mut self,
+        maps: &mut MapRegistry,
+        addr: u64,
+        len: usize,
+        val: u64,
+    ) -> Result<(), VmError> {
+        let bytes = val.to_le_bytes();
+        if addr >= STACK_BASE && addr + len as u64 <= STACK_BASE + STACK_SIZE as u64 {
+            let s = (addr - STACK_BASE) as usize;
+            self.stack[s..s + len].copy_from_slice(&bytes[..len]);
+            Ok(())
+        } else if (MAP_VAL_BASE..MAP_HANDLE_BASE).contains(&addr) {
+            let slot_idx = ((addr - MAP_VAL_BASE) / MAP_VAL_STRIDE) as usize;
+            let off = ((addr - MAP_VAL_BASE) % MAP_VAL_STRIDE) as usize;
+            let slot = self
+                .slots
+                .get(slot_idx)
+                .ok_or(VmError::MemoryOutOfBounds { addr, len })?
+                .clone();
+            if off + len > slot.value_size {
+                return Err(VmError::MemoryOutOfBounds { addr, len });
+            }
+            let map = maps.get_mut(slot.fd).ok_or(VmError::BadMapHandle(addr))?;
+            let value = map.lookup(&slot.key, self.cpu).map_err(VmError::Map)?;
+            value[off..off + len].copy_from_slice(&bytes[..len]);
+            Ok(())
+        } else if (addr >= CTX_BASE && addr < CTX_BASE + CTX_SIZE as u64)
+            || (addr >= PKT_BASE && addr < PKT_BASE + self.pkt.len() as u64)
+        {
+            Err(VmError::WriteToReadOnly { addr })
+        } else {
+            Err(VmError::MemoryOutOfBounds { addr, len })
+        }
+    }
+}
+
+/// The interpreter.
+#[derive(Debug, Clone)]
+pub struct Vm {
+    budget: u64,
+}
+
+impl Default for Vm {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Vm {
+    /// Creates a VM with the default instruction budget (64 Ki — far
+    /// above any loop-free 4096-instruction program, purely a backstop).
+    pub fn new() -> Self {
+        Vm { budget: 65_536 }
+    }
+
+    /// Overrides the instruction budget.
+    pub fn with_budget(budget: u64) -> Self {
+        Vm { budget }
+    }
+
+    /// Executes `prog` over `ctx` and `packet`, using `maps` for map
+    /// helpers and `env` for host services.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`VmError`] if the program misbehaves at runtime; the
+    /// caller should detach or flag the program, as the kernel would.
+    pub fn execute(
+        &self,
+        prog: &LoadedProgram,
+        ctx: &TraceContext,
+        packet: &[u8],
+        maps: &mut MapRegistry,
+        env: &mut dyn VmEnv,
+    ) -> Result<ExecOutcome, VmError> {
+        let insns = prog.insns();
+        let mut reg = [0u64; NUM_REGS];
+        let mut mem = Memory::new(ctx, packet, env.smp_processor_id() as usize);
+        reg[1] = CTX_BASE;
+        reg[10] = STACK_BASE + STACK_SIZE as u64;
+
+        let mut pc = 0usize;
+        let mut executed: u64 = 0;
+        let mut scratch = Vec::with_capacity(64);
+
+        loop {
+            if executed >= self.budget {
+                return Err(VmError::BudgetExceeded(self.budget));
+            }
+            let insn = *insns.get(pc).ok_or(VmError::BadInstruction(pc))?;
+            executed += 1;
+            let dst = insn.dst as usize;
+            let src = insn.src as usize;
+            match insn.class() {
+                BPF_ALU64 | BPF_ALU => {
+                    let is64 = insn.class() == BPF_ALU64;
+                    let op = insn.opcode & 0xf0;
+                    if op == BPF_END {
+                        reg[dst] = match insn.imm {
+                            16 => u64::from((reg[dst] as u16).to_be()),
+                            32 => u64::from((reg[dst] as u32).to_be()),
+                            _ => reg[dst].to_be(),
+                        };
+                        pc += 1;
+                        continue;
+                    }
+                    let rhs = if insn.opcode & 0x08 == BPF_X {
+                        reg[src]
+                    } else {
+                        insn.imm as i64 as u64
+                    };
+                    let lhs = reg[dst];
+                    let val = if is64 {
+                        alu64(op, lhs, rhs)
+                    } else {
+                        u64::from(alu32(op, lhs as u32, rhs as u32))
+                    };
+                    reg[dst] = val;
+                    pc += 1;
+                }
+                BPF_LD => {
+                    // lddw: combine with next slot.
+                    let hi = insns.get(pc + 1).ok_or(VmError::BadInstruction(pc))?;
+                    reg[dst] = (insn.imm as u32 as u64) | ((hi.imm as u32 as u64) << 32);
+                    pc += 2;
+                }
+                BPF_LDX => {
+                    let size = access_size(insn.opcode);
+                    let addr = reg[src].wrapping_add(insn.off as i64 as u64);
+                    reg[dst] = mem.read_u64(maps, addr, size)?;
+                    pc += 1;
+                }
+                BPF_ST | BPF_STX => {
+                    let size = access_size(insn.opcode);
+                    let addr = reg[dst].wrapping_add(insn.off as i64 as u64);
+                    if insn.class() == BPF_STX && insn.opcode & 0xe0 == BPF_ATOMIC {
+                        // Atomic add (single-threaded VM: plain RMW).
+                        let old = mem.read_u64(maps, addr, size)?;
+                        let new = if size == 4 {
+                            u64::from((old as u32).wrapping_add(reg[src] as u32))
+                        } else {
+                            old.wrapping_add(reg[src])
+                        };
+                        mem.write(maps, addr, size, new)?;
+                        if insn.imm & BPF_FETCH != 0 {
+                            reg[src] = old;
+                        }
+                    } else {
+                        let val = if insn.class() == BPF_STX {
+                            reg[src]
+                        } else {
+                            insn.imm as i64 as u64
+                        };
+                        mem.write(maps, addr, size, val)?;
+                    }
+                    pc += 1;
+                }
+                BPF_JMP | BPF_JMP32 => {
+                    let op = insn.opcode & 0xf0;
+                    match op {
+                        BPF_EXIT => {
+                            return Ok(ExecOutcome {
+                                ret: reg[0],
+                                insns_executed: executed,
+                            })
+                        }
+                        BPF_CALL => {
+                            self.call_helper(
+                                insn.imm,
+                                &mut reg,
+                                &mut mem,
+                                maps,
+                                env,
+                                &mut scratch,
+                            )?;
+                            pc += 1;
+                        }
+                        BPF_JA => {
+                            pc = (pc as i64 + 1 + insn.off as i64) as usize;
+                        }
+                        _ => {
+                            let (lhs, rhs) = if insn.class() == BPF_JMP {
+                                (
+                                    reg[dst],
+                                    if insn.opcode & 0x08 == BPF_X {
+                                        reg[src]
+                                    } else {
+                                        insn.imm as i64 as u64
+                                    },
+                                )
+                            } else {
+                                (
+                                    u64::from(reg[dst] as u32),
+                                    if insn.opcode & 0x08 == BPF_X {
+                                        u64::from(reg[src] as u32)
+                                    } else {
+                                        u64::from(insn.imm as u32)
+                                    },
+                                )
+                            };
+                            let take = jump_taken(op, lhs, rhs, insn.class() == BPF_JMP32);
+                            pc = if take {
+                                (pc as i64 + 1 + insn.off as i64) as usize
+                            } else {
+                                pc + 1
+                            };
+                        }
+                    }
+                }
+                _ => return Err(VmError::BadInstruction(pc)),
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn call_helper(
+        &self,
+        id: i32,
+        reg: &mut [u64; NUM_REGS],
+        mem: &mut Memory<'_>,
+        maps: &mut MapRegistry,
+        env: &mut dyn VmEnv,
+        scratch: &mut Vec<u8>,
+    ) -> Result<(), VmError> {
+        use helper_ids::*;
+        let ret = match id {
+            KTIME_GET_NS => env.ktime_get_ns(),
+            GET_PRANDOM_U32 => u64::from(env.prandom_u32()),
+            GET_SMP_PROCESSOR_ID => u64::from(env.smp_processor_id()),
+            MAP_LOOKUP_ELEM => {
+                let fd = map_fd(reg[1])?;
+                let map = maps.get_mut(fd).ok_or(VmError::BadMapHandle(reg[1]))?;
+                let key_size = map.def().key_size as usize;
+                let value_size = map.def().value_size as usize;
+                mem.read_bytes(maps, reg[2], key_size, scratch)?;
+                let key = scratch.clone();
+                let map = maps.get_mut(fd).expect("fd checked");
+                match map.lookup(&key, mem.cpu) {
+                    Ok(_) => mem.alloc_slot(fd, key, value_size),
+                    Err(_) => 0,
+                }
+            }
+            MAP_UPDATE_ELEM => {
+                let fd = map_fd(reg[1])?;
+                let (key_size, value_size) = {
+                    let map = maps.get(fd).ok_or(VmError::BadMapHandle(reg[1]))?;
+                    (map.def().key_size as usize, map.def().value_size as usize)
+                };
+                mem.read_bytes(maps, reg[2], key_size, scratch)?;
+                let key = scratch.clone();
+                mem.read_bytes(maps, reg[3], value_size, scratch)?;
+                let value = scratch.clone();
+                let map = maps.get_mut(fd).expect("fd checked");
+                match map.update(&key, &value, mem.cpu) {
+                    Ok(()) => 0,
+                    Err(_) => (-1i64) as u64,
+                }
+            }
+            MAP_DELETE_ELEM => {
+                let fd = map_fd(reg[1])?;
+                let key_size = {
+                    let map = maps.get(fd).ok_or(VmError::BadMapHandle(reg[1]))?;
+                    map.def().key_size as usize
+                };
+                mem.read_bytes(maps, reg[2], key_size, scratch)?;
+                let key = scratch.clone();
+                let map = maps.get_mut(fd).expect("fd checked");
+                match map.delete(&key) {
+                    Ok(()) => 0,
+                    Err(_) => (-1i64) as u64,
+                }
+            }
+            PERF_EVENT_OUTPUT => {
+                let fd = map_fd(reg[2])?;
+                let len = reg[5] as usize;
+                mem.read_bytes(maps, reg[4], len, scratch)?;
+                let data = scratch.clone();
+                let cpu = if reg[3] == BPF_F_CURRENT_CPU {
+                    mem.cpu
+                } else {
+                    reg[3] as usize
+                };
+                let map = maps.get_mut(fd).ok_or(VmError::BadMapHandle(reg[2]))?;
+                match map.perf_output(cpu, &data) {
+                    Ok(()) => 0,
+                    Err(_) => (-1i64) as u64,
+                }
+            }
+            SKB_LOAD_BYTES => {
+                let off = reg[2] as usize;
+                let len = reg[4] as usize;
+                if off + len > mem.pkt.len() {
+                    (-1i64) as u64
+                } else {
+                    let data = mem.pkt[off..off + len].to_vec();
+                    let mut dst_addr = reg[3];
+                    for chunk in data.chunks(8) {
+                        let mut b = [0u8; 8];
+                        b[..chunk.len()].copy_from_slice(chunk);
+                        mem.write(maps, dst_addr, chunk.len(), u64::from_le_bytes(b))?;
+                        dst_addr += chunk.len() as u64;
+                    }
+                    0
+                }
+            }
+            TRACE_PRINTK => {
+                let len = (reg[2] as usize).min(512);
+                mem.read_bytes(maps, reg[1], len, scratch)?;
+                let msg = String::from_utf8_lossy(scratch).into_owned();
+                env.trace_printk(msg.trim_end_matches('\0'));
+                0
+            }
+            other => return Err(VmError::UnknownHelper(other)),
+        };
+        reg[0] = ret;
+        Ok(())
+    }
+}
+
+fn map_fd(handle: u64) -> Result<i32, VmError> {
+    if handle & MAP_HANDLE_BASE == MAP_HANDLE_BASE {
+        Ok((handle & 0xffff_ffff) as i32)
+    } else {
+        Err(VmError::BadMapHandle(handle))
+    }
+}
+
+fn access_size(opcode: u8) -> usize {
+    match opcode & 0x18 {
+        BPF_W => 4,
+        BPF_H => 2,
+        BPF_B => 1,
+        _ => 8,
+    }
+}
+
+// Divide-by-zero handling is deliberate eBPF semantics (div -> 0,
+// mod -> dst unchanged), not a checked_div candidate.
+#[allow(clippy::manual_checked_ops)]
+fn alu64(op: u8, lhs: u64, rhs: u64) -> u64 {
+    match op {
+        BPF_ADD => lhs.wrapping_add(rhs),
+        BPF_SUB => lhs.wrapping_sub(rhs),
+        BPF_MUL => lhs.wrapping_mul(rhs),
+        BPF_DIV => {
+            if rhs == 0 {
+                0
+            } else {
+                lhs / rhs
+            }
+        }
+        BPF_MOD => {
+            if rhs == 0 {
+                lhs
+            } else {
+                lhs % rhs
+            }
+        }
+        BPF_OR => lhs | rhs,
+        BPF_AND => lhs & rhs,
+        BPF_LSH => lhs.wrapping_shl(rhs as u32 & 63),
+        BPF_RSH => lhs.wrapping_shr(rhs as u32 & 63),
+        BPF_ARSH => ((lhs as i64).wrapping_shr(rhs as u32 & 63)) as u64,
+        BPF_XOR => lhs ^ rhs,
+        BPF_MOV => rhs,
+        BPF_NEG => (lhs as i64).wrapping_neg() as u64,
+        _ => unreachable!("verified ALU op"),
+    }
+}
+
+#[allow(clippy::manual_checked_ops)]
+fn alu32(op: u8, lhs: u32, rhs: u32) -> u32 {
+    match op {
+        BPF_ADD => lhs.wrapping_add(rhs),
+        BPF_SUB => lhs.wrapping_sub(rhs),
+        BPF_MUL => lhs.wrapping_mul(rhs),
+        BPF_DIV => {
+            if rhs == 0 {
+                0
+            } else {
+                lhs / rhs
+            }
+        }
+        BPF_MOD => {
+            if rhs == 0 {
+                lhs
+            } else {
+                lhs % rhs
+            }
+        }
+        BPF_OR => lhs | rhs,
+        BPF_AND => lhs & rhs,
+        BPF_LSH => lhs.wrapping_shl(rhs & 31),
+        BPF_RSH => lhs.wrapping_shr(rhs & 31),
+        BPF_ARSH => ((lhs as i32).wrapping_shr(rhs & 31)) as u32,
+        BPF_XOR => lhs ^ rhs,
+        BPF_MOV => rhs,
+        BPF_NEG => (lhs as i32).wrapping_neg() as u32,
+        _ => unreachable!("verified ALU op"),
+    }
+}
+
+fn jump_taken(op: u8, lhs: u64, rhs: u64, narrow: bool) -> bool {
+    let (slhs, srhs) = if narrow {
+        (i64::from(lhs as u32 as i32), i64::from(rhs as u32 as i32))
+    } else {
+        (lhs as i64, rhs as i64)
+    };
+    match op {
+        BPF_JEQ => lhs == rhs,
+        BPF_JNE => lhs != rhs,
+        BPF_JGT => lhs > rhs,
+        BPF_JGE => lhs >= rhs,
+        BPF_JLT => lhs < rhs,
+        BPF_JLE => lhs <= rhs,
+        BPF_JSET => lhs & rhs != 0,
+        BPF_JSGT => slhs > srhs,
+        BPF_JSGE => slhs >= srhs,
+        BPF_JSLT => slhs < srhs,
+        BPF_JSLE => slhs <= srhs,
+        _ => unreachable!("verified jump op"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::helper_ids::*;
+    use super::*;
+    use crate::asm::{reg::*, AluOp, Asm, Cond, Size};
+    use crate::context::*;
+    use crate::map::MapDef;
+    use crate::program::{load, AttachType, Program};
+
+    fn run(asm: Asm) -> u64 {
+        run_with(asm, &TraceContext::default(), &[], &mut MapRegistry::new()).ret
+    }
+
+    fn run_with(asm: Asm, ctx: &TraceContext, pkt: &[u8], maps: &mut MapRegistry) -> ExecOutcome {
+        let prog = Program::new(
+            "t",
+            AttachType::Kprobe("f".into()),
+            asm.build().expect("assembles"),
+        );
+        let loaded = load(prog, maps, &standard_helpers()).expect("loads");
+        let mut env = FixedEnv {
+            time_ns: 123_456,
+            cpu: 2,
+            ..Default::default()
+        };
+        Vm::new()
+            .execute(&loaded, ctx, pkt, maps, &mut env)
+            .expect("executes")
+    }
+
+    #[test]
+    fn arithmetic_basics() {
+        assert_eq!(
+            run(Asm::new().mov64_imm(R0, 20).add64_imm(R0, 22).exit()),
+            42
+        );
+        assert_eq!(
+            run(Asm::new()
+                .mov64_imm(R0, 7)
+                .mov64_imm(R2, 6)
+                .alu64(AluOp::Mul, R0, R2)
+                .exit()),
+            42
+        );
+        assert_eq!(
+            run(Asm::new()
+                .mov64_imm(R0, 100)
+                .alu64_imm(AluOp::Div, R0, 7)
+                .exit()),
+            14
+        );
+        assert_eq!(
+            run(Asm::new()
+                .mov64_imm(R0, 100)
+                .alu64_imm(AluOp::Mod, R0, 7)
+                .exit()),
+            2
+        );
+    }
+
+    #[test]
+    fn division_by_zero_register_yields_zero() {
+        assert_eq!(
+            run(Asm::new()
+                .mov64_imm(R0, 100)
+                .mov64_imm(R2, 0)
+                .alu64(AluOp::Div, R0, R2)
+                .exit()),
+            0
+        );
+        // Modulo by zero leaves dst unchanged (kernel semantics).
+        assert_eq!(
+            run(Asm::new()
+                .mov64_imm(R0, 100)
+                .mov64_imm(R2, 0)
+                .alu64(AluOp::Mod, R0, R2)
+                .exit()),
+            100
+        );
+    }
+
+    #[test]
+    fn negative_immediates_sign_extend() {
+        assert_eq!(run(Asm::new().mov64_imm(R0, -1).exit()), u64::MAX);
+        assert_eq!(
+            run(Asm::new().mov64_imm(R0, 5).add64_imm(R0, -6).exit()) as i64,
+            -1
+        );
+    }
+
+    #[test]
+    fn mov32_clears_upper_half() {
+        assert_eq!(run(Asm::new().mov64_imm(R0, -1).mov32_imm(R0, 7).exit()), 7);
+    }
+
+    #[test]
+    fn shifts_mask_amount() {
+        assert_eq!(
+            run(Asm::new()
+                .mov64_imm(R0, 1)
+                .alu64_imm(AluOp::Lsh, R0, 65)
+                .exit()),
+            2,
+            "shift by 65 masks to 1"
+        );
+        assert_eq!(
+            run(Asm::new()
+                .mov64_imm(R0, -8)
+                .alu64_imm(AluOp::Arsh, R0, 1)
+                .exit()) as i64,
+            -4
+        );
+    }
+
+    #[test]
+    fn endianness_conversion() {
+        assert_eq!(
+            run(Asm::new().mov64_imm(R0, 0x1234).be16(R0).exit()),
+            0x3412
+        );
+        assert_eq!(
+            run(Asm::new().mov64_imm(R0, 0x12345678).be32(R0).exit()),
+            0x78563412
+        );
+    }
+
+    #[test]
+    fn stack_store_load_round_trip() {
+        let v = run(Asm::new()
+            .mov64_imm(R2, 0x55aa)
+            .stx(Size::DW, R10, R2, -8)
+            .ldx(Size::DW, R0, R10, -8)
+            .exit());
+        assert_eq!(v, 0x55aa);
+        // Byte-granular access of the same slot.
+        let v = run(Asm::new()
+            .mov64_imm(R2, 0x55aa)
+            .stx(Size::DW, R10, R2, -8)
+            .ldx(Size::B, R0, R10, -8)
+            .exit());
+        assert_eq!(v, 0xaa);
+    }
+
+    #[test]
+    fn context_fields_readable() {
+        let ctx = TraceContext {
+            timestamp_ns: 999,
+            pkt_len: 77,
+            cpu: 3,
+            node: 2,
+            device: 5,
+            direction: 1,
+        };
+        let out = run_with(
+            Asm::new().ldx(Size::W, R0, R1, CTX_OFF_PKT_LEN).exit(),
+            &ctx,
+            &[0u8; 77],
+            &mut MapRegistry::new(),
+        );
+        assert_eq!(out.ret, 77);
+        let out = run_with(
+            Asm::new().ldx(Size::DW, R0, R1, CTX_OFF_TIMESTAMP).exit(),
+            &ctx,
+            &[],
+            &mut MapRegistry::new(),
+        );
+        assert_eq!(out.ret, 999);
+    }
+
+    #[test]
+    fn packet_bytes_readable_through_data_pointer() {
+        let pkt = [0xde, 0xad, 0xbe, 0xef, 0x01, 0x02];
+        let out = run_with(
+            Asm::new()
+                .ldx(Size::DW, R2, R1, CTX_OFF_DATA)
+                .ldx(Size::B, R0, R2, 3)
+                .exit(),
+            &TraceContext::default(),
+            &pkt,
+            &mut MapRegistry::new(),
+        );
+        assert_eq!(out.ret, 0xef);
+    }
+
+    #[test]
+    fn packet_read_past_end_aborts() {
+        let prog = Program::new(
+            "t",
+            AttachType::Kprobe("f".into()),
+            Asm::new()
+                .ldx(Size::DW, R2, R1, CTX_OFF_DATA)
+                .ldx(Size::W, R0, R2, 10)
+                .exit()
+                .build()
+                .unwrap(),
+        );
+        let mut maps = MapRegistry::new();
+        let loaded = load(prog, &maps, &standard_helpers()).unwrap();
+        let mut env = FixedEnv::default();
+        let err = Vm::new()
+            .execute(
+                &loaded,
+                &TraceContext::default(),
+                &[0u8; 8],
+                &mut maps,
+                &mut env,
+            )
+            .unwrap_err();
+        assert!(matches!(err, VmError::MemoryOutOfBounds { .. }));
+    }
+
+    #[test]
+    fn writes_to_packet_and_ctx_rejected() {
+        let mut maps = MapRegistry::new();
+        for asm in [
+            Asm::new()
+                .mov64_imm(R2, 1)
+                .stx(Size::B, R1, R2, 0)
+                .mov64_imm(R0, 0)
+                .exit(),
+            Asm::new()
+                .ldx(Size::DW, R3, R1, CTX_OFF_DATA)
+                .mov64_imm(R2, 1)
+                .stx(Size::B, R3, R2, 0)
+                .mov64_imm(R0, 0)
+                .exit(),
+        ] {
+            let prog = Program::new("t", AttachType::Kprobe("f".into()), asm.build().unwrap());
+            let loaded = load(prog, &maps, &standard_helpers()).unwrap();
+            let mut env = FixedEnv::default();
+            let err = Vm::new()
+                .execute(
+                    &loaded,
+                    &TraceContext::default(),
+                    &[0u8; 16],
+                    &mut maps,
+                    &mut env,
+                )
+                .unwrap_err();
+            assert!(
+                matches!(err, VmError::WriteToReadOnly { .. }),
+                "got {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn ktime_helper_reads_env_clock() {
+        let out = run(Asm::new().call(KTIME_GET_NS).exit());
+        assert_eq!(out, 123_456);
+    }
+
+    #[test]
+    fn smp_processor_id_helper() {
+        assert_eq!(run(Asm::new().call(GET_SMP_PROCESSOR_ID).exit()), 2);
+    }
+
+    #[test]
+    fn prandom_helper_changes() {
+        // Two calls give different values.
+        let out = run(Asm::new()
+            .call(GET_PRANDOM_U32)
+            .mov64(R6, R0)
+            .call(GET_PRANDOM_U32)
+            .sub64(R0, R6)
+            .exit());
+        assert_ne!(out, 0);
+    }
+
+    #[test]
+    fn map_update_lookup_through_helpers() {
+        let mut maps = MapRegistry::new();
+        let fd = maps.create(MapDef::hash(4, 8, 16), 1).unwrap();
+        // key = 7 on stack, value = 99 on stack; update then lookup and
+        // load the value back.
+        let asm = Asm::new()
+            .st(Size::W, R10, -4, 7) // key
+            .mov64_imm(R2, 99)
+            .stx(Size::DW, R10, R2, -16) // value
+            .ld_map_fd(R1, fd)
+            .mov64(R2, R10)
+            .add64_imm(R2, -4)
+            .mov64(R3, R10)
+            .add64_imm(R3, -16)
+            .mov64_imm(R4, 0)
+            .call(MAP_UPDATE_ELEM)
+            .ld_map_fd(R1, fd)
+            .mov64(R2, R10)
+            .add64_imm(R2, -4)
+            .call(MAP_LOOKUP_ELEM)
+            .jmp_imm(Cond::Ne, R0, 0, "found")
+            .mov64_imm(R0, 0)
+            .exit()
+            .label("found")
+            .ldx(Size::DW, R0, R0, 0)
+            .exit();
+        let out = run_with(asm, &TraceContext::default(), &[], &mut maps);
+        assert_eq!(out.ret, 99);
+        // The value is also visible from the host side.
+        let map = maps.get_mut(fd).unwrap();
+        assert_eq!(
+            map.lookup(&7u32.to_le_bytes(), 0).unwrap(),
+            &99u64.to_le_bytes()
+        );
+    }
+
+    #[test]
+    fn in_place_counter_increment_via_lookup_pointer() {
+        let mut maps = MapRegistry::new();
+        let fd = maps.create(MapDef::array(8, 1), 1).unwrap();
+        let asm = || {
+            Asm::new()
+                .st(Size::W, R10, -4, 0)
+                .ld_map_fd(R1, fd)
+                .mov64(R2, R10)
+                .add64_imm(R2, -4)
+                .call(MAP_LOOKUP_ELEM)
+                .jmp_imm(Cond::Ne, R0, 0, "found")
+                .mov64_imm(R0, 0)
+                .exit()
+                .label("found")
+                .ldx(Size::DW, R2, R0, 0)
+                .add64_imm(R2, 1)
+                .stx(Size::DW, R0, R2, 0)
+                .mov64(R0, R2)
+                .exit()
+        };
+        for expected in 1..=3u64 {
+            let out = run_with(asm(), &TraceContext::default(), &[], &mut maps);
+            assert_eq!(out.ret, expected);
+        }
+    }
+
+    #[test]
+    fn map_lookup_missing_key_returns_null() {
+        let mut maps = MapRegistry::new();
+        let fd = maps.create(MapDef::hash(4, 8, 16), 1).unwrap();
+        let asm = Asm::new()
+            .st(Size::W, R10, -4, 42)
+            .ld_map_fd(R1, fd)
+            .mov64(R2, R10)
+            .add64_imm(R2, -4)
+            .call(MAP_LOOKUP_ELEM)
+            .exit();
+        assert_eq!(
+            run_with(asm, &TraceContext::default(), &[], &mut maps).ret,
+            0
+        );
+    }
+
+    #[test]
+    fn perf_event_output_streams_records() {
+        let mut maps = MapRegistry::new();
+        let perf_fd = maps.create(MapDef::perf(4096), 4).unwrap();
+        let asm = Asm::new()
+            .mov64_imm(R2, 0xabcd)
+            .stx(Size::DW, R10, R2, -8)
+            .mov64(R4, R10)
+            .add64_imm(R4, -8)
+            .ld_map_fd(R2, perf_fd)
+            .mov64_imm(R3, -1) // BPF_F_CURRENT_CPU
+            .mov32_imm(R3, 0xffffffffu32 as i32)
+            .mov64_imm(R5, 8)
+            .call(PERF_EVENT_OUTPUT)
+            .exit();
+        let out = run_with(asm, &TraceContext::default(), &[], &mut maps);
+        assert_eq!(out.ret, 0);
+        // FixedEnv cpu = 2.
+        let records = maps.get_mut(perf_fd).unwrap().perf_drain(2);
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0], 0xabcdu64.to_le_bytes());
+    }
+
+    #[test]
+    fn skb_load_bytes_copies_packet_to_stack() {
+        let pkt: Vec<u8> = (0..32).collect();
+        let asm = Asm::new()
+            .mov64_imm(R2, 10) // offset
+            .mov64(R3, R10)
+            .add64_imm(R3, -16) // dst
+            .mov64_imm(R4, 4) // len
+            .call(SKB_LOAD_BYTES)
+            .ldx(Size::W, R0, R10, -16)
+            .exit();
+        let out = run_with(asm, &TraceContext::default(), &pkt, &mut MapRegistry::new());
+        assert_eq!(out.ret, u32::from_le_bytes([10, 11, 12, 13]) as u64);
+    }
+
+    #[test]
+    fn skb_load_bytes_oob_returns_error_code() {
+        let asm = Asm::new()
+            .mov64_imm(R2, 100)
+            .mov64(R3, R10)
+            .add64_imm(R3, -8)
+            .mov64_imm(R4, 4)
+            .call(SKB_LOAD_BYTES)
+            .exit();
+        let out = run_with(
+            asm,
+            &TraceContext::default(),
+            &[0u8; 8],
+            &mut MapRegistry::new(),
+        );
+        assert_eq!(out.ret as i64, -1);
+    }
+
+    #[test]
+    fn trace_printk_reaches_env() {
+        let msg = b"hi\0";
+        let mut maps = MapRegistry::new();
+        let asm = Asm::new()
+            .mov64_imm(R2, i32::from_le_bytes([msg[0], msg[1], msg[2], 0]))
+            .stx(Size::W, R10, R2, -8)
+            .mov64(R1, R10)
+            .add64_imm(R1, -8)
+            .mov64_imm(R2, 3)
+            .call(TRACE_PRINTK)
+            .exit();
+        let prog = Program::new("t", AttachType::Kprobe("f".into()), asm.build().unwrap());
+        let loaded = load(prog, &maps, &standard_helpers()).unwrap();
+        let mut env = FixedEnv::default();
+        Vm::new()
+            .execute(&loaded, &TraceContext::default(), &[], &mut maps, &mut env)
+            .unwrap();
+        assert_eq!(env.printk, vec!["hi".to_owned()]);
+    }
+
+    #[test]
+    fn jmp32_uses_narrow_comparison() {
+        // r2 = 0x1_0000_0001; 32-bit view is 1.
+        let asm = Asm::new()
+            .lddw(R2, 0x1_0000_0001)
+            .jmp32_imm(Cond::Eq, R2, 1, "yes")
+            .mov64_imm(R0, 0)
+            .exit()
+            .label("yes")
+            .mov64_imm(R0, 1)
+            .exit();
+        assert_eq!(run(asm), 1);
+    }
+
+    #[test]
+    fn signed_comparisons() {
+        let asm = Asm::new()
+            .mov64_imm(R2, -5)
+            .jmp_imm(Cond::SLt, R2, 0, "neg")
+            .mov64_imm(R0, 0)
+            .exit()
+            .label("neg")
+            .mov64_imm(R0, 1)
+            .exit();
+        assert_eq!(run(asm), 1);
+        // Unsigned comparison sees -5 as huge.
+        let asm = Asm::new()
+            .mov64_imm(R2, -5)
+            .jmp_imm(Cond::Gt, R2, 100, "big")
+            .mov64_imm(R0, 0)
+            .exit()
+            .label("big")
+            .mov64_imm(R0, 1)
+            .exit();
+        assert_eq!(run(asm), 1);
+    }
+
+    #[test]
+    fn insns_executed_counted() {
+        let out = run_with(
+            Asm::new().mov64_imm(R0, 0).add64_imm(R0, 1).exit(),
+            &TraceContext::default(),
+            &[],
+            &mut MapRegistry::new(),
+        );
+        assert_eq!(out.insns_executed, 3);
+        assert_eq!(
+            execution_cost_ns(out.insns_executed),
+            PROBE_BASE_COST_NS + 3
+        );
+    }
+
+    #[test]
+    fn lddw_counts_as_one_instruction() {
+        let out = run_with(
+            Asm::new().lddw(R0, 1).exit(),
+            &TraceContext::default(),
+            &[],
+            &mut MapRegistry::new(),
+        );
+        assert_eq!(out.insns_executed, 2);
+    }
+}
+
+#[cfg(test)]
+mod atomic_tests {
+    use super::*;
+    use crate::asm::{reg::*, Asm, Size};
+    use crate::context::TraceContext;
+    use crate::map::{MapDef, MapRegistry};
+    use crate::program::{load, AttachType, Program};
+
+    fn run(asm: Asm, maps: &mut MapRegistry) -> u64 {
+        let prog = Program::new("t", AttachType::Kprobe("f".into()), asm.build().unwrap());
+        let loaded = load(prog, maps, &standard_helpers()).unwrap();
+        let mut env = FixedEnv::default();
+        Vm::new()
+            .execute(&loaded, &TraceContext::default(), &[], maps, &mut env)
+            .unwrap()
+            .ret
+    }
+
+    #[test]
+    fn atomic_add_on_stack() {
+        let v = run(
+            Asm::new()
+                .mov64_imm(R1, 40)
+                .stx(Size::DW, R10, R1, -8)
+                .mov64_imm(R2, 2)
+                .atomic_add(Size::DW, R10, R2, -8)
+                .ldx(Size::DW, R0, R10, -8)
+                .exit(),
+            &mut MapRegistry::new(),
+        );
+        assert_eq!(v, 42);
+    }
+
+    #[test]
+    fn atomic_fetch_add_returns_old_value() {
+        let v = run(
+            Asm::new()
+                .mov64_imm(R1, 7)
+                .stx(Size::DW, R10, R1, -8)
+                .mov64_imm(R2, 100)
+                .atomic_fetch_add(Size::DW, R10, R2, -8)
+                .mov64(R0, R2) // old value
+                .ldx(Size::DW, R3, R10, -8)
+                .add64(R0, R3) // old + new = 7 + 107
+                .exit(),
+            &mut MapRegistry::new(),
+        );
+        assert_eq!(v, 7 + 107);
+    }
+
+    #[test]
+    fn atomic_add_on_map_value() {
+        // The canonical eBPF counter: lookup then atomic add in place.
+        let mut maps = MapRegistry::new();
+        let fd = maps.create(MapDef::array(8, 1), 1).unwrap();
+        let asm = || {
+            Asm::new()
+                .st(Size::W, R10, -4, 0)
+                .ld_map_fd(R1, fd)
+                .mov64(R2, R10)
+                .add64_imm(R2, -4)
+                .call(helper_ids::MAP_LOOKUP_ELEM)
+                .jmp_imm(crate::asm::Cond::Eq, R0, 0, "miss")
+                .mov64_imm(R2, 5)
+                .atomic_add(Size::DW, R0, R2, 0)
+                .mov64_imm(R0, 1)
+                .exit()
+                .label("miss")
+                .mov64_imm(R0, 0)
+                .exit()
+        };
+        for _ in 0..3 {
+            assert_eq!(run(asm(), &mut maps), 1);
+        }
+        let map = maps.get_mut(fd).unwrap();
+        let v = u64::from_le_bytes(
+            map.lookup(&0u32.to_le_bytes(), 0)
+                .unwrap()
+                .try_into()
+                .unwrap(),
+        );
+        assert_eq!(v, 15);
+    }
+
+    #[test]
+    fn atomic_add_32bit_wraps_in_word() {
+        let v = run(
+            Asm::new()
+                .mov64_imm(R1, -1) // 0xffff_ffff in the low word
+                .stx(Size::W, R10, R1, -8)
+                .mov64_imm(R2, 1)
+                .atomic_add(Size::W, R10, R2, -8)
+                .ldx(Size::W, R0, R10, -8)
+                .exit(),
+            &mut MapRegistry::new(),
+        );
+        assert_eq!(v, 0, "32-bit wraparound");
+    }
+
+    #[test]
+    fn verifier_rejects_atomic_on_bytes_and_unknown_ops() {
+        use crate::insn::*;
+        // 1-byte atomic.
+        let insns = vec![
+            Insn::new(BPF_ALU64 | BPF_MOV | BPF_K, 1, 0, 0, 0),
+            Insn::new(BPF_STX | BPF_ATOMIC | BPF_B, 10, 1, -8, BPF_ADD as i32),
+            Insn::new(BPF_ALU64 | BPF_MOV | BPF_K, 0, 0, 0, 0),
+            Insn::new(BPF_JMP | BPF_EXIT, 0, 0, 0, 0),
+        ];
+        assert!(crate::verify(&insns, &standard_helpers()).is_err());
+        // Unknown atomic op (XOR not implemented).
+        let insns = vec![
+            Insn::new(BPF_ALU64 | BPF_MOV | BPF_K, 1, 0, 0, 0),
+            Insn::new(BPF_STX | BPF_ATOMIC | BPF_DW, 10, 1, -8, BPF_XOR as i32),
+            Insn::new(BPF_ALU64 | BPF_MOV | BPF_K, 0, 0, 0, 0),
+            Insn::new(BPF_JMP | BPF_EXIT, 0, 0, 0, 0),
+        ];
+        assert!(crate::verify(&insns, &standard_helpers()).is_err());
+    }
+
+    #[test]
+    fn fetch_initialises_src_for_dataflow() {
+        // After a fetch-add, src holds the old value and may be read even
+        // if it was clobbered conceptually.
+        let v = run(
+            Asm::new()
+                .mov64_imm(R1, 3)
+                .stx(Size::DW, R10, R1, -8)
+                .mov64_imm(R2, 4)
+                .atomic_fetch_add(Size::DW, R10, R2, -8)
+                .mov64(R0, R2)
+                .exit(),
+            &mut MapRegistry::new(),
+        );
+        assert_eq!(v, 3);
+    }
+
+    #[test]
+    fn disasm_renders_atomics() {
+        let insns = Asm::new()
+            .mov64_imm(R1, 0)
+            .atomic_add(Size::DW, R10, R1, -8)
+            .atomic_fetch_add(Size::W, R10, R1, -16)
+            .mov64_imm(R0, 0)
+            .exit()
+            .build()
+            .unwrap();
+        let listing = crate::disassemble(&insns);
+        assert!(
+            listing[1].contains("lock *(u64 *)(r10 -8) += r1"),
+            "{listing:?}"
+        );
+        assert!(listing[2].contains("atomic_fetch_add"), "{listing:?}");
+    }
+}

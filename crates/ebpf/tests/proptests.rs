@@ -1,0 +1,126 @@
+//! Property-based tests for the eBPF toolchain: the verifier is total,
+//! verified programs terminate, and the interpreter respects its sandbox.
+
+use proptest::prelude::*;
+use vnet_ebpf::asm::{reg::*, AluOp, Asm};
+use vnet_ebpf::context::TraceContext;
+use vnet_ebpf::insn::{decode_program, encode_program, Insn};
+use vnet_ebpf::map::MapRegistry;
+use vnet_ebpf::program::{load, AttachType, Program};
+use vnet_ebpf::verifier::verify;
+use vnet_ebpf::vm::{standard_helpers, FixedEnv, Vm};
+
+prop_compose! {
+    fn arb_insn()(opcode in any::<u8>(), dst in 0u8..16, src in 0u8..16, off in any::<i16>(), imm in any::<i32>()) -> Insn {
+        Insn { opcode, dst, src, off, imm }
+    }
+}
+
+// A random straight-line ALU program over initialised registers, always
+// ending in exit. Every such program must verify and execute.
+prop_compose! {
+    fn arb_alu_program()(ops in proptest::collection::vec((0usize..8, 0u8..5, any::<i32>()), 1..64)) -> Vec<Insn> {
+        let mut asm = Asm::new();
+        // Initialise r0..r4.
+        for r in 0..5u8 {
+            asm = asm.mov64_imm(r, i32::from(r) + 1);
+        }
+        for (op, reg, imm) in ops {
+            let alu = [AluOp::Add, AluOp::Sub, AluOp::Mul, AluOp::Or, AluOp::And,
+                       AluOp::Xor, AluOp::Lsh, AluOp::Rsh][op];
+            // Shift amounts are masked by the VM; immediates are safe.
+            asm = asm.alu64_imm(alu, reg, imm);
+        }
+        asm.exit().build().expect("assembles")
+    }
+}
+
+proptest! {
+    /// The verifier never panics, whatever bytes it is fed.
+    #[test]
+    fn verifier_total_on_garbage(insns in proptest::collection::vec(arb_insn(), 0..128)) {
+        let _ = verify(&insns, &standard_helpers()); // must not panic
+    }
+
+    /// Instruction encode/decode round-trips (dst/src restricted to the
+    /// 4-bit fields they occupy).
+    #[test]
+    fn insn_encoding_round_trip(mut insns in proptest::collection::vec(arb_insn(), 0..64)) {
+        for i in &mut insns {
+            i.dst &= 0x0f;
+            i.src &= 0x0f;
+        }
+        let bytes = encode_program(&insns);
+        prop_assert_eq!(decode_program(&bytes).unwrap(), insns);
+    }
+
+    /// Random straight-line ALU programs verify, load, terminate within
+    /// the budget, and never touch memory.
+    #[test]
+    fn random_alu_programs_execute(insns in arb_alu_program()) {
+        let maps = MapRegistry::new();
+        let prog = Program::new("p", AttachType::Kprobe("f".into()), insns);
+        let loaded = load(prog, &maps, &standard_helpers()).expect("verifies");
+        let mut maps = MapRegistry::new();
+        let mut env = FixedEnv::default();
+        let out = Vm::new()
+            .execute(&loaded, &TraceContext::default(), &[], &mut maps, &mut env)
+            .expect("executes");
+        prop_assert!(out.insns_executed <= 4096 + 6);
+    }
+
+    /// A verified program's execution is deterministic.
+    #[test]
+    fn execution_deterministic(insns in arb_alu_program()) {
+        let maps = MapRegistry::new();
+        let prog = Program::new("p", AttachType::Kprobe("f".into()), insns);
+        let loaded = load(prog, &maps, &standard_helpers()).unwrap();
+        let run = || {
+            let mut maps = MapRegistry::new();
+            let mut env = FixedEnv::default();
+            Vm::new()
+                .execute(&loaded, &TraceContext::default(), &[], &mut maps, &mut env)
+                .unwrap()
+                .ret
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    /// Whatever a program computes as an address, loads through it either
+    /// succeed inside a region or abort cleanly — never panic.
+    #[test]
+    fn wild_loads_abort_cleanly(addr in any::<i32>(), pkt_len in 0usize..64) {
+        let insns = Asm::new()
+            .mov64_imm(R2, addr)
+            .ldx(vnet_ebpf::asm::Size::DW, R0, R2, 0)
+            .exit()
+            .build()
+            .unwrap();
+        let maps = MapRegistry::new();
+        let prog = Program::new("p", AttachType::Kprobe("f".into()), insns);
+        let loaded = load(prog, &maps, &standard_helpers()).unwrap();
+        let mut maps = MapRegistry::new();
+        let mut env = FixedEnv::default();
+        let pkt = vec![0u8; pkt_len];
+        let _ = Vm::new().execute(&loaded, &TraceContext::default(), &pkt, &mut maps, &mut env);
+    }
+
+    /// Perf buffers never deliver more bytes than their capacity between
+    /// drains, and account every overflow as lost.
+    #[test]
+    fn perf_buffer_conservation(
+        sizes in proptest::collection::vec(1usize..128, 1..64),
+        cap in 32u32..4096,
+    ) {
+        let mut map = vnet_ebpf::map::Map::new(vnet_ebpf::map::MapDef::perf(cap), 1).unwrap();
+        let mut pushed = 0usize;
+        for s in &sizes {
+            map.perf_output(0, &vec![0u8; *s]).unwrap();
+            pushed += 1;
+        }
+        let drained = map.perf_drain(0);
+        let drained_bytes: usize = drained.iter().map(Vec::len).sum();
+        prop_assert!(drained_bytes <= cap as usize);
+        prop_assert_eq!(drained.len() as u64 + map.perf_lost(0), pushed as u64);
+    }
+}

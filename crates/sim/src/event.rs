@@ -1,0 +1,177 @@
+//! The discrete-event queue.
+//!
+//! Events at equal timestamps are delivered in insertion order (a strictly
+//! increasing sequence number breaks ties), which together with the seeded
+//! RNG makes every simulation run bit-for-bit reproducible.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::ids::{AppId, CpuId, DeviceId, NodeId};
+use crate::packet::Packet;
+use crate::time::SimTime;
+
+/// A scheduled simulation event.
+#[derive(Debug)]
+pub enum Event {
+    /// A packet arrives at a device's ingress.
+    Arrive {
+        /// Receiving device.
+        dev: DeviceId,
+        /// Upstream device it came from (`None` for app injection).
+        from: Option<DeviceId>,
+        /// The packet.
+        pkt: Packet,
+    },
+    /// A device (with its own server) begins serving its head-of-line
+    /// packet.
+    StartService {
+        /// The device.
+        dev: DeviceId,
+    },
+    /// A device finishes serving the packet in service.
+    FinishService {
+        /// The device.
+        dev: DeviceId,
+    },
+    /// A CPU's softirq context begins serving the next queued item.
+    SoftirqStart {
+        /// Node owning the CPU.
+        node: NodeId,
+        /// The CPU.
+        cpu: CpuId,
+    },
+    /// A CPU's softirq context finishes serving an item for `dev`.
+    SoftirqFinish {
+        /// Node owning the CPU.
+        node: NodeId,
+        /// The CPU.
+        cpu: CpuId,
+        /// Device whose packet was served.
+        dev: DeviceId,
+    },
+    /// An application timer fires.
+    AppTimer {
+        /// The application.
+        app: AppId,
+        /// Caller-chosen tag distinguishing timers.
+        tag: u64,
+    },
+}
+
+#[derive(Debug)]
+struct Entry {
+    at: SimTime,
+    seq: u64,
+    event: Event,
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Entry {}
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// A time-ordered event queue with deterministic tie-breaking.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Reverse<Entry>>,
+    seq: u64,
+}
+
+impl EventQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules `event` at time `at`.
+    pub fn push(&mut self, at: SimTime, event: Event) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse(Entry { at, seq, event }));
+    }
+
+    /// Removes and returns the earliest event, if any.
+    pub fn pop(&mut self) -> Option<(SimTime, Event)> {
+        self.heap.pop().map(|Reverse(e)| (e.at, e.event))
+    }
+
+    /// The timestamp of the earliest pending event.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|Reverse(e)| e.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn timer(tag: u64) -> Event {
+        Event::AppTimer { app: AppId(0), tag }
+    }
+
+    fn tag_of(e: Event) -> u64 {
+        match e {
+            Event::AppTimer { tag, .. } => tag,
+            other => panic!("unexpected event {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_nanos(30), timer(3));
+        q.push(SimTime::from_nanos(10), timer(1));
+        q.push(SimTime::from_nanos(20), timer(2));
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|(_, e)| tag_of(e))
+            .collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn equal_times_pop_in_insertion_order() {
+        let mut q = EventQueue::new();
+        for tag in 0..100 {
+            q.push(SimTime::from_nanos(5), timer(tag));
+        }
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|(_, e)| tag_of(e))
+            .collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn peek_and_len() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        q.push(SimTime::from_nanos(7), timer(0));
+        assert_eq!(q.peek_time(), Some(SimTime::from_nanos(7)));
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert!(q.is_empty());
+    }
+}

@@ -1,0 +1,295 @@
+//! Frame construction and VXLAN encapsulation.
+
+use std::net::Ipv4Addr;
+
+use super::ethernet::{EtherType, EthernetHeader, MacAddr};
+use super::ipv4::{IpProtocol, Ipv4Header, IPV4_HEADER_LEN};
+use super::tcp::{TcpFlags, TcpHeader, TcpOption};
+use super::udp::{UdpHeader, UDP_HEADER_LEN};
+use super::vxlan::{VxlanHeader, VXLAN_UDP_PORT};
+use super::{FlowKey, Packet, ParseError};
+
+/// Builds well-formed frames for injection into the simulator.
+///
+/// # Examples
+///
+/// ```
+/// use vnet_sim::packet::{PacketBuilder, FlowKey, TcpFlags};
+///
+/// let flow = FlowKey::tcp("10.0.0.1:4000".parse().unwrap(), "10.0.0.2:80".parse().unwrap());
+/// let pkt = PacketBuilder::tcp(flow, 1, 0, TcpFlags::ACK, vec![0u8; 100]).build();
+/// assert!(pkt.parse().is_ok());
+/// ```
+#[derive(Debug, Clone)]
+pub struct PacketBuilder {
+    flow: FlowKey,
+    src_mac: MacAddr,
+    dst_mac: MacAddr,
+    ttl: u8,
+    identification: u16,
+    tcp: Option<TcpPart>,
+    payload: Vec<u8>,
+}
+
+#[derive(Debug, Clone)]
+struct TcpPart {
+    seq: u32,
+    ack: u32,
+    flags: TcpFlags,
+    options: Vec<TcpOption>,
+}
+
+impl PacketBuilder {
+    /// Starts a UDP datagram for `flow` carrying `payload`.
+    pub fn udp(flow: FlowKey, payload: Vec<u8>) -> Self {
+        debug_assert_eq!(flow.protocol.as_u8(), 17, "udp() requires a UDP flow");
+        PacketBuilder {
+            flow,
+            src_mac: MacAddr::from_index(1),
+            dst_mac: MacAddr::from_index(2),
+            ttl: 64,
+            identification: 0,
+            tcp: None,
+            payload,
+        }
+    }
+
+    /// Starts a TCP segment for `flow` carrying `payload`.
+    pub fn tcp(flow: FlowKey, seq: u32, ack: u32, flags: TcpFlags, payload: Vec<u8>) -> Self {
+        debug_assert_eq!(flow.protocol.as_u8(), 6, "tcp() requires a TCP flow");
+        PacketBuilder {
+            flow,
+            src_mac: MacAddr::from_index(1),
+            dst_mac: MacAddr::from_index(2),
+            ttl: 64,
+            identification: 0,
+            tcp: Some(TcpPart {
+                seq,
+                ack,
+                flags,
+                options: Vec::new(),
+            }),
+            payload,
+        }
+    }
+
+    /// Sets the Ethernet source and destination addresses.
+    pub fn macs(mut self, src: MacAddr, dst: MacAddr) -> Self {
+        self.src_mac = src;
+        self.dst_mac = dst;
+        self
+    }
+
+    /// Sets the IP TTL (default 64).
+    pub fn ttl(mut self, ttl: u8) -> Self {
+        self.ttl = ttl;
+        self
+    }
+
+    /// Sets the IP identification field.
+    pub fn identification(mut self, id: u16) -> Self {
+        self.identification = id;
+        self
+    }
+
+    /// Appends a TCP option (TCP frames only).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the builder was created with [`PacketBuilder::udp`].
+    pub fn tcp_option(mut self, option: TcpOption) -> Self {
+        self.tcp
+            .as_mut()
+            .expect("tcp_option on a UDP builder")
+            .options
+            .push(option);
+        self
+    }
+
+    /// Encodes the frame.
+    pub fn build(&self) -> Packet {
+        let mut transport = Vec::new();
+        match &self.tcp {
+            Some(t) => {
+                let hdr = TcpHeader {
+                    src_port: self.flow.src_port,
+                    dst_port: self.flow.dst_port,
+                    seq: t.seq,
+                    ack: t.ack,
+                    flags: t.flags,
+                    window: 65535,
+                    checksum: 0,
+                    options: t.options.clone(),
+                };
+                hdr.encode(&mut transport);
+            }
+            None => {
+                let hdr = UdpHeader {
+                    src_port: self.flow.src_port,
+                    dst_port: self.flow.dst_port,
+                    length: (UDP_HEADER_LEN + self.payload.len()) as u16,
+                    checksum: 0,
+                };
+                hdr.encode(&mut transport);
+            }
+        }
+        let total_len = (IPV4_HEADER_LEN + transport.len() + self.payload.len()) as u16;
+        let ip = Ipv4Header {
+            tos: 0,
+            total_len,
+            identification: self.identification,
+            ttl: self.ttl,
+            protocol: self.flow.protocol,
+            src: self.flow.src_ip,
+            dst: self.flow.dst_ip,
+        };
+        let eth = EthernetHeader {
+            dst: self.dst_mac,
+            src: self.src_mac,
+            ethertype: EtherType::Ipv4,
+        };
+        let mut frame = Vec::with_capacity(14 + total_len as usize);
+        eth.encode(&mut frame);
+        ip.encode(&mut frame);
+        frame.extend_from_slice(&transport);
+        frame.extend_from_slice(&self.payload);
+        Packet::from_bytes(&frame[..])
+    }
+}
+
+/// Wraps `inner` in a VXLAN/UDP/IPv4/Ethernet envelope between `src` and
+/// `dst` underlay endpoints, as the overlay network's `flannel`/`vxlan`
+/// devices do.
+pub fn vxlan_encapsulate(
+    inner: &Packet,
+    vni: u32,
+    src: Ipv4Addr,
+    dst: Ipv4Addr,
+    src_port: u16,
+) -> Packet {
+    let mut payload = Vec::with_capacity(8 + inner.len());
+    VxlanHeader::new(vni).encode(&mut payload);
+    payload.extend_from_slice(inner.bytes());
+    let flow = FlowKey {
+        src_ip: src,
+        dst_ip: dst,
+        src_port,
+        dst_port: VXLAN_UDP_PORT,
+        protocol: IpProtocol::Udp,
+    };
+    let mut outer = PacketBuilder::udp(flow, payload).build();
+    outer.set_uid(inner.uid());
+    outer
+}
+
+/// Unwraps a VXLAN-encapsulated frame, returning the VNI and inner packet.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] if the frame is not a well-formed VXLAN frame.
+pub fn vxlan_decapsulate(outer: &Packet) -> Result<(u32, Packet), ParseError> {
+    let parsed = outer.parse()?;
+    let (hdr, _) = parsed.vxlan()?.ok_or(ParseError::BadVxlan)?;
+    let inner_bytes = &parsed.payload[super::vxlan::VXLAN_HEADER_LEN..];
+    let mut inner = Packet::from_bytes(inner_bytes);
+    inner.set_uid(outer.uid());
+    Ok((hdr.vni, inner))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::SocketAddrV4Ext;
+    use super::*;
+    use std::net::SocketAddrV4;
+
+    fn udp_flow() -> FlowKey {
+        FlowKey::udp(
+            SocketAddrV4::sock("172.17.0.2", 9000),
+            SocketAddrV4::sock("172.17.0.3", 7),
+        )
+    }
+
+    #[test]
+    fn udp_frame_parses_back() {
+        let pkt = PacketBuilder::udp(udp_flow(), b"x".repeat(56)).build();
+        let parsed = pkt.parse().unwrap();
+        assert_eq!(parsed.flow(), udp_flow());
+        assert_eq!(parsed.payload.len(), 56);
+        assert_eq!(pkt.len(), 14 + 20 + 8 + 56);
+    }
+
+    #[test]
+    fn tcp_frame_with_options_parses_back() {
+        let flow = FlowKey::tcp(
+            SocketAddrV4::sock("10.0.0.1", 4000),
+            SocketAddrV4::sock("10.0.0.2", 80),
+        );
+        let pkt = PacketBuilder::tcp(flow, 7, 9, TcpFlags::ACK, b"data".to_vec())
+            .tcp_option(TcpOption::TraceId(0xfeedface))
+            .build();
+        let parsed = pkt.parse().unwrap();
+        assert_eq!(parsed.tcp_trace_id(), Some(0xfeedface));
+        assert_eq!(parsed.payload, b"data");
+    }
+
+    #[test]
+    fn vxlan_encap_decap_round_trip() {
+        let inner = PacketBuilder::udp(udp_flow(), b"overlay".to_vec()).build();
+        let outer = vxlan_encapsulate(
+            &inner,
+            42,
+            Ipv4Addr::new(192, 168, 1, 10),
+            Ipv4Addr::new(192, 168, 1, 11),
+            55555,
+        );
+        let parsed = outer.parse().unwrap();
+        assert!(parsed.is_vxlan());
+        let (vni, via_view) = parsed.vxlan().unwrap().unwrap();
+        assert_eq!(vni.vni, 42);
+        assert_eq!(via_view.payload, b"overlay");
+        let (vni, recovered) = vxlan_decapsulate(&outer).unwrap();
+        assert_eq!(vni, 42);
+        assert_eq!(recovered.bytes(), inner.bytes());
+    }
+
+    #[test]
+    fn vxlan_decap_rejects_plain_frames() {
+        let pkt = PacketBuilder::udp(udp_flow(), vec![]).build();
+        assert_eq!(vxlan_decapsulate(&pkt).unwrap_err(), ParseError::BadVxlan);
+    }
+
+    #[test]
+    fn builder_setters_apply() {
+        let pkt = PacketBuilder::udp(udp_flow(), vec![])
+            .macs(MacAddr::from_index(7), MacAddr::from_index(8))
+            .ttl(3)
+            .identification(99)
+            .build();
+        let parsed = pkt.parse().unwrap();
+        assert_eq!(parsed.ethernet.src, MacAddr::from_index(7));
+        assert_eq!(parsed.ipv4.ttl, 3);
+        assert_eq!(parsed.ipv4.identification, 99);
+    }
+
+    #[test]
+    fn vxlan_preserves_inner_trace_bytes() {
+        // The critical property for cross-boundary tracing: the trace ID
+        // inside the inner frame is carried verbatim through encapsulation.
+        let flow = FlowKey::tcp(
+            SocketAddrV4::sock("10.0.0.1", 4000),
+            SocketAddrV4::sock("10.0.0.2", 80),
+        );
+        let inner = PacketBuilder::tcp(flow, 1, 0, TcpFlags::PSH, vec![1, 2, 3])
+            .tcp_option(TcpOption::TraceId(0x12345678))
+            .build();
+        let outer = vxlan_encapsulate(
+            &inner,
+            7,
+            Ipv4Addr::new(192, 168, 0, 1),
+            Ipv4Addr::new(192, 168, 0, 2),
+            40000,
+        );
+        let (_, inner2) = vxlan_decapsulate(&outer).unwrap();
+        assert_eq!(inner2.parse().unwrap().tcp_trace_id(), Some(0x12345678));
+    }
+}

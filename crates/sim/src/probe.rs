@@ -1,0 +1,336 @@
+//! Tracepoints and probe dispatch.
+//!
+//! This is the boundary between the simulated kernel and any tracing tool.
+//! Devices and the softirq engine fire [`ProbeEvent`]s at named *hooks*
+//! (kernel functions, their returns, and raw device taps — mirroring the
+//! kprobe/kretprobe/tracepoint/raw-socket attach types of §III-B). A
+//! tracer registers a [`ProbeSink`] at a hook; each time the hook fires the
+//! sink runs and reports the CPU time it consumed, which the simulator
+//! charges to the packet being processed. That charge is how tracing
+//! overhead perturbs the traced system — the effect the paper measures in
+//! Figure 7.
+//!
+//! `vnet-sim` deliberately knows nothing about eBPF: the eBPF runtime in
+//! `vnet-ebpf` and the SystemTap cost model in `vnet-baselines` both plug in
+//! through this one trait.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::{CpuId, DeviceId, NodeId};
+use crate::packet::Packet;
+use crate::time::SimDuration;
+
+/// A place where a probe can attach.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Hook {
+    /// Entry of a named kernel function (a `kprobe`).
+    FunctionEntry(String),
+    /// Return of a named kernel function (a `kretprobe`).
+    FunctionReturn(String),
+    /// A device's receive tap (raw-socket style attachment).
+    DeviceRx(String),
+    /// A device's transmit tap.
+    DeviceTx(String),
+    /// A user-level probe on a named application's receive function
+    /// (`uprobe`/`uretprobe`-style application tracing, §III-B).
+    Uprobe(String),
+}
+
+impl Hook {
+    /// Convenience constructor for a kprobe hook.
+    pub fn kprobe(function: &str) -> Hook {
+        Hook::FunctionEntry(function.to_owned())
+    }
+
+    /// Convenience constructor for a kretprobe hook.
+    pub fn kretprobe(function: &str) -> Hook {
+        Hook::FunctionReturn(function.to_owned())
+    }
+
+    /// Convenience constructor for a device RX tap.
+    pub fn device_rx(device: &str) -> Hook {
+        Hook::DeviceRx(device.to_owned())
+    }
+
+    /// Convenience constructor for a device TX tap.
+    pub fn device_tx(device: &str) -> Hook {
+        Hook::DeviceTx(device.to_owned())
+    }
+
+    /// Convenience constructor for an application-level uprobe.
+    pub fn uprobe(app: &str) -> Hook {
+        Hook::Uprobe(app.to_owned())
+    }
+}
+
+impl core::fmt::Display for Hook {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Hook::FunctionEntry(s) => write!(f, "kprobe:{s}"),
+            Hook::FunctionReturn(s) => write!(f, "kretprobe:{s}"),
+            Hook::DeviceRx(s) => write!(f, "rx:{s}"),
+            Hook::DeviceTx(s) => write!(f, "tx:{s}"),
+            Hook::Uprobe(s) => write!(f, "uprobe:{s}"),
+        }
+    }
+}
+
+/// Direction of the packet relative to the device firing the probe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Direction {
+    /// The packet is being received.
+    Rx,
+    /// The packet is being transmitted.
+    Tx,
+}
+
+/// The context handed to a probe when its hook fires.
+#[derive(Debug)]
+pub struct ProbeEvent<'a> {
+    /// Node on which the hook fired.
+    pub node: NodeId,
+    /// CPU on which the hook fired.
+    pub cpu: CpuId,
+    /// The hook that fired.
+    pub hook: &'a Hook,
+    /// Device associated with the event, if any.
+    pub device: Option<DeviceId>,
+    /// Name of the associated device, if any.
+    pub device_name: Option<&'a str>,
+    /// Packet direction at the firing point.
+    pub direction: Direction,
+    /// The packet, if the hook carries one.
+    pub packet: Option<&'a Packet>,
+    /// The node's `CLOCK_MONOTONIC` reading at the instant the hook fired,
+    /// in nanoseconds — what `bpf_ktime_get_ns()` returns.
+    pub monotonic_ns: u64,
+}
+
+/// What a probe reports back after running.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ProbeOutcome {
+    /// CPU time the probe consumed; charged to the packet's processing.
+    pub cost: SimDuration,
+}
+
+impl ProbeOutcome {
+    /// A probe execution that consumed `cost` of CPU time.
+    pub fn with_cost(cost: SimDuration) -> Self {
+        ProbeOutcome { cost }
+    }
+}
+
+/// A handler invoked when a hook fires.
+///
+/// Implementations: the eBPF program runner in `vnet-ebpf` (via
+/// `vnettracer`), and the SystemTap cost model in `vnet-baselines`.
+pub trait ProbeSink {
+    /// Handles one firing of the hook and reports the CPU time consumed.
+    fn handle(&mut self, event: &ProbeEvent<'_>) -> ProbeOutcome;
+}
+
+/// Shared handle to a probe sink.
+///
+/// The simulation is single-threaded; `Rc<RefCell<_>>` lets the tracer keep
+/// a handle to its own sink (to read maps and buffers) while the registry
+/// drives it.
+pub type SharedSink = Rc<RefCell<dyn ProbeSink>>;
+
+/// Identifies an attached probe so it can be detached at runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ProbeId(u64);
+
+struct Attachment {
+    id: ProbeId,
+    sink: SharedSink,
+}
+
+/// The per-world registry of attached probes.
+///
+/// Probes attach to a `(node, hook)` pair; multiple probes may share a
+/// hook and run in attach order. Attach and detach are runtime operations —
+/// the programmability the paper emphasises (§III-D).
+#[derive(Default)]
+pub struct ProbeRegistry {
+    by_hook: HashMap<(NodeId, Hook), Vec<Attachment>>,
+    next_id: u64,
+    fired: u64,
+}
+
+impl ProbeRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Attaches `sink` at `hook` on `node`, returning a handle for
+    /// detaching.
+    pub fn attach(&mut self, node: NodeId, hook: Hook, sink: SharedSink) -> ProbeId {
+        let id = ProbeId(self.next_id);
+        self.next_id += 1;
+        self.by_hook
+            .entry((node, hook))
+            .or_default()
+            .push(Attachment { id, sink });
+        id
+    }
+
+    /// Detaches a previously attached probe. Returns `true` if it was
+    /// attached.
+    pub fn detach(&mut self, id: ProbeId) -> bool {
+        for list in self.by_hook.values_mut() {
+            if let Some(pos) = list.iter().position(|a| a.id == id) {
+                list.remove(pos);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Whether any probe is attached at `(node, hook)`.
+    pub fn has_probe(&self, node: NodeId, hook: &Hook) -> bool {
+        self.by_hook
+            .get(&(node, hook.clone()))
+            .is_some_and(|l| !l.is_empty())
+    }
+
+    /// Fires all probes at `(node, hook)`, summing their costs.
+    pub fn fire(&mut self, event: &ProbeEvent<'_>) -> ProbeOutcome {
+        let key = (event.node, event.hook.clone());
+        let Some(list) = self.by_hook.get(&key) else {
+            return ProbeOutcome::default();
+        };
+        let mut total = SimDuration::ZERO;
+        // Clone the sink handles so a probe body may attach/detach probes.
+        let sinks: Vec<SharedSink> = list.iter().map(|a| Rc::clone(&a.sink)).collect();
+        for sink in sinks {
+            self.fired += 1;
+            total += sink.borrow_mut().handle(event).cost;
+        }
+        ProbeOutcome { cost: total }
+    }
+
+    /// Total number of probe executions so far.
+    pub fn fired_count(&self) -> u64 {
+        self.fired
+    }
+
+    /// Number of currently attached probes.
+    pub fn attached_count(&self) -> usize {
+        self.by_hook.values().map(Vec::len).sum()
+    }
+}
+
+impl core::fmt::Debug for ProbeRegistry {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("ProbeRegistry")
+            .field("attached", &self.attached_count())
+            .field("fired", &self.fired)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counting {
+        hits: u64,
+        cost: SimDuration,
+    }
+
+    impl ProbeSink for Counting {
+        fn handle(&mut self, _event: &ProbeEvent<'_>) -> ProbeOutcome {
+            self.hits += 1;
+            ProbeOutcome::with_cost(self.cost)
+        }
+    }
+
+    fn event<'a>(hook: &'a Hook) -> ProbeEvent<'a> {
+        ProbeEvent {
+            node: NodeId(0),
+            cpu: CpuId(0),
+            hook,
+            device: None,
+            device_name: None,
+            direction: Direction::Rx,
+            packet: None,
+            monotonic_ns: 42,
+        }
+    }
+
+    #[test]
+    fn attach_fire_detach() {
+        let mut reg = ProbeRegistry::new();
+        let sink = Rc::new(RefCell::new(Counting {
+            hits: 0,
+            cost: SimDuration::from_nanos(5),
+        }));
+        let hook = Hook::kprobe("net_rx_action");
+        let id = reg.attach(NodeId(0), hook.clone(), sink.clone());
+        assert!(reg.has_probe(NodeId(0), &hook));
+        let out = reg.fire(&event(&hook));
+        assert_eq!(out.cost, SimDuration::from_nanos(5));
+        assert_eq!(sink.borrow().hits, 1);
+        assert!(reg.detach(id));
+        assert!(!reg.detach(id), "double detach reports false");
+        assert_eq!(reg.fire(&event(&hook)).cost, SimDuration::ZERO);
+        assert_eq!(sink.borrow().hits, 1);
+    }
+
+    #[test]
+    fn multiple_probes_costs_sum() {
+        let mut reg = ProbeRegistry::new();
+        let hook = Hook::device_rx("eth0");
+        for _ in 0..3 {
+            let sink = Rc::new(RefCell::new(Counting {
+                hits: 0,
+                cost: SimDuration::from_nanos(10),
+            }));
+            reg.attach(NodeId(1), hook.clone(), sink);
+        }
+        assert_eq!(reg.attached_count(), 3);
+        let out = reg.fire(&event_with_node(&hook, NodeId(1)));
+        assert_eq!(out.cost, SimDuration::from_nanos(30));
+        assert_eq!(reg.fired_count(), 3);
+    }
+
+    fn event_with_node<'a>(hook: &'a Hook, node: NodeId) -> ProbeEvent<'a> {
+        ProbeEvent {
+            node,
+            ..event(hook)
+        }
+    }
+
+    #[test]
+    fn probes_are_per_node() {
+        let mut reg = ProbeRegistry::new();
+        let hook = Hook::kprobe("tcp_recvmsg");
+        let sink = Rc::new(RefCell::new(Counting {
+            hits: 0,
+            cost: SimDuration::ZERO,
+        }));
+        reg.attach(NodeId(0), hook.clone(), sink.clone());
+        reg.fire(&event_with_node(&hook, NodeId(1)));
+        assert_eq!(
+            sink.borrow().hits,
+            0,
+            "other node's hook must not fire this probe"
+        );
+        reg.fire(&event_with_node(&hook, NodeId(0)));
+        assert_eq!(sink.borrow().hits, 1);
+    }
+
+    #[test]
+    fn hook_display() {
+        assert_eq!(Hook::kprobe("f").to_string(), "kprobe:f");
+        assert_eq!(Hook::kretprobe("f").to_string(), "kretprobe:f");
+        assert_eq!(Hook::device_rx("eth0").to_string(), "rx:eth0");
+        assert_eq!(Hook::device_tx("eth0").to_string(), "tx:eth0");
+        assert_eq!(Hook::uprobe("sockperf").to_string(), "uprobe:sockperf");
+    }
+}

@@ -1,0 +1,45 @@
+//! # vnet-testbed — prebuilt evaluation scenarios
+//!
+//! One module per experiment of the paper's §IV, each assembling the
+//! topology, workloads and trace-script packages so that examples,
+//! integration tests and the benchmark harness drive identical setups:
+//!
+//! * [`two_host`] — Fig. 7(a): Sockperf between two KVM VMs on two hosts,
+//!   with and without vNetTracer.
+//! * [`netperf_xen`] — Fig. 7(b): Netperf TCP into a Xen VM; vNetTracer
+//!   vs SystemTap at `tcp_recvmsg`, 1 GbE and 10 GbE.
+//! * [`ovs`] — Figs. 8–9: Sockperf + iPerf congestion through Open
+//!   vSwitch; latency decomposition and ingress rate limiting.
+//! * [`xen`] — Figs. 10–11: the credit2 rate-limit tail-latency problem
+//!   under CPU consolidation, Sockperf and Data Caching.
+//! * [`container`] — Figs. 12–13: VM versus container-overlay (VXLAN)
+//!   networking; softirq rates, distribution and data paths.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod container;
+pub mod netperf_xen;
+pub mod ovs;
+pub mod two_host;
+pub mod xen;
+
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+use vnet_sim::device::Forwarding;
+use vnet_sim::world::World;
+use vnet_sim::DeviceId;
+
+/// Installs destination-IP routes on a switch/bridge device whose output
+/// ports were wired with [`World::connect`].
+pub fn route(world: &mut World, dev: DeviceId, routes: &[(Ipv4Addr, usize)]) {
+    let map: HashMap<Ipv4Addr, usize> = routes.iter().copied().collect();
+    world.set_forwarding(
+        dev,
+        Forwarding::ByDstIp {
+            routes: map,
+            default: None,
+        },
+    );
+}

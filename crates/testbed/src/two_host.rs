@@ -1,0 +1,337 @@
+//! The Fig. 7(a) overhead testbed: Sockperf between two KVM VMs on two
+//! servers connected by OVS bridges and a physical link.
+//!
+//! "We created two VMs using KVM on two servers … executed Sockperf
+//! client side on one VM and sent UDP requests to the Sockperf server
+//! side on another VM … executed four tracing scripts and attached them
+//! into the Open vSwitch port ovs-br1 in the hypervisor and virtual
+//! ethernet port ens3 in the VM on the two physical servers." (§IV-B)
+//!
+//! A light background iPerf flow shares the OVS bridges and NICs so the
+//! Sockperf latency distribution has a realistic tail.
+
+use std::cell::RefCell;
+use std::net::{Ipv4Addr, SocketAddrV4};
+use std::rc::Rc;
+
+use vnet_sim::device::{DeviceConfig, Forwarding, ServiceModel, TraceIdRole};
+use vnet_sim::node::NodeClock;
+use vnet_sim::packet::FlowKey;
+use vnet_sim::time::SimDuration;
+use vnet_sim::world::World;
+use vnet_sim::NodeId;
+use vnet_workloads::stats::LatencyRecorder;
+use vnet_workloads::{IperfClient, IperfServer, SockperfClient, SockperfServer};
+use vnettracer::config::{Action, ControlPackage, FilterRule, HookSpec, TraceSpec};
+use vnettracer::{Agent, VNetTracer};
+
+use crate::route;
+
+/// Configuration of the two-host overhead scenario.
+#[derive(Debug, Clone)]
+pub struct TwoHostConfig {
+    /// RNG seed.
+    pub seed: u64,
+    /// Number of Sockperf messages.
+    pub messages: u64,
+    /// Sockperf send interval.
+    pub interval: SimDuration,
+    /// Background iPerf rate in Mbps (0 disables it).
+    pub background_mbps: f64,
+}
+
+impl Default for TwoHostConfig {
+    fn default() -> Self {
+        TwoHostConfig {
+            seed: 7,
+            messages: 2_000,
+            interval: SimDuration::from_micros(100),
+            background_mbps: 300.0,
+        }
+    }
+}
+
+/// The built scenario.
+#[derive(Debug)]
+pub struct TwoHostScenario {
+    /// The simulated world.
+    pub world: World,
+    /// First server (Sockperf client VM).
+    pub server1: NodeId,
+    /// Second server (Sockperf server VM).
+    pub server2: NodeId,
+    /// Sockperf latency samples.
+    pub latency: Rc<RefCell<LatencyRecorder>>,
+    /// The Sockperf flow (client → server).
+    pub flow: FlowKey,
+}
+
+/// VM1 (client) address.
+pub const VM1_IP: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1);
+/// VM2 (server) address.
+pub const VM2_IP: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 2);
+const SOCKPERF_CLIENT_PORT: u16 = 40000;
+const SOCKPERF_SERVER_PORT: u16 = 11111;
+const IPERF_CLIENT_PORT: u16 = 50000;
+const IPERF_SERVER_PORT: u16 = 5201;
+
+impl TwoHostScenario {
+    /// Builds the topology and workloads.
+    pub fn build(cfg: &TwoHostConfig) -> Self {
+        let mut w = World::new(cfg.seed);
+        let s1 = w.add_node("server1", 20, NodeClock::perfect());
+        let s2 = w.add_node("server2", 20, NodeClock::perfect());
+
+        // --- server1 devices ---
+        let ens3_tx_1 = w.add_device(
+            DeviceConfig::new("ens3-tx", s1)
+                .service(ServiceModel::Fixed(SimDuration::from_nanos(500)))
+                .trace_id(TraceIdRole::Inject),
+        );
+        let ovs_br1 = w.add_device(
+            DeviceConfig::new("ovs-br1", s1)
+                .service(ServiceModel::Fixed(SimDuration::from_nanos(1_500)))
+                .queue_capacity(1024),
+        );
+        let eth_tx_1 =
+            w.add_device(DeviceConfig::new("eth0-tx", s1).service(ServiceModel::nic_gbps(1.0)));
+        let eth_rx_1 = w.add_device(
+            DeviceConfig::new("eth0-rx", s1)
+                .service(ServiceModel::Fixed(SimDuration::from_nanos(300))),
+        );
+        let ens3_1 = w.add_device(
+            DeviceConfig::new("ens3", s1)
+                .service(ServiceModel::Fixed(SimDuration::from_micros(1)))
+                .forwarding(Forwarding::Deliver)
+                .trace_id(TraceIdRole::StripUdpTrailer),
+        );
+
+        // --- server2 devices (mirror) ---
+        let ens3_tx_2 = w.add_device(
+            DeviceConfig::new("ens3-tx", s2)
+                .service(ServiceModel::Fixed(SimDuration::from_nanos(500)))
+                .trace_id(TraceIdRole::Inject),
+        );
+        let ovs_br2 = w.add_device(
+            DeviceConfig::new("ovs-br1", s2)
+                .service(ServiceModel::Fixed(SimDuration::from_nanos(1_500)))
+                .queue_capacity(1024),
+        );
+        let eth_tx_2 =
+            w.add_device(DeviceConfig::new("eth0-tx", s2).service(ServiceModel::nic_gbps(1.0)));
+        let eth_rx_2 = w.add_device(
+            DeviceConfig::new("eth0-rx", s2)
+                .service(ServiceModel::Fixed(SimDuration::from_nanos(300))),
+        );
+        let ens3_2 = w.add_device(
+            DeviceConfig::new("ens3", s2)
+                .service(ServiceModel::Fixed(SimDuration::from_micros(1)))
+                .forwarding(Forwarding::Deliver)
+                .trace_id(TraceIdRole::StripUdpTrailer),
+        );
+
+        // --- wiring ---
+        let wire = SimDuration::from_micros(30);
+        // VM1 out -> OVS1 -> NIC1 -> wire -> NIC2-rx -> OVS2 -> VM2.
+        w.connect(ens3_tx_1, ovs_br1, SimDuration::ZERO);
+        let p_to_eth1 = w.connect(ovs_br1, eth_tx_1, SimDuration::ZERO);
+        let p_to_vm1 = w.connect(ovs_br1, ens3_1, SimDuration::ZERO);
+        route(&mut w, ovs_br1, &[(VM2_IP, p_to_eth1), (VM1_IP, p_to_vm1)]);
+        w.connect(eth_tx_1, eth_rx_2, wire);
+        w.connect(eth_rx_2, ovs_br2, SimDuration::ZERO);
+        w.connect(ens3_tx_2, ovs_br2, SimDuration::ZERO);
+        let p_to_eth2 = w.connect(ovs_br2, eth_tx_2, SimDuration::ZERO);
+        let p_to_vm2 = w.connect(ovs_br2, ens3_2, SimDuration::ZERO);
+        route(&mut w, ovs_br2, &[(VM1_IP, p_to_eth2), (VM2_IP, p_to_vm2)]);
+        w.connect(eth_tx_2, eth_rx_1, wire);
+        w.connect(eth_rx_1, ovs_br1, SimDuration::ZERO);
+
+        // --- workloads ---
+        let flow = FlowKey::udp(
+            SocketAddrV4::new(VM1_IP, SOCKPERF_CLIENT_PORT),
+            SocketAddrV4::new(VM2_IP, SOCKPERF_SERVER_PORT),
+        );
+        let latency = LatencyRecorder::shared();
+        let client = w.add_app(
+            s1,
+            ens3_tx_1,
+            Box::new(SockperfClient::new(
+                flow,
+                vnet_workloads::sockperf::DEFAULT_MSG_SIZE,
+                cfg.interval,
+                cfg.messages,
+                Rc::clone(&latency),
+            )),
+        );
+        let server = w.add_app(s2, ens3_tx_2, Box::new(SockperfServer::new()));
+        w.bind_app(ens3_2, SOCKPERF_SERVER_PORT, server);
+        w.bind_app(ens3_1, SOCKPERF_CLIENT_PORT, client);
+
+        if cfg.background_mbps > 0.0 {
+            let bg_flow = FlowKey::udp(
+                SocketAddrV4::new(VM1_IP, IPERF_CLIENT_PORT),
+                SocketAddrV4::new(VM2_IP, IPERF_SERVER_PORT),
+            );
+            // Run background traffic for the whole experiment.
+            let duration_ns = cfg.interval.as_nanos() * cfg.messages;
+            let pkt_size = 1470;
+            let count = (cfg.background_mbps * 1e6 / 8.0 * (duration_ns as f64 / 1e9)
+                / pkt_size as f64) as u64;
+            w.add_app(
+                s1,
+                ens3_tx_1,
+                Box::new(IperfClient::with_rate_mbps(
+                    bg_flow,
+                    pkt_size,
+                    cfg.background_mbps,
+                    count,
+                )),
+            );
+            let bg_tput = vnet_workloads::stats::ThroughputRecorder::shared();
+            let bg_server = w.add_app(s2, ens3_tx_2, Box::new(IperfServer::new(bg_tput)));
+            w.bind_app(ens3_2, IPERF_SERVER_PORT, bg_server);
+        }
+
+        TwoHostScenario {
+            world: w,
+            server1: s1,
+            server2: s2,
+            latency,
+            flow,
+        }
+    }
+
+    /// The paper's four trace scripts: OVS port and VM ethernet port on
+    /// both servers, filtered to the Sockperf flow.
+    pub fn control_package(&self) -> ControlPackage {
+        let req = FilterRule::udp_flow(
+            (VM1_IP, SOCKPERF_CLIENT_PORT),
+            (VM2_IP, SOCKPERF_SERVER_PORT),
+        );
+        ControlPackage::new(vec![
+            TraceSpec {
+                name: "s1_ovs_br1".into(),
+                node: "server1".into(),
+                hook: HookSpec::DeviceRx("ovs-br1".into()),
+                filter: req,
+                action: Action::RecordPacketInfo,
+            },
+            TraceSpec {
+                name: "s1_ens3".into(),
+                node: "server1".into(),
+                hook: HookSpec::DeviceRx("ens3".into()),
+                filter: req.reversed(),
+                action: Action::RecordPacketInfo,
+            },
+            TraceSpec {
+                name: "s2_ovs_br1".into(),
+                node: "server2".into(),
+                hook: HookSpec::DeviceRx("ovs-br1".into()),
+                filter: req,
+                action: Action::RecordPacketInfo,
+            },
+            TraceSpec {
+                name: "s2_ens3".into(),
+                node: "server2".into(),
+                hook: HookSpec::DeviceRx("ens3".into()),
+                filter: req,
+                action: Action::RecordPacketInfo,
+            },
+        ])
+    }
+
+    /// Creates a tracer with agents registered for both servers.
+    pub fn make_tracer(&self) -> VNetTracer {
+        let mut tracer = VNetTracer::new();
+        tracer.add_agent(Agent::new(self.server1, "server1", 20));
+        tracer.add_agent(Agent::new(self.server2, "server2", 20));
+        tracer
+    }
+
+    /// Runs to completion: total duration plus drain time.
+    pub fn run(&mut self, cfg: &TwoHostConfig) {
+        let total = SimDuration::from_nanos(cfg.interval.as_nanos() * (cfg.messages + 2))
+            + SimDuration::from_millis(50);
+        self.world.run_for(total);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vnet_sim::time::SimTime;
+
+    #[test]
+    fn sockperf_runs_and_reports_latency() {
+        let cfg = TwoHostConfig {
+            messages: 200,
+            ..Default::default()
+        };
+        let mut s = TwoHostScenario::build(&cfg);
+        s.run(&cfg);
+        let summary = s.latency.borrow().summary().unwrap();
+        assert_eq!(summary.count, 200);
+        // One-way ~ 36us (0.5+1.5+~1 NIC+30 wire+0.3+1.5+1).
+        assert!(
+            (30_000..55_000).contains(&summary.p50_ns),
+            "median one-way {}ns",
+            summary.p50_ns
+        );
+        // Background traffic produces a tail above the median.
+        assert!(
+            summary.p999_ns > summary.p50_ns,
+            "tail {} vs median {}",
+            summary.p999_ns,
+            summary.p50_ns
+        );
+    }
+
+    #[test]
+    fn tracing_adds_under_one_percent_latency() {
+        let cfg = TwoHostConfig {
+            messages: 500,
+            ..Default::default()
+        };
+        // Untraced run.
+        let mut base = TwoHostScenario::build(&cfg);
+        base.run(&cfg);
+        let base_summary = base.latency.borrow().summary().unwrap();
+        // Traced run: 4 eBPF scripts.
+        let mut traced = TwoHostScenario::build(&cfg);
+        let pkg = traced.control_package();
+        let mut tracer = traced.make_tracer();
+        tracer.deploy(&mut traced.world, &pkg).unwrap();
+        traced.run(&cfg);
+        tracer.collect(&traced.world);
+        let traced_summary = traced.latency.borrow().summary().unwrap();
+        let overhead = (traced_summary.mean_ns - base_summary.mean_ns) / base_summary.mean_ns;
+        assert!(
+            overhead.abs() < 0.01,
+            "vNetTracer overhead must stay under 1%: base {} traced {} ({:+.3}%)",
+            base_summary.mean_ns,
+            traced_summary.mean_ns,
+            overhead * 100.0
+        );
+        // And the tracer actually captured the flow at all 4 points.
+        for table in ["s1_ovs_br1", "s2_ovs_br1", "s2_ens3", "s1_ens3"] {
+            assert!(
+                tracer.db().table(table).is_some_and(|t| !t.is_empty()),
+                "table {table} should have records"
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = TwoHostConfig {
+            messages: 100,
+            ..Default::default()
+        };
+        let mut a = TwoHostScenario::build(&cfg);
+        a.run(&cfg);
+        let mut b = TwoHostScenario::build(&cfg);
+        b.run(&cfg);
+        assert_eq!(a.latency.borrow().samples(), b.latency.borrow().samples());
+        assert!(a.world.now() > SimTime::ZERO);
+    }
+}

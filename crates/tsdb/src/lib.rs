@@ -1,0 +1,38 @@
+//! # vnet-tsdb — an embedded time-series trace store
+//!
+//! Stand-in for the InfluxDB instance vNetTracer uses for offline storage
+//! (§III-E: "We adopt InfluxDB for the offline storage and create tables
+//! for each tracepoint"). The collector dumps trace records here; offline
+//! analysis filters by tags and time, joins records across tracepoints by
+//! packet trace ID, and aggregates fields.
+//!
+//! ## Example
+//!
+//! ```
+//! use vnet_tsdb::{DataPoint, TraceDb};
+//! use vnet_tsdb::query::{aggregate, Query};
+//!
+//! let mut db = TraceDb::new();
+//! db.insert(DataPoint::new("flannel1", 100).tag("trace_id", "42").field("len", 60u64));
+//! db.insert(DataPoint::new("flannel2", 190).tag("trace_id", "42").field("len", 60u64));
+//! // Latency between the two VXLAN devices for packet 42:
+//! let pairs = db.join_timestamps("flannel1", "flannel2");
+//! assert_eq!(pairs, vec![(100, 190)]);
+//! let pts = Query::new("flannel1").run(&db);
+//! assert_eq!(aggregate(&pts, "len").mean, 60.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod persist;
+pub mod point;
+pub mod query;
+pub mod store;
+pub mod table;
+
+pub use persist::{read_json_lines, write_json_lines, PersistError};
+pub use point::{DataPoint, FieldValue};
+pub use query::{aggregate, percentile, Aggregate, Query};
+pub use store::TraceDb;
+pub use table::{Table, TRACE_ID_TAG};

@@ -1,0 +1,158 @@
+//! Data points: the unit of storage.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+/// A field value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum FieldValue {
+    /// Signed integer.
+    Int(i64),
+    /// Unsigned integer.
+    UInt(u64),
+    /// Floating point.
+    Float(f64),
+    /// Text.
+    Str(String),
+}
+
+impl FieldValue {
+    /// The value as `f64`, if numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            FieldValue::Int(v) => Some(*v as f64),
+            FieldValue::UInt(v) => Some(*v as f64),
+            FieldValue::Float(v) => Some(*v),
+            FieldValue::Str(_) => None,
+        }
+    }
+
+    /// The value as `u64`, if it is an unsigned integer (or a
+    /// non-negative signed one).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            FieldValue::UInt(v) => Some(*v),
+            FieldValue::Int(v) if *v >= 0 => Some(*v as u64),
+            _ => None,
+        }
+    }
+}
+
+impl From<i64> for FieldValue {
+    fn from(v: i64) -> Self {
+        FieldValue::Int(v)
+    }
+}
+impl From<u64> for FieldValue {
+    fn from(v: u64) -> Self {
+        FieldValue::UInt(v)
+    }
+}
+impl From<f64> for FieldValue {
+    fn from(v: f64) -> Self {
+        FieldValue::Float(v)
+    }
+}
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> Self {
+        FieldValue::Str(v.to_owned())
+    }
+}
+
+/// One record: a measurement name, indexed tags, fields, and a timestamp.
+///
+/// Mirrors the InfluxDB data model the paper adopts ("We adopt InfluxDB
+/// for the offline storage and create tables for each tracepoint").
+///
+/// # Examples
+///
+/// ```
+/// use vnet_tsdb::point::DataPoint;
+///
+/// let p = DataPoint::new("flannel1_rx", 1_000)
+///     .tag("trace_id", "0xdeadbeef")
+///     .field("pkt_len", 60u64);
+/// assert_eq!(p.tag_value("trace_id"), Some("0xdeadbeef"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DataPoint {
+    /// Measurement (table) name — vNetTracer uses one per tracepoint.
+    pub measurement: String,
+    /// Indexed key/value tags (trace id, node, device, flow, …).
+    pub tags: BTreeMap<String, String>,
+    /// Value fields.
+    pub fields: BTreeMap<String, FieldValue>,
+    /// Timestamp in nanoseconds (node-local monotonic or aligned time).
+    pub timestamp_ns: u64,
+}
+
+impl DataPoint {
+    /// Creates a point for `measurement` at `timestamp_ns`.
+    pub fn new(measurement: impl Into<String>, timestamp_ns: u64) -> Self {
+        DataPoint {
+            measurement: measurement.into(),
+            tags: BTreeMap::new(),
+            fields: BTreeMap::new(),
+            timestamp_ns,
+        }
+    }
+
+    /// Adds a tag.
+    pub fn tag(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
+        self.tags.insert(key.into(), value.into());
+        self
+    }
+
+    /// Adds a field.
+    pub fn field(mut self, key: impl Into<String>, value: impl Into<FieldValue>) -> Self {
+        self.fields.insert(key.into(), value.into());
+        self
+    }
+
+    /// A tag's value.
+    pub fn tag_value(&self, key: &str) -> Option<&str> {
+        self.tags.get(key).map(String::as_str)
+    }
+
+    /// A field's value.
+    pub fn field_value(&self, key: &str) -> Option<&FieldValue> {
+        self.fields.get(key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_and_accessors() {
+        let p = DataPoint::new("m", 7)
+            .tag("node", "server1")
+            .field("latency_ns", 1234u64)
+            .field("loss", 0.5);
+        assert_eq!(p.measurement, "m");
+        assert_eq!(p.timestamp_ns, 7);
+        assert_eq!(p.tag_value("node"), Some("server1"));
+        assert_eq!(p.tag_value("absent"), None);
+        assert_eq!(p.field_value("latency_ns").unwrap().as_u64(), Some(1234));
+        assert_eq!(p.field_value("loss").unwrap().as_f64(), Some(0.5));
+    }
+
+    #[test]
+    fn field_value_conversions() {
+        assert_eq!(FieldValue::from(-3i64).as_f64(), Some(-3.0));
+        assert_eq!(FieldValue::from(-3i64).as_u64(), None);
+        assert_eq!(FieldValue::from(3i64).as_u64(), Some(3));
+        assert_eq!(FieldValue::from("x").as_f64(), None);
+        assert_eq!(FieldValue::from(2.5).as_f64(), Some(2.5));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let p = DataPoint::new("m", 1).tag("a", "b").field("f", 9u64);
+        let json = serde_json::to_string(&p).unwrap();
+        let back: DataPoint = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, p);
+    }
+}

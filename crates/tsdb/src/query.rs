@@ -1,0 +1,205 @@
+//! Queries: filter, select and aggregate over a table.
+//!
+//! Covers the operations vNetTracer's offline analysis performs: select a
+//! tracepoint's table, filter by tags (flow, node, device) and time range,
+//! and aggregate a field (count, mean, min/max, percentiles).
+
+use crate::point::DataPoint;
+use crate::table::Table;
+
+/// A query over one measurement.
+///
+/// # Examples
+///
+/// ```
+/// use vnet_tsdb::{DataPoint, TraceDb};
+/// use vnet_tsdb::query::Query;
+///
+/// let mut db = TraceDb::new();
+/// for i in 0..10u64 {
+///     db.insert(DataPoint::new("rx", i * 100).tag("node", "n1").field("len", i));
+/// }
+/// let points = Query::new("rx").tag_eq("node", "n1").time_range(200, 500).run(&db);
+/// assert_eq!(points.len(), 4);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Query {
+    measurement: String,
+    tag_filters: Vec<(String, String)>,
+    time_start: Option<u64>,
+    time_end: Option<u64>,
+}
+
+impl Query {
+    /// Starts a query over `measurement`.
+    pub fn new(measurement: impl Into<String>) -> Self {
+        Query {
+            measurement: measurement.into(),
+            ..Default::default()
+        }
+    }
+
+    /// Requires tag `key` to equal `value`.
+    pub fn tag_eq(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
+        self.tag_filters.push((key.into(), value.into()));
+        self
+    }
+
+    /// Restricts to `start..=end` (inclusive), in nanoseconds.
+    pub fn time_range(mut self, start: u64, end: u64) -> Self {
+        self.time_start = Some(start);
+        self.time_end = Some(end);
+        self
+    }
+
+    fn matches(&self, p: &DataPoint) -> bool {
+        if let Some(s) = self.time_start {
+            if p.timestamp_ns < s {
+                return false;
+            }
+        }
+        if let Some(e) = self.time_end {
+            if p.timestamp_ns > e {
+                return false;
+            }
+        }
+        self.tag_filters
+            .iter()
+            .all(|(k, v)| p.tag_value(k) == Some(v.as_str()))
+    }
+
+    /// Runs the query, returning matching points in insertion order.
+    pub fn run<'a>(&self, db: &'a crate::store::TraceDb) -> Vec<&'a DataPoint> {
+        match db.table(&self.measurement) {
+            Some(t) => self.run_table(t),
+            None => Vec::new(),
+        }
+    }
+
+    /// Runs the query against a single table.
+    pub fn run_table<'a>(&self, table: &'a Table) -> Vec<&'a DataPoint> {
+        table.points().iter().filter(|p| self.matches(p)).collect()
+    }
+}
+
+/// Aggregate statistics over one numeric field of a point set.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Aggregate {
+    /// Number of points carrying the field.
+    pub count: usize,
+    /// Sum of values.
+    pub sum: f64,
+    /// Mean value (0 when empty).
+    pub mean: f64,
+    /// Minimum value (0 when empty).
+    pub min: f64,
+    /// Maximum value (0 when empty).
+    pub max: f64,
+}
+
+/// Computes aggregate statistics of `field` over `points`.
+pub fn aggregate(points: &[&DataPoint], field: &str) -> Aggregate {
+    let values: Vec<f64> = points
+        .iter()
+        .filter_map(|p| p.field_value(field).and_then(|v| v.as_f64()))
+        .collect();
+    if values.is_empty() {
+        return Aggregate::default();
+    }
+    let sum: f64 = values.iter().sum();
+    let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    Aggregate {
+        count: values.len(),
+        sum,
+        mean: sum / values.len() as f64,
+        min,
+        max,
+    }
+}
+
+/// Computes the `q`-quantile (0.0..=1.0) of `field` over `points` using
+/// nearest-rank on the sorted values. Returns `None` when no values.
+///
+/// # Panics
+///
+/// Panics if `q` is outside `0.0..=1.0`.
+pub fn percentile(points: &[&DataPoint], field: &str, q: f64) -> Option<f64> {
+    assert!(
+        (0.0..=1.0).contains(&q),
+        "quantile must be in 0..=1, got {q}"
+    );
+    let mut values: Vec<f64> = points
+        .iter()
+        .filter_map(|p| p.field_value(field).and_then(|v| v.as_f64()))
+        .collect();
+    if values.is_empty() {
+        return None;
+    }
+    values.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs in trace data"));
+    let rank = ((q * values.len() as f64).ceil() as usize).clamp(1, values.len());
+    Some(values[rank - 1])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::TraceDb;
+
+    fn db() -> TraceDb {
+        let mut db = TraceDb::new();
+        for i in 0..100u64 {
+            let node = if i % 2 == 0 { "n0" } else { "n1" };
+            db.insert(
+                DataPoint::new("lat", i * 10)
+                    .tag("node", node)
+                    .field("us", i),
+            );
+        }
+        db
+    }
+
+    #[test]
+    fn tag_filter_and_time_range() {
+        let db = db();
+        let pts = Query::new("lat").tag_eq("node", "n0").run(&db);
+        assert_eq!(pts.len(), 50);
+        let pts = Query::new("lat").time_range(100, 190).run(&db);
+        assert_eq!(pts.len(), 10);
+        let pts = Query::new("lat")
+            .tag_eq("node", "n1")
+            .time_range(0, 50)
+            .run(&db);
+        assert_eq!(pts.len(), 3); // t=10,30,50
+        assert!(Query::new("absent").run(&db).is_empty());
+    }
+
+    #[test]
+    fn aggregate_statistics() {
+        let db = db();
+        let pts = Query::new("lat").run(&db);
+        let agg = aggregate(&pts, "us");
+        assert_eq!(agg.count, 100);
+        assert_eq!(agg.min, 0.0);
+        assert_eq!(agg.max, 99.0);
+        assert!((agg.mean - 49.5).abs() < 1e-9);
+        assert_eq!(aggregate(&pts, "missing").count, 0);
+    }
+
+    #[test]
+    fn percentiles() {
+        let db = db();
+        let pts = Query::new("lat").run(&db);
+        assert_eq!(percentile(&pts, "us", 0.5), Some(49.0));
+        assert_eq!(percentile(&pts, "us", 0.999), Some(99.0));
+        assert_eq!(percentile(&pts, "us", 0.0), Some(0.0));
+        assert_eq!(percentile(&pts, "us", 1.0), Some(99.0));
+        assert_eq!(percentile(&[], "us", 0.5), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile")]
+    fn percentile_rejects_bad_quantile() {
+        let _ = percentile(&[], "us", 1.5);
+    }
+}

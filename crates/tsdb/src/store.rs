@@ -1,0 +1,137 @@
+//! The trace database: tables keyed by measurement.
+
+use std::collections::HashMap;
+
+use crate::point::DataPoint;
+use crate::table::Table;
+
+/// An embedded time-series store, one [`Table`] per measurement —
+/// vNetTracer's "trace database" where "all the tracing records at
+/// different tracepoints are dumped … where records are indexed by their
+/// packet IDs" (§III-C).
+#[derive(Debug, Default)]
+pub struct TraceDb {
+    tables: HashMap<String, Table>,
+}
+
+impl TraceDb {
+    /// Creates an empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts a point into its measurement's table (created on demand).
+    pub fn insert(&mut self, point: DataPoint) {
+        self.tables
+            .entry(point.measurement.clone())
+            .or_default()
+            .insert(point);
+    }
+
+    /// Inserts many points.
+    pub fn insert_all(&mut self, points: impl IntoIterator<Item = DataPoint>) {
+        for p in points {
+            self.insert(p);
+        }
+    }
+
+    /// Borrows a measurement's table.
+    pub fn table(&self, measurement: &str) -> Option<&Table> {
+        self.tables.get(measurement)
+    }
+
+    /// Names of all measurements.
+    pub fn measurements(&self) -> impl Iterator<Item = &str> {
+        self.tables.keys().map(String::as_str)
+    }
+
+    /// Total number of stored points.
+    pub fn len(&self) -> usize {
+        self.tables.values().map(Table::len).sum()
+    }
+
+    /// Whether the database holds no points.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Joins a trace ID across two measurements: for every trace ID seen
+    /// in both, yields the pair of timestamps `(t_a, t_b)` of its first
+    /// record in each — the primitive behind vNetTracer's two-tracepoint
+    /// latency computation (§III-D).
+    pub fn join_timestamps(&self, measurement_a: &str, measurement_b: &str) -> Vec<(u64, u64)> {
+        let (Some(a), Some(b)) = (self.table(measurement_a), self.table(measurement_b)) else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        for id in a.trace_ids() {
+            let Some(pa) = a.by_trace_id(id).next() else {
+                continue;
+            };
+            let Some(pb) = b.by_trace_id(id).next() else {
+                continue;
+            };
+            out.push((pa.timestamp_ns, pb.timestamp_ns));
+        }
+        out.sort_unstable();
+        out
+    }
+}
+
+impl Extend<DataPoint> for TraceDb {
+    fn extend<T: IntoIterator<Item = DataPoint>>(&mut self, iter: T) {
+        self.insert_all(iter);
+    }
+}
+
+impl FromIterator<DataPoint> for TraceDb {
+    fn from_iter<T: IntoIterator<Item = DataPoint>>(iter: T) -> Self {
+        let mut db = TraceDb::new();
+        db.insert_all(iter);
+        db
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::TRACE_ID_TAG;
+
+    #[test]
+    fn tables_created_on_demand() {
+        let mut db = TraceDb::new();
+        assert!(db.is_empty());
+        db.insert(DataPoint::new("a", 1));
+        db.insert(DataPoint::new("b", 2));
+        db.insert(DataPoint::new("a", 3));
+        assert_eq!(db.len(), 3);
+        assert_eq!(db.table("a").unwrap().len(), 2);
+        let mut names: Vec<&str> = db.measurements().collect();
+        names.sort_unstable();
+        assert_eq!(names, vec!["a", "b"]);
+        assert!(db.table("zzz").is_none());
+    }
+
+    #[test]
+    fn join_timestamps_pairs_by_trace_id() {
+        let mut db = TraceDb::new();
+        for (id, ta, tb) in [("x", 100u64, 150u64), ("y", 200, 280)] {
+            db.insert(DataPoint::new("p1", ta).tag(TRACE_ID_TAG, id));
+            db.insert(DataPoint::new("p2", tb).tag(TRACE_ID_TAG, id));
+        }
+        // An incomplete record: seen at p1 only (e.g. dropped packet).
+        db.insert(DataPoint::new("p1", 300).tag(TRACE_ID_TAG, "lost"));
+        let joined = db.join_timestamps("p1", "p2");
+        assert_eq!(joined, vec![(100, 150), (200, 280)]);
+        assert!(db.join_timestamps("p1", "absent").is_empty());
+    }
+
+    #[test]
+    fn collect_from_iterator() {
+        let db: TraceDb = (0..5u64).map(|i| DataPoint::new("m", i)).collect();
+        assert_eq!(db.len(), 5);
+        let mut db = db;
+        db.extend((0..3u64).map(|i| DataPoint::new("m2", i)));
+        assert_eq!(db.len(), 8);
+    }
+}

@@ -1,0 +1,104 @@
+//! Per-measurement tables with a trace-ID index.
+
+use std::collections::HashMap;
+
+use crate::point::DataPoint;
+
+/// The tag key under which vNetTracer stores the per-packet trace ID;
+/// the collector indexes it so records for one packet can be joined
+/// across tracepoints ("records are indexed by their packet IDs", §III-C).
+pub const TRACE_ID_TAG: &str = "trace_id";
+
+/// All points of one measurement (one table per tracepoint).
+#[derive(Debug, Default, Clone)]
+pub struct Table {
+    points: Vec<DataPoint>,
+    by_trace_id: HashMap<String, Vec<usize>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a point, indexing its trace ID if present.
+    pub fn insert(&mut self, point: DataPoint) {
+        if let Some(id) = point.tag_value(TRACE_ID_TAG) {
+            self.by_trace_id
+                .entry(id.to_owned())
+                .or_default()
+                .push(self.points.len());
+        }
+        self.points.push(point);
+    }
+
+    /// All points, in insertion order.
+    pub fn points(&self) -> &[DataPoint] {
+        &self.points
+    }
+
+    /// Points carrying the given trace ID.
+    pub fn by_trace_id(&self, id: &str) -> impl Iterator<Item = &DataPoint> {
+        self.by_trace_id
+            .get(id)
+            .into_iter()
+            .flatten()
+            .map(move |&i| &self.points[i])
+    }
+
+    /// All distinct trace IDs in the table.
+    pub fn trace_ids(&self) -> impl Iterator<Item = &str> {
+        self.by_trace_id.keys().map(String::as_str)
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_indexes_trace_ids() {
+        let mut t = Table::new();
+        t.insert(
+            DataPoint::new("m", 1)
+                .tag(TRACE_ID_TAG, "a")
+                .field("v", 1u64),
+        );
+        t.insert(
+            DataPoint::new("m", 2)
+                .tag(TRACE_ID_TAG, "b")
+                .field("v", 2u64),
+        );
+        t.insert(
+            DataPoint::new("m", 3)
+                .tag(TRACE_ID_TAG, "a")
+                .field("v", 3u64),
+        );
+        t.insert(DataPoint::new("m", 4).field("v", 4u64)); // no id
+        assert_eq!(t.len(), 4);
+        let a: Vec<u64> = t.by_trace_id("a").map(|p| p.timestamp_ns).collect();
+        assert_eq!(a, vec![1, 3]);
+        assert_eq!(t.by_trace_id("zzz").count(), 0);
+        let mut ids: Vec<&str> = t.trace_ids().collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn empty_table() {
+        let t = Table::new();
+        assert!(t.is_empty());
+        assert_eq!(t.points().len(), 0);
+    }
+}

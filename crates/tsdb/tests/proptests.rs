@@ -1,0 +1,83 @@
+//! Property-based tests for the trace store and its aggregations.
+
+use proptest::prelude::*;
+use vnet_tsdb::query::{aggregate, percentile, Query};
+use vnet_tsdb::{DataPoint, TraceDb, TRACE_ID_TAG};
+
+proptest! {
+    /// Percentiles are order statistics: within [min, max], monotone in q.
+    #[test]
+    fn percentile_properties(values in proptest::collection::vec(0u64..1_000_000, 1..200)) {
+        let mut db = TraceDb::new();
+        for (i, v) in values.iter().enumerate() {
+            db.insert(DataPoint::new("m", i as u64).field("v", *v));
+        }
+        let pts = Query::new("m").run(&db);
+        let p50 = percentile(&pts, "v", 0.5).unwrap();
+        let p99 = percentile(&pts, "v", 0.99).unwrap();
+        let p0 = percentile(&pts, "v", 0.0).unwrap();
+        let p100 = percentile(&pts, "v", 1.0).unwrap();
+        let min = *values.iter().min().unwrap() as f64;
+        let max = *values.iter().max().unwrap() as f64;
+        prop_assert_eq!(p0, min);
+        prop_assert_eq!(p100, max);
+        prop_assert!(p50 <= p99);
+        prop_assert!((min..=max).contains(&p50));
+        // Every percentile is an actual sample value.
+        prop_assert!(values.iter().any(|&v| v as f64 == p99));
+    }
+
+    /// Aggregate sum/mean/min/max are mutually consistent.
+    #[test]
+    fn aggregate_consistency(values in proptest::collection::vec(0u64..1_000_000, 1..200)) {
+        let mut db = TraceDb::new();
+        for (i, v) in values.iter().enumerate() {
+            db.insert(DataPoint::new("m", i as u64).field("v", *v));
+        }
+        let pts = Query::new("m").run(&db);
+        let agg = aggregate(&pts, "v");
+        prop_assert_eq!(agg.count, values.len());
+        prop_assert!((agg.mean - agg.sum / agg.count as f64).abs() < 1e-9);
+        prop_assert!(agg.min <= agg.mean && agg.mean <= agg.max);
+    }
+
+    /// Time-range queries return exactly the points in range, in
+    /// insertion order.
+    #[test]
+    fn time_range_partition(
+        stamps in proptest::collection::vec(0u64..10_000, 1..100),
+        lo in 0u64..10_000,
+        width in 0u64..5_000,
+    ) {
+        let hi = lo + width;
+        let mut db = TraceDb::new();
+        for t in &stamps {
+            db.insert(DataPoint::new("m", *t));
+        }
+        let inside = Query::new("m").time_range(lo, hi).run(&db);
+        let expected: Vec<u64> =
+            stamps.iter().copied().filter(|t| (lo..=hi).contains(t)).collect();
+        let got: Vec<u64> = inside.iter().map(|p| p.timestamp_ns).collect();
+        prop_assert_eq!(got, expected);
+    }
+
+    /// join_timestamps pairs exactly the trace IDs present in both
+    /// tables.
+    #[test]
+    fn join_is_an_intersection(ids_a in proptest::collection::btree_set(0u32..64, 0..32),
+                               ids_b in proptest::collection::btree_set(0u32..64, 0..32)) {
+        let mut db = TraceDb::new();
+        for id in &ids_a {
+            db.insert(DataPoint::new("a", u64::from(*id)).tag(TRACE_ID_TAG, format!("{id:08x}")));
+        }
+        for id in &ids_b {
+            db.insert(DataPoint::new("b", u64::from(*id) + 1000).tag(TRACE_ID_TAG, format!("{id:08x}")));
+        }
+        let joined = db.join_timestamps("a", "b");
+        let expected: Vec<(u64, u64)> = ids_a
+            .intersection(&ids_b)
+            .map(|&id| (u64::from(id), u64::from(id) + 1000))
+            .collect();
+        prop_assert_eq!(joined, expected);
+    }
+}

@@ -1,0 +1,85 @@
+//! Application payload framing shared by the workload generators.
+//!
+//! Requests carry a sequence number and the sender's monotonic send
+//! timestamp so the client can compute round-trip latency from the echoed
+//! reply, exactly as Sockperf does.
+
+/// Minimum payload length able to carry the probe header.
+pub const PROBE_HEADER_LEN: usize = 17;
+
+/// Operation tags for request/response workloads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// Echo request (Sockperf-style ping-pong).
+    Echo = 0,
+    /// Key-value GET.
+    Get = 1,
+    /// Key-value SET.
+    Set = 2,
+    /// Response to any of the above.
+    Response = 3,
+}
+
+impl Op {
+    fn from_u8(v: u8) -> Option<Op> {
+        match v {
+            0 => Some(Op::Echo),
+            1 => Some(Op::Get),
+            2 => Some(Op::Set),
+            3 => Some(Op::Response),
+            _ => None,
+        }
+    }
+}
+
+/// Encodes a probe payload of exactly `size` bytes (padded with zeros).
+///
+/// # Panics
+///
+/// Panics if `size` is smaller than [`PROBE_HEADER_LEN`].
+pub fn encode(op: Op, seq: u64, t_send_ns: u64, size: usize) -> Vec<u8> {
+    assert!(
+        size >= PROBE_HEADER_LEN,
+        "payload must hold the probe header"
+    );
+    let mut out = vec![0u8; size];
+    out[0] = op as u8;
+    out[1..9].copy_from_slice(&seq.to_le_bytes());
+    out[9..17].copy_from_slice(&t_send_ns.to_le_bytes());
+    out
+}
+
+/// Decodes `(op, seq, t_send_ns)` from a probe payload.
+pub fn decode(payload: &[u8]) -> Option<(Op, u64, u64)> {
+    if payload.len() < PROBE_HEADER_LEN {
+        return None;
+    }
+    let op = Op::from_u8(payload[0])?;
+    let seq = u64::from_le_bytes(payload[1..9].try_into().ok()?);
+    let t = u64::from_le_bytes(payload[9..17].try_into().ok()?);
+    Some((op, seq, t))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let p = encode(Op::Get, 42, 123_456, 64);
+        assert_eq!(p.len(), 64);
+        assert_eq!(decode(&p), Some((Op::Get, 42, 123_456)));
+    }
+
+    #[test]
+    fn short_payload_rejected() {
+        assert_eq!(decode(&[0u8; 10]), None);
+        assert_eq!(decode(&[9u8; 32]), None, "unknown op");
+    }
+
+    #[test]
+    #[should_panic(expected = "probe header")]
+    fn undersized_encode_panics() {
+        let _ = encode(Op::Echo, 0, 0, 8);
+    }
+}

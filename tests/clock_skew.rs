@@ -1,0 +1,90 @@
+//! Cross-machine clock skew: Cristian's algorithm end-to-end.
+
+use std::collections::HashMap;
+
+use vnet_testbed::xen::{XenConfig, XenScenario, CLIENT_IP, SERVER_IP};
+use vnettracer::analysis::align_timestamps;
+use vnettracer::clock_sync::{estimate_skew, SkewSample};
+use vnettracer::config::{Action, ControlPackage, FilterRule, HookSpec, TraceSpec};
+use vnettracer::metrics;
+
+fn probe_package() -> ControlPackage {
+    let req = FilterRule::udp_flow((CLIENT_IP, 40000), (SERVER_IP, 11211));
+    let spec = |name: &str, node: &str, hook: HookSpec, filter| TraceSpec {
+        name: name.into(),
+        node: node.into(),
+        hook,
+        filter,
+        action: Action::RecordPacketInfo,
+    };
+    ControlPackage::new(vec![
+        spec("t1", "client", HookSpec::DeviceTx("eth0".into()), req),
+        spec("t2", "xenhost", HookSpec::DeviceRx("eth0".into()), req),
+        spec(
+            "t3",
+            "xenhost",
+            HookSpec::DeviceTx("eth0-tx".into()),
+            req.reversed(),
+        ),
+        spec(
+            "t4",
+            "client",
+            HookSpec::DeviceRx("em-c-rx".into()),
+            req.reversed(),
+        ),
+    ])
+}
+
+fn measure(offset_ns: i64) -> (i64, Vec<u64>, Vec<u64>) {
+    let cfg = XenConfig {
+        requests: 100,
+        interval: vnet_sim::SimDuration::from_millis(1),
+        xen_clock_offset_ns: offset_ns,
+        ..Default::default()
+    };
+    let mut s = XenScenario::build(&cfg);
+    let mut tracer = s.make_tracer();
+    tracer.deploy(&mut s.world, &probe_package()).unwrap();
+    s.run(&cfg);
+    tracer.collect(&s.world);
+    let t12 = tracer.db().join_timestamps("t1", "t2");
+    let t34 = tracer.db().join_timestamps("t3", "t4");
+    let samples: Vec<SkewSample> = t12
+        .iter()
+        .zip(t34.iter())
+        .map(|(&(t1, t2), &(t3, t4))| SkewSample { t1, t2, t3, t4 })
+        .collect();
+    assert_eq!(samples.len(), 100, "paper-sized sample set");
+    let est = estimate_skew(&samples).unwrap();
+    let raw = metrics::latency_between(tracer.db(), "t1", "t2", None);
+    let mut skews = HashMap::new();
+    skews.insert("xenhost".to_owned(), est);
+    let aligned_db = align_timestamps(tracer.db(), &skews);
+    let aligned = metrics::latency_between(&aligned_db, "t1", "t2", None);
+    (est.offset_ns, raw, aligned)
+}
+
+#[test]
+fn positive_offset_recovered_exactly_on_symmetric_path() {
+    let (est, raw, aligned) = measure(3_700);
+    assert_eq!(est, 3_700, "symmetric path recovers the offset exactly");
+    // Raw latency includes the skew; aligned latency does not.
+    let mean = |v: &[u64]| v.iter().sum::<u64>() / v.len() as u64;
+    assert_eq!(mean(&raw) - mean(&aligned), 3_700);
+}
+
+#[test]
+fn negative_offset_recovered() {
+    let (est, _, aligned) = measure(-5_200);
+    assert_eq!(est, -5_200);
+    // Alignment still yields positive, sane latencies.
+    assert!(!aligned.is_empty());
+    assert!(aligned.iter().all(|&l| l > 5_000 && l < 100_000));
+}
+
+#[test]
+fn skew_free_clocks_estimate_zero() {
+    let (est, raw, aligned) = measure(0);
+    assert_eq!(est, 0);
+    assert_eq!(raw, aligned);
+}

@@ -1,0 +1,49 @@
+//! Trace-database persistence: spill a live trace to JSON lines and
+//! reload it — the "stored locally and then gathered to the database on
+//! the master node" step of §III-A/III-C.
+
+use vnet_testbed::two_host::{TwoHostConfig, TwoHostScenario};
+use vnet_tsdb::{read_json_lines, write_json_lines};
+use vnettracer::metrics;
+
+#[test]
+fn spill_and_reload_preserves_all_analysis() {
+    let cfg = TwoHostConfig {
+        messages: 200,
+        ..Default::default()
+    };
+    let mut s = TwoHostScenario::build(&cfg);
+    let pkg = s.control_package();
+    let mut tracer = s.make_tracer();
+    tracer.deploy(&mut s.world, &pkg).unwrap();
+    s.run(&cfg);
+    tracer.collect(&s.world);
+
+    // Spill to a file, reload.
+    let path = std::env::temp_dir().join("vnettracer_spill_test.jsonl");
+    {
+        let file = std::fs::File::create(&path).unwrap();
+        let written = write_json_lines(tracer.db(), std::io::BufWriter::new(file)).unwrap();
+        assert_eq!(written, tracer.db().len());
+    }
+    let reloaded = {
+        let file = std::fs::File::open(&path).unwrap();
+        read_json_lines(std::io::BufReader::new(file)).unwrap()
+    };
+    let _ = std::fs::remove_file(&path);
+
+    // Every offline analysis gives identical answers on the reloaded DB.
+    assert_eq!(reloaded.len(), tracer.db().len());
+    let live = metrics::latency_between(tracer.db(), "s1_ovs_br1", "s2_ovs_br1", None);
+    let cold = metrics::latency_between(&reloaded, "s1_ovs_br1", "s2_ovs_br1", None);
+    assert_eq!(live, cold);
+    let live_t = metrics::throughput_at(tracer.db(), "s2_ovs_br1");
+    let cold_t = metrics::throughput_at(&reloaded, "s2_ovs_br1");
+    assert!((live_t - cold_t).abs() < 1e-9);
+    let live_loss = metrics::packet_loss(tracer.db(), "s1_ovs_br1", "s2_ens3");
+    let cold_loss = metrics::packet_loss(&reloaded, "s1_ovs_br1", "s2_ens3");
+    assert_eq!(live_loss.lost, cold_loss.lost);
+    let live_seg = metrics::decompose(tracer.db(), &["s1_ovs_br1", "s2_ovs_br1", "s2_ens3"]);
+    let cold_seg = metrics::decompose(&reloaded, &["s1_ovs_br1", "s2_ovs_br1", "s2_ens3"]);
+    assert_eq!(live_seg, cold_seg);
+}
