@@ -13,7 +13,7 @@
 
 use std::net::{Ipv4Addr, SocketAddrV4};
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 use std::hint::black_box;
 use vnet_ebpf::context::TraceContext;
 use vnet_ebpf::map::{MapDef, MapRegistry};
@@ -24,8 +24,10 @@ use vnet_sim::node::NodeClock;
 use vnet_sim::packet::{trace_id, FlowKey, PacketBuilder, TcpFlags};
 use vnet_sim::time::{SimDuration, SimTime};
 use vnet_sim::world::World;
+use vnet_tsdb::{RecordBatch, TraceDb};
 use vnettracer::compile::compile;
 use vnettracer::config::{Action, FilterRule, HookSpec, TraceSpec};
+use vnettracer::record::TraceRecord;
 
 fn udp_flow() -> FlowKey {
     FlowKey::udp(
@@ -180,9 +182,59 @@ fn bench_sim_events(c: &mut Criterion) {
     });
 }
 
+/// Tentpole claim: batched ingest (whole [`RecordBatch`]es appended into
+/// per-(table, node) shards of integer records) versus the legacy path
+/// that materializes one tagged `DataPoint` per record.
+fn bench_ingest(c: &mut Criterion) {
+    const RECORDS: u64 = 1_000_000;
+    let records: Vec<TraceRecord> = (0..RECORDS)
+        .map(|i| TraceRecord {
+            timestamp_ns: i * 1_000,
+            trace_id: i as u32,
+            pkt_len: 104,
+            saddr: u32::from(Ipv4Addr::new(10, 0, 0, 1)),
+            daddr: u32::from(Ipv4Addr::new(10, 0, 0, 2)),
+            sport: 9000,
+            dport: 7,
+            cpu: (i % 4) as u16,
+            direction: 0,
+            flags: 1,
+        })
+        .collect();
+    let mut batch = RecordBatch::new();
+    for r in &records {
+        batch.push("tp0", "server1", r.to_compact());
+    }
+    let mut g = c.benchmark_group("ingest_1m");
+    g.sample_size(10).throughput(Throughput::Elements(RECORDS));
+    g.bench_function("single_record", |b| {
+        b.iter_batched(
+            TraceDb::new,
+            |mut db| {
+                for r in &records {
+                    db.insert(r.to_point("tp0", "server1"));
+                }
+                db.len()
+            },
+            BatchSize::PerIteration,
+        )
+    });
+    g.bench_function("batched", |b| {
+        b.iter_batched(
+            TraceDb::new,
+            |mut db| {
+                db.insert_batch(black_box(&batch));
+                db.len()
+            },
+            BatchSize::PerIteration,
+        )
+    });
+    g.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_packet_id, bench_ebpf, bench_verifier, bench_sim_events
+    targets = bench_packet_id, bench_ebpf, bench_verifier, bench_sim_events, bench_ingest
 }
 criterion_main!(benches);

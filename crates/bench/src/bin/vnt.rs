@@ -85,6 +85,38 @@ fn print_db_summary(tracer: &vnettracer::VNetTracer) {
     println!("{t}");
 }
 
+/// Prints the collector's self-observability counters: per-agent ingest
+/// totals, perf-ring losses and heartbeat lag.
+fn print_collector_stats(stats: &vnettracer::collector::CollectorStats) {
+    let mut t = Table::new(
+        "collector",
+        &[
+            "agent", "seq", "batches", "records", "bytes", "lost", "lag (us)",
+        ],
+    );
+    for a in &stats.agents {
+        t.row(&[
+            a.node.clone(),
+            a.last_seq.to_string(),
+            a.stats.batches.to_string(),
+            a.stats.records.to_string(),
+            a.stats.bytes.to_string(),
+            a.lost_records.to_string(),
+            a.lag.as_micros().to_string(),
+        ]);
+    }
+    t.row(&[
+        "total".into(),
+        String::new(),
+        stats.totals.batches.to_string(),
+        stats.totals.records.to_string(),
+        stats.totals.bytes.to_string(),
+        stats.lost_records.to_string(),
+        String::new(),
+    ]);
+    println!("{t}");
+}
+
 fn run(args: &Args) -> Result<(), String> {
     match args.scenario.as_str() {
         "two-host" => {
@@ -106,6 +138,7 @@ fn run(args: &Args) -> Result<(), String> {
             let n = tracer.collect(&s.world);
             println!("collected {n} records\n");
             print_db_summary(&tracer);
+            print_collector_stats(&tracer.stats(&s.world));
             if let Some(summary) = s.latency.borrow().summary() {
                 println!(
                     "sockperf: avg {:.1} us, p99.9 {:.1} us over {} messages",
@@ -135,6 +168,7 @@ fn run(args: &Args) -> Result<(), String> {
             s.run(&cfg);
             tracer.collect(&s.world);
             print_db_summary(&tracer);
+            print_collector_stats(&tracer.stats(&s.world));
             let mut t = Table::new("latency decomposition", &["segment", "mean (us)"]);
             for seg in tracer.decompose(&vnet_testbed::ovs::OvsScenario::decomposition_chain()) {
                 t.row(&[

@@ -353,24 +353,60 @@ impl Agent {
     /// Drains all perf buffers: the periodic buffer dump of §III-C.
     /// Returns `(table name, record)` pairs.
     pub fn drain(&mut self) -> Vec<(String, TraceRecord)> {
+        let mut batch = vnet_tsdb::RecordBatch::new();
+        self.drain_into(&mut batch);
         let mut out = Vec::new();
+        for group in batch.groups() {
+            for r in &group.records {
+                out.push((
+                    group.measurement.clone(),
+                    TraceRecord {
+                        timestamp_ns: r.timestamp_ns,
+                        trace_id: r.trace_id,
+                        pkt_len: r.pkt_len,
+                        saddr: r.saddr,
+                        daddr: r.daddr,
+                        sport: r.sport,
+                        dport: r.dport,
+                        cpu: r.cpu,
+                        direction: r.direction,
+                        flags: r.flags,
+                    },
+                ));
+            }
+        }
+        out
+    }
+
+    /// Drains every perf buffer straight into `batch`, grouped by
+    /// (table, node) — the allocation-free half of the batched collection
+    /// path. Records are decoded in place from the ring and appended in
+    /// compact form; scripts are visited in install order so output is
+    /// deterministic. Returns the number of records drained.
+    pub fn drain_into(&mut self, batch: &mut vnet_tsdb::RecordBatch) -> usize {
+        let mut drained = 0;
         let mut maps = self.maps.borrow_mut();
-        for installed in self.installed.values() {
+        for id in self.script_ids() {
+            let installed = &self.installed[&id];
             let Some(fd) = installed.perf_fd else {
                 continue;
             };
             let Some(map) = maps.get_mut(fd) else {
                 continue;
             };
-            for raw in map.perf_drain_all() {
-                if raw.len() == RECORD_SIZE {
-                    if let Some(rec) = TraceRecord::decode(&raw) {
-                        out.push((installed.spec.name.clone(), rec));
+            let group = batch.group_mut(&installed.spec.name, &self.node_name);
+            for cpu in 0..usize::from(self.num_cpus) {
+                map.perf_drain_with(cpu, |raw| {
+                    if raw.len() == RECORD_SIZE {
+                        if let Some(rec) = TraceRecord::decode(raw) {
+                            group.records.push(rec.to_compact());
+                            drained += 1;
+                        }
                     }
-                }
+                });
             }
         }
-        out
+        drained
     }
 
     /// Number of records lost to perf-buffer overflow for a script.
@@ -386,6 +422,13 @@ impl Agent {
         (0..usize::from(self.num_cpus))
             .map(|c| map.perf_lost(c))
             .sum()
+    }
+
+    /// Total records lost to perf-buffer overflow across all installed
+    /// scripts — reported with each batch so the collector's stats
+    /// surface can track drops per agent.
+    pub fn lost_records_total(&self) -> u64 {
+        self.installed.keys().map(|&id| self.lost_records(id)).sum()
     }
 
     /// Per-CPU counter values of a [`Action::CountPerCpu`] script.
@@ -568,6 +611,61 @@ mod tests {
         }
         w.run_until(SimTime::from_millis(1));
         assert_eq!(agent.lost_records(id), 3);
+        assert_eq!(agent.lost_records_total(), 3);
         assert_eq!(agent.drain().len(), 1);
+    }
+
+    #[test]
+    fn drain_into_batches_by_script_and_reuses_buffers() {
+        let (mut w, n) = world_with_device();
+        let mut agent = Agent::new(n, "server1", 4);
+        agent.install(&mut w, &udp_spec(), 4096).unwrap();
+        let dev = w.find_device(n, "eth0").unwrap();
+        for _ in 0..3 {
+            w.inject(dev, udp_pkt());
+        }
+        w.run_until(SimTime::from_millis(1));
+        let mut batch = vnet_tsdb::RecordBatch::new();
+        assert_eq!(agent.drain_into(&mut batch), 3);
+        assert_eq!(batch.len(), 3);
+        let group = &batch.groups()[0];
+        assert_eq!(group.measurement, "eth0_rx");
+        assert_eq!(group.node, "server1");
+        assert!(group.records.iter().all(|r| r.pkt_len > 0));
+        // Second cycle: clear, fire again, drain into the same batch.
+        batch.clear();
+        w.inject(dev, udp_pkt());
+        w.run_until(SimTime::from_millis(2));
+        assert_eq!(agent.drain_into(&mut batch), 1);
+        assert_eq!(batch.len(), 1);
+        assert_eq!(batch.groups().len(), 1, "group was reused, not re-added");
+        // Nothing left after the drain.
+        batch.clear();
+        assert_eq!(agent.drain_into(&mut batch), 0);
+    }
+
+    #[test]
+    fn drain_and_drain_into_agree() {
+        let (mut w, n) = world_with_device();
+        let mut agent = Agent::new(n, "server1", 4);
+        agent.install(&mut w, &udp_spec(), 4096).unwrap();
+        let dev = w.find_device(n, "eth0").unwrap();
+        for _ in 0..2 {
+            w.inject(dev, udp_pkt());
+        }
+        w.run_until(SimTime::from_millis(1));
+        let mut batch = vnet_tsdb::RecordBatch::new();
+        agent.drain_into(&mut batch);
+        // Re-run the same traffic and use the legacy drain.
+        for _ in 0..2 {
+            w.inject(dev, udp_pkt());
+        }
+        w.run_until(SimTime::from_millis(2));
+        let legacy = agent.drain();
+        assert_eq!(legacy.len(), batch.len());
+        for ((table, rec), compact) in legacy.iter().zip(&batch.groups()[0].records) {
+            assert_eq!(table, "eth0_rx");
+            assert_eq!(rec.to_compact().pkt_len, compact.pkt_len);
+        }
     }
 }

@@ -17,12 +17,12 @@ pub fn complete_ids(db: &TraceDb, tracepoints: &[&str]) -> BTreeSet<String> {
     let Some(first) = iter.next().and_then(|t| db.table(t)) else {
         return BTreeSet::new();
     };
-    let mut ids: BTreeSet<String> = first.trace_ids().map(str::to_owned).collect();
+    let mut ids: BTreeSet<String> = first.trace_ids().into_iter().collect();
     for tp in iter {
         let Some(table) = db.table(tp) else {
             return BTreeSet::new();
         };
-        let present: BTreeSet<String> = table.trace_ids().map(str::to_owned).collect();
+        let present: BTreeSet<String> = table.trace_ids().into_iter().collect();
         ids = ids.intersection(&present).cloned().collect();
     }
     ids
@@ -35,7 +35,7 @@ pub fn incomplete_ids(db: &TraceDb, tracepoints: &[&str]) -> BTreeSet<String> {
     let Some(first) = tracepoints.first().and_then(|t| db.table(t)) else {
         return BTreeSet::new();
     };
-    let all: BTreeSet<String> = first.trace_ids().map(str::to_owned).collect();
+    let all: BTreeSet<String> = first.trace_ids().into_iter().collect();
     let complete = complete_ids(db, tracepoints);
     all.difference(&complete).cloned().collect()
 }
@@ -47,8 +47,8 @@ pub fn align_timestamps(db: &TraceDb, skew_by_node: &HashMap<String, SkewEstimat
     let mut out = TraceDb::new();
     for measurement in db.measurements() {
         let table = db.table(measurement).expect("listed measurement exists");
-        for p in table.points() {
-            let mut p: DataPoint = p.clone();
+        for e in table.entries() {
+            let mut p: DataPoint = e.to_point();
             if let Some(skew) = p.tag_value("node").and_then(|n| skew_by_node.get(n)) {
                 p.timestamp_ns = skew.align_remote_ns(p.timestamp_ns);
             }
@@ -128,11 +128,11 @@ mod tests {
         );
         let aligned = align_timestamps(&db, &skews);
         assert_eq!(
-            aligned.table("tp0").unwrap().points()[0].timestamp_ns,
+            aligned.table("tp0").unwrap().entries()[0].timestamp_ns(),
             1_000
         );
         assert_eq!(
-            aligned.table("tp1").unwrap().points()[0].timestamp_ns,
+            aligned.table("tp1").unwrap().entries()[0].timestamp_ns(),
             1_300
         );
         // Join now reflects true latency.

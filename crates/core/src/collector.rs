@@ -5,18 +5,71 @@
 //! based on the tracing data. … As the raw data collector periodically
 //! receives tracing data from the agents, it also acts as a heartbeat
 //! monitor to guarantee that the agents work properly." (§III-A, §III-C)
+//!
+//! The collector ingests whole [`RecordBatch`]es through
+//! [`Collector::ingest_batch`] — one call per agent per collection cycle
+//! — and keeps per-agent ingest statistics (records, batches, bytes,
+//! perf-ring losses, heartbeat lag) that [`Collector::stats`] exposes as
+//! the tracer's self-observability surface.
 
 use std::collections::HashMap;
 
 use vnet_sim::time::{SimDuration, SimTime};
-use vnet_tsdb::TraceDb;
+use vnet_tsdb::{RecordBatch, TraceDb, COMPACT_RECORD_BYTES};
 
 use crate::record::TraceRecord;
 
-#[derive(Debug, Clone, Copy)]
+/// Running ingest totals, kept per agent and summed for the collector.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IngestStats {
+    /// Records ingested into the database.
+    pub records: u64,
+    /// Batches (or legacy per-record calls) ingested.
+    pub batches: u64,
+    /// Wire bytes those records represent.
+    pub bytes: u64,
+}
+
+impl IngestStats {
+    fn add(&mut self, records: u64, bytes: u64) {
+        self.records += records;
+        self.batches += 1;
+        self.bytes += bytes;
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
 struct AgentHealth {
     last_seq: u64,
     last_seen: SimTime,
+    lost_records: u64,
+    stats: IngestStats,
+}
+
+/// One agent's row in the collector's stats report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AgentStatus {
+    /// The agent's node name.
+    pub node: String,
+    /// Last heartbeat sequence number received.
+    pub last_seq: u64,
+    /// Time since the last heartbeat.
+    pub lag: SimDuration,
+    /// Records the agent reported lost to perf-ring overflow.
+    pub lost_records: u64,
+    /// Ingest totals for this agent.
+    pub stats: IngestStats,
+}
+
+/// Snapshot of the collector's self-observability counters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CollectorStats {
+    /// Ingest totals across all agents.
+    pub totals: IngestStats,
+    /// Total records lost to perf-ring overflow across all agents.
+    pub lost_records: u64,
+    /// Per-agent status rows, sorted by node name.
+    pub agents: Vec<AgentStatus>,
 }
 
 /// The collector: ingests agent batches into the trace database and
@@ -34,8 +87,30 @@ impl Collector {
         Self::default()
     }
 
+    /// Ingests a whole record batch from `node`'s agent, which doubles as
+    /// a heartbeat. `lost_records` is the agent's cumulative perf-ring
+    /// loss counter, carried alongside the batch. Returns the number of
+    /// records ingested.
+    pub fn ingest_batch(
+        &mut self,
+        node: &str,
+        heartbeat_seq: u64,
+        batch: &RecordBatch,
+        lost_records: u64,
+        now: SimTime,
+    ) -> u64 {
+        self.heartbeat(node, heartbeat_seq, now);
+        let ingested = self.db.insert_batch(batch);
+        self.records_ingested += ingested;
+        let health = self.health.get_mut(node).expect("heartbeat inserted it");
+        health.lost_records = lost_records;
+        health.stats.add(ingested, ingested * COMPACT_RECORD_BYTES);
+        ingested
+    }
+
     /// Ingests a batch of `(table, record)` pairs from `node`'s agent,
-    /// which doubles as a heartbeat.
+    /// which doubles as a heartbeat — the legacy single-record path,
+    /// which materializes one point per record.
     pub fn ingest(
         &mut self,
         node: &str,
@@ -44,21 +119,20 @@ impl Collector {
         now: SimTime,
     ) {
         self.heartbeat(node, heartbeat_seq, now);
+        let count = batch.len() as u64;
         for (table, record) in batch {
             self.records_ingested += 1;
             self.db.insert(record.to_point(&table, node));
         }
+        let health = self.health.get_mut(node).expect("heartbeat inserted it");
+        health.stats.add(count, count * COMPACT_RECORD_BYTES);
     }
 
     /// Records a standalone heartbeat from `node`.
     pub fn heartbeat(&mut self, node: &str, seq: u64, now: SimTime) {
-        self.health.insert(
-            node.to_owned(),
-            AgentHealth {
-                last_seq: seq,
-                last_seen: now,
-            },
-        );
+        let health = self.health.entry(node.to_owned()).or_default();
+        health.last_seq = seq;
+        health.last_seen = now;
     }
 
     /// Agents that have not been heard from within `timeout` of `now`.
@@ -81,6 +155,36 @@ impl Collector {
     /// Total records ingested.
     pub fn records_ingested(&self) -> u64 {
         self.records_ingested
+    }
+
+    /// Snapshot of ingest totals and per-agent status at time `now`
+    /// (heartbeat lag is computed against it).
+    pub fn stats(&self, now: SimTime) -> CollectorStats {
+        let mut agents: Vec<AgentStatus> = self
+            .health
+            .iter()
+            .map(|(node, h)| AgentStatus {
+                node: node.clone(),
+                last_seq: h.last_seq,
+                lag: now.saturating_since(h.last_seen),
+                lost_records: h.lost_records,
+                stats: h.stats,
+            })
+            .collect();
+        agents.sort_by(|a, b| a.node.cmp(&b.node));
+        let mut totals = IngestStats::default();
+        let mut lost_records = 0;
+        for a in &agents {
+            totals.records += a.stats.records;
+            totals.batches += a.stats.batches;
+            totals.bytes += a.stats.bytes;
+            lost_records += a.lost_records;
+        }
+        CollectorStats {
+            totals,
+            lost_records,
+            agents,
+        }
     }
 
     /// The trace database.
@@ -119,8 +223,59 @@ mod tests {
         assert_eq!(c.records_ingested(), 2);
         assert_eq!(c.db().table("tp_a").unwrap().len(), 1);
         assert_eq!(c.db().table("tp_b").unwrap().len(), 1);
-        let p = &c.db().table("tp_a").unwrap().points()[0];
-        assert_eq!(p.tag_value("node"), Some("server1"));
+        let table = c.db().table("tp_a").unwrap();
+        let entries = table.entries();
+        assert_eq!(entries[0].tag("node").as_deref(), Some("server1"));
+    }
+
+    #[test]
+    fn ingest_batch_fills_shards_and_stats() {
+        let mut c = Collector::new();
+        let mut batch = RecordBatch::new();
+        batch.push("tp_a", "server1", record(10).to_compact());
+        batch.push("tp_a", "server1", record(20).to_compact());
+        batch.push("tp_b", "server1", record(30).to_compact());
+        let n = c.ingest_batch("server1", 1, &batch, 2, SimTime::from_micros(5));
+        assert_eq!(n, 3);
+        assert_eq!(c.records_ingested(), 3);
+        assert_eq!(c.db().table("tp_a").unwrap().len(), 2);
+        assert_eq!(c.db().table("tp_a").unwrap().shards().len(), 1);
+        assert_eq!(c.last_heartbeat("server1"), Some(1));
+
+        let stats = c.stats(SimTime::from_micros(9));
+        assert_eq!(stats.totals.records, 3);
+        assert_eq!(stats.totals.batches, 1);
+        assert_eq!(stats.totals.bytes, 3 * COMPACT_RECORD_BYTES);
+        assert_eq!(stats.lost_records, 2);
+        assert_eq!(stats.agents.len(), 1);
+        let a = &stats.agents[0];
+        assert_eq!(a.node, "server1");
+        assert_eq!(a.last_seq, 1);
+        assert_eq!(a.lag, SimDuration::from_micros(4));
+        assert_eq!(a.lost_records, 2);
+    }
+
+    #[test]
+    fn stats_aggregate_multiple_agents_sorted() {
+        let mut c = Collector::new();
+        let mut batch = RecordBatch::new();
+        batch.push("tp", "n2", record(1).to_compact());
+        c.ingest_batch("n2", 1, &batch, 0, SimTime::from_micros(1));
+        batch.clear();
+        batch.push("tp", "n1", record(2).to_compact());
+        batch.push("tp", "n1", record(3).to_compact());
+        c.ingest_batch("n1", 4, &batch, 1, SimTime::from_micros(2));
+
+        let stats = c.stats(SimTime::from_micros(2));
+        assert_eq!(stats.totals.records, 3);
+        assert_eq!(stats.totals.batches, 2);
+        assert_eq!(stats.lost_records, 1);
+        let nodes: Vec<&str> = stats.agents.iter().map(|a| a.node.as_str()).collect();
+        assert_eq!(nodes, vec!["n1", "n2"], "sorted by node");
+        assert_eq!(stats.agents[0].last_seq, 4);
+        assert_eq!(stats.agents[0].lag, SimDuration::ZERO);
+        // The two shards of table "tp" keep node streams separate.
+        assert_eq!(c.db().table("tp").unwrap().shards().len(), 2);
     }
 
     #[test]

@@ -15,6 +15,7 @@
 use std::net::Ipv4Addr;
 
 use serde::{Deserialize, Serialize};
+use serde_json::{member, object, Error as JsonError, FromJson, ToJson, Value};
 
 /// Transport protocol selector for filter rules.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -228,6 +229,224 @@ impl ControlPackage {
     /// Returns the serde error text if the JSON is malformed.
     pub fn from_json(s: &str) -> Result<Self, String> {
         serde_json::from_str(s).map_err(|e| e.to_string())
+    }
+}
+
+// --- JSON wire encoding ---
+//
+// The control package really travels as JSON between dispatcher and
+// agents; the vendored serde derives are inert, so the encoding is
+// written out by hand. Layout matches what serde's derive would emit:
+// unit enum variants as bare strings, newtype variants as one-member
+// objects, options as null-or-value, IPs as dotted strings.
+
+impl ToJson for Proto {
+    fn to_json(&self) -> Value {
+        Value::String(
+            match self {
+                Proto::Tcp => "Tcp",
+                Proto::Udp => "Udp",
+            }
+            .to_owned(),
+        )
+    }
+}
+
+impl FromJson for Proto {
+    fn from_json(value: &Value) -> Result<Self, JsonError> {
+        match value.as_str() {
+            Some("Tcp") => Ok(Proto::Tcp),
+            Some("Udp") => Ok(Proto::Udp),
+            _ => Err(JsonError::msg("expected \"Tcp\" or \"Udp\"")),
+        }
+    }
+}
+
+/// Wraps `Ipv4Addr` (a std type, so no direct impl is possible here)
+/// for JSON conversion as a dotted-quad string.
+struct JsonIp(Ipv4Addr);
+
+impl ToJson for JsonIp {
+    fn to_json(&self) -> Value {
+        Value::String(self.0.to_string())
+    }
+}
+
+impl FromJson for JsonIp {
+    fn from_json(value: &Value) -> Result<Self, JsonError> {
+        value
+            .as_str()
+            .and_then(|s| s.parse().ok())
+            .map(JsonIp)
+            .ok_or_else(|| JsonError::msg("expected dotted IPv4 address"))
+    }
+}
+
+impl ToJson for FilterRule {
+    fn to_json(&self) -> Value {
+        object([
+            ("ether_type", self.ether_type.to_json()),
+            ("protocol", self.protocol.to_json()),
+            ("src_ip", self.src_ip.map(JsonIp).to_json()),
+            ("dst_ip", self.dst_ip.map(JsonIp).to_json()),
+            ("src_port", self.src_port.to_json()),
+            ("dst_port", self.dst_port.to_json()),
+        ])
+    }
+}
+
+impl FromJson for FilterRule {
+    fn from_json(value: &Value) -> Result<Self, JsonError> {
+        Ok(FilterRule {
+            ether_type: member(value, "ether_type")?,
+            protocol: member(value, "protocol")?,
+            src_ip: member::<Option<JsonIp>>(value, "src_ip")?.map(|ip| ip.0),
+            dst_ip: member::<Option<JsonIp>>(value, "dst_ip")?.map(|ip| ip.0),
+            src_port: member(value, "src_port")?,
+            dst_port: member(value, "dst_port")?,
+        })
+    }
+}
+
+impl ToJson for Action {
+    fn to_json(&self) -> Value {
+        Value::String(
+            match self {
+                Action::RecordPacketInfo => "RecordPacketInfo",
+                Action::CountPerCpu => "CountPerCpu",
+            }
+            .to_owned(),
+        )
+    }
+}
+
+impl FromJson for Action {
+    fn from_json(value: &Value) -> Result<Self, JsonError> {
+        match value.as_str() {
+            Some("RecordPacketInfo") => Ok(Action::RecordPacketInfo),
+            Some("CountPerCpu") => Ok(Action::CountPerCpu),
+            _ => Err(JsonError::msg("unknown action")),
+        }
+    }
+}
+
+impl ToJson for HookSpec {
+    fn to_json(&self) -> Value {
+        let (variant, target) = match self {
+            HookSpec::Kprobe(s) => ("Kprobe", s),
+            HookSpec::Kretprobe(s) => ("Kretprobe", s),
+            HookSpec::Tracepoint(s) => ("Tracepoint", s),
+            HookSpec::DeviceRx(s) => ("DeviceRx", s),
+            HookSpec::DeviceTx(s) => ("DeviceTx", s),
+            HookSpec::Uprobe(s) => ("Uprobe", s),
+        };
+        object([(variant, target.to_json())])
+    }
+}
+
+impl FromJson for HookSpec {
+    fn from_json(value: &Value) -> Result<Self, JsonError> {
+        let obj = value
+            .as_object()
+            .ok_or_else(|| JsonError::msg("expected hook object"))?;
+        let (variant, target) = obj
+            .iter()
+            .next()
+            .ok_or_else(|| JsonError::msg("empty hook object"))?;
+        let target = String::from_json(target)?;
+        match variant.as_str() {
+            "Kprobe" => Ok(HookSpec::Kprobe(target)),
+            "Kretprobe" => Ok(HookSpec::Kretprobe(target)),
+            "Tracepoint" => Ok(HookSpec::Tracepoint(target)),
+            "DeviceRx" => Ok(HookSpec::DeviceRx(target)),
+            "DeviceTx" => Ok(HookSpec::DeviceTx(target)),
+            "Uprobe" => Ok(HookSpec::Uprobe(target)),
+            other => Err(JsonError::msg(format!("unknown hook '{other}'"))),
+        }
+    }
+}
+
+impl ToJson for TraceSpec {
+    fn to_json(&self) -> Value {
+        object([
+            ("name", self.name.to_json()),
+            ("node", self.node.to_json()),
+            ("hook", self.hook.to_json()),
+            ("filter", self.filter.to_json()),
+            ("action", self.action.to_json()),
+        ])
+    }
+}
+
+impl FromJson for TraceSpec {
+    fn from_json(value: &Value) -> Result<Self, JsonError> {
+        Ok(TraceSpec {
+            name: member(value, "name")?,
+            node: member(value, "node")?,
+            hook: member(value, "hook")?,
+            filter: member(value, "filter")?,
+            action: member(value, "action")?,
+        })
+    }
+}
+
+impl ToJson for CollectionMode {
+    fn to_json(&self) -> Value {
+        Value::String(
+            match self {
+                CollectionMode::Offline => "Offline",
+                CollectionMode::Online => "Online",
+            }
+            .to_owned(),
+        )
+    }
+}
+
+impl FromJson for CollectionMode {
+    fn from_json(value: &Value) -> Result<Self, JsonError> {
+        match value.as_str() {
+            Some("Offline") => Ok(CollectionMode::Offline),
+            Some("Online") => Ok(CollectionMode::Online),
+            _ => Err(JsonError::msg("unknown collection mode")),
+        }
+    }
+}
+
+impl ToJson for GlobalConfig {
+    fn to_json(&self) -> Value {
+        object([
+            ("database", self.database.to_json()),
+            ("buffer_size", self.buffer_size.to_json()),
+            ("mode", self.mode.to_json()),
+        ])
+    }
+}
+
+impl FromJson for GlobalConfig {
+    fn from_json(value: &Value) -> Result<Self, JsonError> {
+        Ok(GlobalConfig {
+            database: member(value, "database")?,
+            buffer_size: member(value, "buffer_size")?,
+            mode: member(value, "mode")?,
+        })
+    }
+}
+
+impl ToJson for ControlPackage {
+    fn to_json(&self) -> Value {
+        object([
+            ("global", self.global.to_json()),
+            ("traces", self.traces.to_json()),
+        ])
+    }
+}
+
+impl FromJson for ControlPackage {
+    fn from_json(value: &Value) -> Result<Self, JsonError> {
+        Ok(ControlPackage {
+            global: member(value, "global")?,
+            traces: member(value, "traces")?,
+        })
     }
 }
 

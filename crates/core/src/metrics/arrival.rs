@@ -14,7 +14,7 @@ pub fn interarrival_ns(db: &TraceDb, measurement: &str) -> Vec<u64> {
     let Some(table) = db.table(measurement) else {
         return Vec::new();
     };
-    let mut stamps: Vec<u64> = table.points().iter().map(|p| p.timestamp_ns).collect();
+    let mut stamps: Vec<u64> = table.entries().iter().map(|e| e.timestamp_ns()).collect();
     stamps.sort_unstable();
     stamps.windows(2).map(|w| w[1] - w[0]).collect()
 }
@@ -33,7 +33,7 @@ pub fn arrival_rate(db: &TraceDb, measurement: &str, bucket_ns: u64) -> Vec<(u64
     if table.is_empty() {
         return Vec::new();
     }
-    let mut stamps: Vec<u64> = table.points().iter().map(|p| p.timestamp_ns).collect();
+    let mut stamps: Vec<u64> = table.entries().iter().map(|e| e.timestamp_ns()).collect();
     stamps.sort_unstable();
     let first = stamps[0] / bucket_ns * bucket_ns;
     let last = *stamps.last().expect("non-empty");

@@ -49,11 +49,12 @@ pub fn per_packet_segments(db: &TraceDb, tracepoints: &[&str]) -> Vec<(String, V
     // Trace IDs ordered by first-tracepoint timestamp.
     let mut ids: Vec<(u64, String)> = first
         .trace_ids()
+        .into_iter()
         .filter_map(|id| {
             first
-                .by_trace_id(id)
-                .next()
-                .map(|p| (p.timestamp_ns, id.to_owned()))
+                .by_trace_id(&id)
+                .first()
+                .map(|e| (e.timestamp_ns(), id.clone()))
         })
         .collect();
     ids.sort();
@@ -63,8 +64,8 @@ pub fn per_packet_segments(db: &TraceDb, tracepoints: &[&str]) -> Vec<(String, V
             let stamps: Vec<Option<u64>> = tables
                 .iter()
                 .map(|t| {
-                    t.and_then(|t| t.by_trace_id(&id).next())
-                        .map(|p| p.timestamp_ns)
+                    t.and_then(|t| t.by_trace_id(&id).first().copied())
+                        .map(|e| e.timestamp_ns())
                 })
                 .collect();
             let segs: Vec<Option<u64>> = stamps

@@ -19,17 +19,17 @@ pub fn per_flow_throughput(db: &TraceDb, measurement: &str) -> Vec<(String, f64)
         return Vec::new();
     };
     let mut groups: BTreeMap<String, Vec<(u64, u32, bool)>> = BTreeMap::new();
-    for p in table.points() {
-        let Some(flow) = p.tag_value("flow") else {
+    for e in table.entries() {
+        let Some(flow) = e.tag("flow") else {
             continue;
         };
-        let Some(len) = p.field_value("pkt_len").and_then(|v| v.as_u64()) else {
+        let Some(len) = e.field_u64("pkt_len") else {
             continue;
         };
-        groups.entry(flow.to_owned()).or_default().push((
-            p.timestamp_ns,
+        groups.entry(flow.into_owned()).or_default().push((
+            e.timestamp_ns(),
             len as u32,
-            p.tag_value(TRACE_ID_TAG).is_some(),
+            e.tag(TRACE_ID_TAG).is_some(),
         ));
     }
     groups
@@ -46,9 +46,9 @@ pub fn per_flow_loss(db: &TraceDb, upstream: &str, downstream: &str) -> Vec<(Str
     let count_by_flow = |measurement: &str| -> BTreeMap<String, u64> {
         let mut out = BTreeMap::new();
         if let Some(table) = db.table(measurement) {
-            for p in table.points() {
-                if let Some(flow) = p.tag_value("flow") {
-                    *out.entry(flow.to_owned()).or_insert(0) += 1;
+            for e in table.entries() {
+                if let Some(flow) = e.tag("flow") {
+                    *out.entry(flow.into_owned()).or_insert(0) += 1;
                 }
             }
         }

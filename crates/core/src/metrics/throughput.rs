@@ -38,11 +38,11 @@ pub fn throughput_at(db: &TraceDb, measurement: &str) -> f64 {
         return 0.0;
     };
     let samples: Vec<(u64, u32, bool)> = table
-        .points()
+        .entries()
         .iter()
-        .filter_map(|p| {
-            let len = p.field_value("pkt_len")?.as_u64()? as u32;
-            Some((p.timestamp_ns, len, p.tag_value(TRACE_ID_TAG).is_some()))
+        .filter_map(|e| {
+            let len = e.field_u64("pkt_len")? as u32;
+            Some((e.timestamp_ns(), len, e.tag(TRACE_ID_TAG).is_some()))
         })
         .collect();
     throughput_bps(&samples)

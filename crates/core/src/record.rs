@@ -82,6 +82,24 @@ impl TraceRecord {
         })
     }
 
+    /// Converts to the store's compact form — a field-for-field copy, so
+    /// the batched ingest path can move records without materializing
+    /// tags or fields.
+    pub fn to_compact(&self) -> vnet_tsdb::CompactRecord {
+        vnet_tsdb::CompactRecord {
+            timestamp_ns: self.timestamp_ns,
+            trace_id: self.trace_id,
+            pkt_len: self.pkt_len,
+            saddr: self.saddr,
+            daddr: self.daddr,
+            sport: self.sport,
+            dport: self.dport,
+            cpu: self.cpu,
+            direction: self.direction,
+            flags: self.flags,
+        }
+    }
+
     /// Converts to a database point for the table `measurement`, tagged
     /// with node name, flow and trace ID.
     pub fn to_point(&self, measurement: &str, node: &str) -> vnet_tsdb::DataPoint {
@@ -174,6 +192,19 @@ mod tests {
         assert_eq!(p.tag_value("flow"), Some("10.0.0.1:9000->10.0.0.2:7"));
         assert_eq!(p.tag_value("direction"), Some("tx"));
         assert_eq!(p.field_value("pkt_len").unwrap().as_u64(), Some(102));
+    }
+
+    #[test]
+    fn compact_form_materializes_identically() {
+        for flags in [0u8, 1] {
+            let mut r = sample();
+            r.flags = flags;
+            assert_eq!(
+                r.to_compact().to_point("ovs_rx", "server1"),
+                r.to_point("ovs_rx", "server1"),
+                "compact round trip must match the direct point"
+            );
+        }
     }
 
     #[test]

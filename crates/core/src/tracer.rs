@@ -4,10 +4,10 @@
 use std::collections::HashMap;
 
 use vnet_sim::world::World;
-use vnet_tsdb::TraceDb;
+use vnet_tsdb::{RecordBatch, TraceDb};
 
 use crate::agent::{Agent, ScriptId, ScriptStats};
-use crate::collector::Collector;
+use crate::collector::{Collector, CollectorStats};
 use crate::config::ControlPackage;
 use crate::dispatcher::Dispatcher;
 use crate::error::{Result, TracerError};
@@ -37,6 +37,7 @@ pub struct VNetTracer {
     agents: HashMap<String, Agent>,
     collector: Collector,
     deployed: Vec<DeployedScript>,
+    batch: RecordBatch,
 }
 
 impl VNetTracer {
@@ -142,8 +143,9 @@ impl VNetTracer {
             .map_or(0, |a| a.lost_records(handle.id))
     }
 
-    /// The periodic collection cycle: every agent dumps its kernel
-    /// buffers and ships the batch (with a heartbeat) to the collector.
+    /// The periodic collection cycle: every agent drains its kernel
+    /// buffers into the tracer's reusable batch, which the collector
+    /// ingests whole (with a heartbeat and the agent's loss counter).
     /// Returns the number of records collected.
     pub fn collect(&mut self, world: &World) -> usize {
         let now = world.now();
@@ -152,12 +154,22 @@ impl VNetTracer {
         names.sort();
         for name in names {
             let agent = self.agents.get_mut(&name).expect("listed agent exists");
-            let batch = agent.drain();
-            total += batch.len();
+            self.batch.clear();
+            total += agent.drain_into(&mut self.batch);
             let seq = agent.heartbeat();
-            self.collector.ingest(&name, seq, batch, now);
+            let lost = agent.lost_records_total();
+            self.collector
+                .ingest_batch(&name, seq, &self.batch, lost, now);
         }
+        self.batch.clear();
         total
+    }
+
+    /// Snapshot of the collector's self-observability counters (ingest
+    /// totals, per-agent heartbeat lag and perf-ring losses) at the
+    /// world's current time.
+    pub fn stats(&self, world: &World) -> CollectorStats {
+        self.collector.stats(world.now())
     }
 
     /// The trace database accumulated so far.
@@ -318,6 +330,16 @@ mod tests {
         assert_eq!(stats.errors, 0);
         // Heartbeats recorded.
         assert_eq!(tracer.collector().last_heartbeat("server1"), Some(1));
+        // Self-observability: one batch of 20 records, nothing lost.
+        let cstats = tracer.stats(&w);
+        assert_eq!(cstats.totals.records, 20);
+        assert_eq!(cstats.totals.batches, 1);
+        assert_eq!(cstats.totals.bytes, 20 * vnet_tsdb::COMPACT_RECORD_BYTES);
+        assert_eq!(cstats.lost_records, 0);
+        assert_eq!(cstats.agents.len(), 1);
+        assert_eq!(cstats.agents[0].node, "server1");
+        // Records landed in shards, not materialized points.
+        assert_eq!(tracer.db().table("eth0_rx").unwrap().shards().len(), 1);
     }
 
     #[test]

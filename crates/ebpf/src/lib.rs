@@ -45,6 +45,7 @@ pub mod context;
 pub mod disasm;
 pub mod insn;
 pub mod map;
+pub mod parse;
 pub mod program;
 pub mod verifier;
 pub mod vm;

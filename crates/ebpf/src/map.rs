@@ -135,12 +135,71 @@ impl core::fmt::Display for MapError {
 
 impl std::error::Error for MapError {}
 
-/// One per-CPU perf ring buffer.
-#[derive(Debug, Clone, Default)]
+/// One per-CPU perf ring: a circular byte buffer of `max_entries` bytes
+/// plus a queue of pending record lengths. Records are copied in at the
+/// write cursor (wrapping at the end) and read back out in FIFO order;
+/// the only allocation after construction is the scratch buffer a
+/// wrapped record is re-assembled into, and that is reused across
+/// drains.
+#[derive(Debug, Clone)]
 struct PerfRing {
-    records: std::collections::VecDeque<Vec<u8>>,
-    used_bytes: usize,
+    buf: Vec<u8>,
+    head: usize,
+    used: usize,
+    lens: std::collections::VecDeque<usize>,
     lost: u64,
+    scratch: Vec<u8>,
+}
+
+impl PerfRing {
+    fn new(capacity: usize) -> Self {
+        PerfRing {
+            buf: vec![0; capacity],
+            head: 0,
+            used: 0,
+            lens: std::collections::VecDeque::new(),
+            lost: 0,
+            scratch: Vec::new(),
+        }
+    }
+
+    fn push(&mut self, record: &[u8]) {
+        let cap = self.buf.len();
+        if record.len() > cap - self.used {
+            self.lost += 1;
+            return;
+        }
+        let tail = (self.head + self.used) % cap;
+        let first = record.len().min(cap - tail);
+        self.buf[tail..tail + first].copy_from_slice(&record[..first]);
+        self.buf[..record.len() - first].copy_from_slice(&record[first..]);
+        self.used += record.len();
+        self.lens.push_back(record.len());
+    }
+
+    fn drain_with(&mut self, f: &mut dyn FnMut(&[u8])) -> usize {
+        let cap = self.buf.len();
+        let mut drained = 0;
+        // The scratch buffer is taken out for the duration so a wrapped
+        // record can be assembled into it while `self.buf` stays borrowed.
+        let mut scratch = std::mem::take(&mut self.scratch);
+        while let Some(len) = self.lens.pop_front() {
+            let end = self.head + len;
+            if end <= cap {
+                f(&self.buf[self.head..end]);
+            } else {
+                scratch.clear();
+                scratch.extend_from_slice(&self.buf[self.head..]);
+                scratch.extend_from_slice(&self.buf[..end - cap]);
+                f(&scratch);
+            }
+            self.head = end % cap;
+            self.used -= len;
+            drained += 1;
+        }
+        self.scratch = scratch;
+        drained
+    }
 }
 
 #[derive(Debug, Clone)]
@@ -209,7 +268,7 @@ impl Map {
                         "perf buffer size {size} outside {MIN_BUFFER_SIZE}..={MAX_BUFFER_SIZE}"
                     )));
                 }
-                Storage::Perf(vec![PerfRing::default(); cpus])
+                Storage::Perf(vec![PerfRing::new(size); cpus])
             }
         };
         Ok(Map { def, storage })
@@ -378,7 +437,7 @@ impl Map {
             Storage::Hash(h) => h.len(),
             Storage::Array(s) => s.len(),
             Storage::PerCpu(c) => c.first().map_or(0, Vec::len),
-            Storage::Perf(rings) => rings.iter().map(|r| r.records.len()).sum(),
+            Storage::Perf(rings) => rings.iter().map(|r| r.lens.len()).sum(),
         }
     }
 
@@ -395,35 +454,37 @@ impl Map {
     ///
     /// Returns [`MapError::WrongType`] for non-perf maps.
     pub fn perf_output(&mut self, cpu: usize, record: &[u8]) -> Result<(), MapError> {
-        let cap = self.def.max_entries as usize;
         match &mut self.storage {
             Storage::Perf(rings) => {
                 let n = rings.len();
-                let ring = &mut rings[cpu % n];
-                if record.len() > cap || ring.used_bytes + record.len() > cap {
-                    ring.lost += 1;
-                } else {
-                    ring.used_bytes += record.len();
-                    ring.records.push_back(record.to_vec());
-                }
+                rings[cpu % n].push(record);
                 Ok(())
             }
             _ => Err(MapError::WrongType),
         }
     }
 
-    /// Drains all records from `cpu`'s perf ring (the agent's periodic
-    /// buffer dump).
-    pub fn perf_drain(&mut self, cpu: usize) -> Vec<Vec<u8>> {
+    /// Drains all records from `cpu`'s perf ring in FIFO order, calling
+    /// `f` with each record's bytes — the zero-allocation drain the
+    /// batched collection path uses. The slice passed to `f` is only
+    /// valid for the duration of the call. Returns the number of records
+    /// drained (0 for non-perf maps).
+    pub fn perf_drain_with(&mut self, cpu: usize, mut f: impl FnMut(&[u8])) -> usize {
         match &mut self.storage {
             Storage::Perf(rings) => {
                 let n = rings.len();
-                let ring = &mut rings[cpu % n];
-                ring.used_bytes = 0;
-                ring.records.drain(..).collect()
+                rings[cpu % n].drain_with(&mut f)
             }
-            _ => Vec::new(),
+            _ => 0,
         }
+    }
+
+    /// Drains all records from `cpu`'s perf ring (the agent's periodic
+    /// buffer dump), allocating a `Vec` per record.
+    pub fn perf_drain(&mut self, cpu: usize) -> Vec<Vec<u8>> {
+        let mut out = Vec::new();
+        self.perf_drain_with(cpu, |raw| out.push(raw.to_vec()));
+        out
     }
 
     /// Drains records from every CPU's ring, in CPU order.
@@ -594,6 +655,74 @@ mod tests {
         // After drain, space is free again.
         m.perf_output(0, &[4; 8]).unwrap();
         assert_eq!(m.perf_drain_all().len(), 1);
+    }
+
+    #[test]
+    fn perf_oversized_record_is_lost_not_truncated() {
+        let mut m = Map::new(MapDef::perf(32), 1).unwrap();
+        // A record bigger than the whole buffer can never fit.
+        m.perf_output(0, &[9; 33]).unwrap();
+        assert_eq!(m.perf_lost(0), 1);
+        assert!(m.perf_drain(0).is_empty(), "nothing partial was stored");
+        // Exactly buffer-sized fits.
+        m.perf_output(0, &[7; 32]).unwrap();
+        assert_eq!(m.perf_lost(0), 1);
+        assert_eq!(m.perf_drain(0), vec![vec![7; 32]]);
+    }
+
+    #[test]
+    fn perf_wraparound_preserves_record_bytes() {
+        let mut m = Map::new(MapDef::perf(32), 1).unwrap();
+        // Advance the write cursor to 20, then drain so head = 20.
+        let first: Vec<u8> = (0..20).collect();
+        m.perf_output(0, &first).unwrap();
+        assert_eq!(m.perf_drain(0), vec![first]);
+        // This 24-byte record occupies [20..32) and wraps into [0..12).
+        let wrapped: Vec<u8> = (100..124).collect();
+        m.perf_output(0, &wrapped).unwrap();
+        let mut seen = Vec::new();
+        let n = m.perf_drain_with(0, |raw| seen.push(raw.to_vec()));
+        assert_eq!(n, 1);
+        assert_eq!(seen, vec![wrapped], "wrapped record reassembled intact");
+        assert_eq!(m.perf_lost(0), 0);
+    }
+
+    #[test]
+    fn perf_records_straddling_wraparound_stay_in_fifo_order() {
+        let mut m = Map::new(MapDef::perf(32), 1).unwrap();
+        m.perf_output(0, &[1; 24]).unwrap();
+        assert_eq!(m.perf_drain(0).len(), 1); // head now 24
+        let a: Vec<u8> = (0..16).collect(); // [24..32) + [0..8)
+        let b: Vec<u8> = (50..66).collect(); // [8..24)
+        m.perf_output(0, &a).unwrap();
+        m.perf_output(0, &b).unwrap();
+        assert_eq!(m.perf_drain(0), vec![a, b]);
+    }
+
+    #[test]
+    fn perf_overflow_increments_lost_exactly() {
+        let mut m = Map::new(MapDef::perf(32), 1).unwrap();
+        // Two 16-byte records fill the buffer exactly.
+        m.perf_output(0, &[1; 16]).unwrap();
+        m.perf_output(0, &[2; 16]).unwrap();
+        assert_eq!(m.perf_lost(0), 0);
+        // Every further push is lost, one count each — even a 1-byte one.
+        m.perf_output(0, &[3; 16]).unwrap();
+        m.perf_output(0, &[4; 1]).unwrap();
+        assert_eq!(m.perf_lost(0), 2);
+        // Draining frees the space; the lost counter is cumulative.
+        assert_eq!(m.perf_drain(0).len(), 2);
+        m.perf_output(0, &[5; 8]).unwrap();
+        assert_eq!(m.perf_lost(0), 2);
+        assert_eq!(m.perf_drain(0), vec![vec![5; 8]]);
+    }
+
+    #[test]
+    fn perf_drain_with_on_non_perf_map_is_a_no_op() {
+        let mut arr = Map::new(MapDef::array(4, 1), 1).unwrap();
+        let mut called = false;
+        assert_eq!(arr.perf_drain_with(0, |_| called = true), 0);
+        assert!(!called);
     }
 
     #[test]

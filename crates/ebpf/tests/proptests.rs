@@ -4,8 +4,10 @@
 use proptest::prelude::*;
 use vnet_ebpf::asm::{reg::*, AluOp, Asm};
 use vnet_ebpf::context::TraceContext;
-use vnet_ebpf::insn::{decode_program, encode_program, Insn};
+use vnet_ebpf::disasm::disassemble;
+use vnet_ebpf::insn::*;
 use vnet_ebpf::map::MapRegistry;
+use vnet_ebpf::parse::parse_program;
 use vnet_ebpf::program::{load, AttachType, Program};
 use vnet_ebpf::verifier::verify;
 use vnet_ebpf::vm::{standard_helpers, FixedEnv, Vm};
@@ -13,6 +15,63 @@ use vnet_ebpf::vm::{standard_helpers, FixedEnv, Vm};
 prop_compose! {
     fn arb_insn()(opcode in any::<u8>(), dst in 0u8..16, src in 0u8..16, off in any::<i16>(), imm in any::<i32>()) -> Insn {
         Insn { opcode, dst, src, off, imm }
+    }
+}
+
+// One randomly chosen *encodable* instruction — a form the assembler can
+// emit and the disassembler prints unambiguously. Yields one slot, or two
+// for the `lddw` forms.
+prop_compose! {
+    fn arb_encodable()(
+        kind in 0usize..21,
+        dst in 0u8..11,
+        src in 0u8..11,
+        off in any::<i16>(),
+        imm in any::<i32>(),
+        wide in any::<u64>(),
+        sel in any::<u8>(),
+    ) -> Vec<Insn> {
+        let alu_ops = [BPF_ADD, BPF_SUB, BPF_MUL, BPF_DIV, BPF_OR, BPF_AND,
+                       BPF_LSH, BPF_RSH, BPF_MOD, BPF_XOR, BPF_MOV, BPF_ARSH];
+        let jmp_ops = [BPF_JEQ, BPF_JNE, BPF_JGT, BPF_JGE, BPF_JLT, BPF_JLE,
+                       BPF_JSET, BPF_JSGT, BPF_JSGE, BPF_JSLT, BPF_JSLE];
+        let sizes = [BPF_W, BPF_H, BPF_B, BPF_DW];
+        let alu = alu_ops[usize::from(sel) % alu_ops.len()];
+        let jmp = jmp_ops[usize::from(sel) % jmp_ops.len()];
+        let size = sizes[usize::from(sel) % sizes.len()];
+        let atomic_size = [BPF_W, BPF_DW][usize::from(sel) % 2];
+        match kind {
+            0 => vec![Insn::new(BPF_ALU64 | alu | BPF_K, dst, 0, 0, imm)],
+            1 => vec![Insn::new(BPF_ALU | alu | BPF_K, dst, 0, 0, imm)],
+            2 => vec![Insn::new(BPF_ALU64 | alu | BPF_X, dst, src, 0, 0)],
+            3 => vec![Insn::new(BPF_ALU | alu | BPF_X, dst, src, 0, 0)],
+            4 => vec![Insn::new(BPF_ALU64 | BPF_NEG, dst, 0, 0, 0)],
+            5 => vec![Insn::new(BPF_ALU | BPF_NEG, dst, 0, 0, 0)],
+            6 => vec![Insn::new(BPF_ALU | BPF_END | BPF_X, dst, 0, 0,
+                                [16, 32, 64][usize::from(sel) % 3])],
+            7 => vec![
+                Insn::new(BPF_LD | BPF_IMM | BPF_DW, dst, 0, 0, wide as u32 as i32),
+                Insn::new(0, 0, 0, 0, (wide >> 32) as u32 as i32),
+            ],
+            8 => vec![
+                Insn::new(BPF_LD | BPF_IMM | BPF_DW, dst, PSEUDO_MAP_FD, 0, imm),
+                Insn::new(0, 0, 0, 0, 0),
+            ],
+            9 => vec![Insn::new(BPF_LDX | BPF_MEM | size, dst, src, off, 0)],
+            10 => vec![Insn::new(BPF_ST | BPF_MEM | size, dst, 0, off, imm)],
+            11 => vec![Insn::new(BPF_STX | BPF_MEM | size, dst, src, off, 0)],
+            12 => vec![Insn::new(BPF_STX | BPF_ATOMIC | atomic_size, dst, src, off,
+                                 BPF_ADD as i32)],
+            13 => vec![Insn::new(BPF_STX | BPF_ATOMIC | atomic_size, dst, src, off,
+                                 BPF_ADD as i32 | BPF_FETCH)],
+            14 => vec![Insn::new(BPF_JMP | BPF_JA, 0, 0, off, 0)],
+            15 => vec![Insn::new(BPF_JMP | jmp | BPF_K, dst, 0, off, imm)],
+            16 => vec![Insn::new(BPF_JMP32 | jmp | BPF_K, dst, 0, off, imm)],
+            17 => vec![Insn::new(BPF_JMP | jmp | BPF_X, dst, src, off, 0)],
+            18 => vec![Insn::new(BPF_JMP32 | jmp | BPF_X, dst, src, off, 0)],
+            19 => vec![Insn::new(BPF_JMP | BPF_CALL, 0, 0, 0, imm)],
+            _ => vec![Insn::new(BPF_JMP | BPF_EXIT, 0, 0, 0, 0)],
+        }
     }
 }
 
@@ -103,6 +162,36 @@ proptest! {
         let mut env = FixedEnv::default();
         let pkt = vec![0u8; pkt_len];
         let _ = Vm::new().execute(&loaded, &TraceContext::default(), &pkt, &mut maps, &mut env);
+    }
+
+    /// Arbitrary instruction streams never panic the toolchain: either
+    /// the verifier rejects the stream, or the program loads and the
+    /// interpreter terminates within the instruction budget (possibly
+    /// with a clean runtime error).
+    #[test]
+    fn garbage_streams_verify_or_terminate(insns in proptest::collection::vec(arb_insn(), 0..256)) {
+        if verify(&insns, &standard_helpers()).is_ok() {
+            let maps = MapRegistry::new();
+            let prog = Program::new("p", AttachType::Kprobe("f".into()), insns);
+            let loaded = load(prog, &maps, &standard_helpers()).expect("verified streams load");
+            let mut maps = MapRegistry::new();
+            let mut env = FixedEnv::default();
+            let pkt = [0u8; 64];
+            if let Ok(out) = Vm::new().execute(&loaded, &TraceContext::default(), &pkt, &mut maps, &mut env) {
+                prop_assert!(out.insns_executed <= MAX_INSNS as u64 + 6);
+            }
+        }
+    }
+
+    /// Disassembling any encodable program and parsing the listing back
+    /// reproduces the original bytecode bit for bit.
+    #[test]
+    fn disasm_parse_round_trip(chunks in proptest::collection::vec(arb_encodable(), 0..64)) {
+        let insns: Vec<Insn> = chunks.into_iter().flatten().collect();
+        let listing = disassemble(&insns);
+        let parsed = parse_program(&listing)
+            .unwrap_or_else(|e| panic!("{e}\nlisting: {listing:#?}"));
+        prop_assert_eq!(encode_program(&parsed), encode_program(&insns));
     }
 
     /// Perf buffers never deliver more bytes than their capacity between

@@ -6,6 +6,14 @@
 //! analysis filters by tags and time, joins records across tracepoints by
 //! packet trace ID, and aggregates fields.
 //!
+//! Two ingest paths feed the store. Hand-built [`DataPoint`]s go through
+//! [`TraceDb::insert`]. The hot path is [`TraceDb::insert_batch`]: agents
+//! drain perf rings into a reusable [`RecordBatch`] of fixed-size
+//! [`CompactRecord`]s, and whole groups are appended into per-(table,
+//! node) shards keyed by interned [`Symbol`]s — no per-record allocation
+//! or name hashing. Reads see both paths uniformly through
+//! [`Entry`] views.
+//!
 //! ## Example
 //!
 //! ```
@@ -18,21 +26,27 @@
 //! // Latency between the two VXLAN devices for packet 42:
 //! let pairs = db.join_timestamps("flannel1", "flannel2");
 //! assert_eq!(pairs, vec![(100, 190)]);
-//! let pts = Query::new("flannel1").run(&db);
-//! assert_eq!(aggregate(&pts, "len").mean, 60.0);
+//! let entries = Query::new("flannel1").run(&db);
+//! assert_eq!(aggregate(&entries, "len").mean, 60.0);
 //! ```
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod batch;
 pub mod persist;
 pub mod point;
 pub mod query;
+pub mod record;
 pub mod store;
+pub mod symbol;
 pub mod table;
 
+pub use batch::{BatchGroup, RecordBatch};
 pub use persist::{read_json_lines, write_json_lines, PersistError};
 pub use point::{DataPoint, FieldValue};
 pub use query::{aggregate, percentile, Aggregate, Query};
+pub use record::{CompactRecord, COMPACT_RECORD_BYTES};
 pub use store::TraceDb;
-pub use table::{Table, TRACE_ID_TAG};
+pub use symbol::{Symbol, SymbolTable};
+pub use table::{Entry, RecordShard, Table, TRACE_ID_TAG};

@@ -50,7 +50,9 @@ impl From<std::io::Error> for PersistError {
     }
 }
 
-/// Writes every point of `db` as one JSON object per line.
+/// Writes every entry of `db` as one JSON object per line. Record-backed
+/// entries are materialized to the point form on the way out, so a file
+/// written from a batch-ingested database reads back identically.
 ///
 /// # Errors
 ///
@@ -61,8 +63,8 @@ pub fn write_json_lines(db: &TraceDb, mut w: impl Write) -> Result<usize, Persis
     measurements.sort_unstable();
     for m in measurements {
         let table = db.table(m).expect("listed measurement exists");
-        for p in table.points() {
-            let line = serde_json::to_string(p).expect("points always serialize");
+        for e in table.entries() {
+            let line = serde_json::to_string(&e.to_point()).expect("points always serialize");
             w.write_all(line.as_bytes())?;
             w.write_all(b"\n")?;
             written += 1;
@@ -125,8 +127,41 @@ mod tests {
             db.join_timestamps("tp_a", "tp_b")
         );
         // Fields preserved.
-        let p = &loaded.table("tp_a").unwrap().points()[0];
-        assert_eq!(p.field_value("pkt_len").unwrap().as_u64(), Some(60));
+        let table = loaded.table("tp_a").unwrap();
+        let entries = table.entries();
+        assert_eq!(entries[0].field_u64("pkt_len"), Some(60));
+    }
+
+    #[test]
+    fn batch_ingested_records_round_trip_as_points() {
+        use crate::batch::RecordBatch;
+        use crate::record::CompactRecord;
+
+        let mut db = TraceDb::new();
+        let mut batch = RecordBatch::new();
+        for i in 0..4u32 {
+            batch.push(
+                "tp_a",
+                "server1",
+                CompactRecord {
+                    timestamp_ns: u64::from(i) * 100,
+                    trace_id: i,
+                    pkt_len: 60,
+                    flags: 1,
+                    ..Default::default()
+                },
+            );
+        }
+        db.insert_batch(&batch);
+        let mut buf = Vec::new();
+        assert_eq!(write_json_lines(&db, &mut buf).unwrap(), 4);
+        let loaded = read_json_lines(&buf[..]).unwrap();
+        assert_eq!(loaded.len(), 4);
+        let orig: Vec<_> = db.table("tp_a").unwrap().entries();
+        let back: Vec<_> = loaded.table("tp_a").unwrap().entries();
+        for (o, b) in orig.iter().zip(&back) {
+            assert_eq!(o.to_point(), b.to_point());
+        }
     }
 
     #[test]

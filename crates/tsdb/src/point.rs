@@ -3,6 +3,7 @@
 use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
+use serde_json::{member, object, Error as JsonError, FromJson, ToJson, Value};
 
 /// A field value.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -118,6 +119,62 @@ impl DataPoint {
     /// A field's value.
     pub fn field_value(&self, key: &str) -> Option<&FieldValue> {
         self.fields.get(key)
+    }
+}
+
+// Persistence encodes points as JSON lines; the encoding is written by
+// hand (the vendored serde derives are inert). Field values use the
+// externally-tagged enum layout (`{"UInt":9}`) the real serde derive
+// would produce, so existing persisted files keep parsing.
+impl ToJson for FieldValue {
+    fn to_json(&self) -> Value {
+        match self {
+            FieldValue::Int(v) => object([("Int", v.to_json())]),
+            FieldValue::UInt(v) => object([("UInt", v.to_json())]),
+            FieldValue::Float(v) => object([("Float", v.to_json())]),
+            FieldValue::Str(v) => object([("Str", v.to_json())]),
+        }
+    }
+}
+
+impl FromJson for FieldValue {
+    fn from_json(value: &Value) -> Result<Self, JsonError> {
+        let obj = value
+            .as_object()
+            .ok_or_else(|| JsonError::msg("expected field value object"))?;
+        let (variant, inner) = obj
+            .iter()
+            .next()
+            .ok_or_else(|| JsonError::msg("empty field value object"))?;
+        match variant.as_str() {
+            "Int" => i64::from_json(inner).map(FieldValue::Int),
+            "UInt" => u64::from_json(inner).map(FieldValue::UInt),
+            "Float" => f64::from_json(inner).map(FieldValue::Float),
+            "Str" => String::from_json(inner).map(FieldValue::Str),
+            other => Err(JsonError::msg(format!("unknown field variant '{other}'"))),
+        }
+    }
+}
+
+impl ToJson for DataPoint {
+    fn to_json(&self) -> Value {
+        object([
+            ("measurement", self.measurement.to_json()),
+            ("tags", self.tags.to_json()),
+            ("fields", self.fields.to_json()),
+            ("timestamp_ns", self.timestamp_ns.to_json()),
+        ])
+    }
+}
+
+impl FromJson for DataPoint {
+    fn from_json(value: &Value) -> Result<Self, JsonError> {
+        Ok(DataPoint {
+            measurement: member(value, "measurement")?,
+            tags: member(value, "tags")?,
+            fields: member(value, "fields")?,
+            timestamp_ns: member(value, "timestamp_ns")?,
+        })
     }
 }
 

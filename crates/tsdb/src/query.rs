@@ -2,10 +2,11 @@
 //!
 //! Covers the operations vNetTracer's offline analysis performs: select a
 //! tracepoint's table, filter by tags (flow, node, device) and time range,
-//! and aggregate a field (count, mean, min/max, percentiles).
+//! and aggregate a field (count, mean, min/max, percentiles). Queries run
+//! over [`Entry`] views, so point-backed and record-backed data answer
+//! identically.
 
-use crate::point::DataPoint;
-use crate::table::Table;
+use crate::table::{Entry, Table};
 
 /// A query over one measurement.
 ///
@@ -19,8 +20,8 @@ use crate::table::Table;
 /// for i in 0..10u64 {
 ///     db.insert(DataPoint::new("rx", i * 100).tag("node", "n1").field("len", i));
 /// }
-/// let points = Query::new("rx").tag_eq("node", "n1").time_range(200, 500).run(&db);
-/// assert_eq!(points.len(), 4);
+/// let entries = Query::new("rx").tag_eq("node", "n1").time_range(200, 500).run(&db);
+/// assert_eq!(entries.len(), 4);
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct Query {
@@ -52,24 +53,24 @@ impl Query {
         self
     }
 
-    fn matches(&self, p: &DataPoint) -> bool {
+    fn matches(&self, e: &Entry<'_>) -> bool {
         if let Some(s) = self.time_start {
-            if p.timestamp_ns < s {
+            if e.timestamp_ns() < s {
                 return false;
             }
         }
-        if let Some(e) = self.time_end {
-            if p.timestamp_ns > e {
+        if let Some(end) = self.time_end {
+            if e.timestamp_ns() > end {
                 return false;
             }
         }
         self.tag_filters
             .iter()
-            .all(|(k, v)| p.tag_value(k) == Some(v.as_str()))
+            .all(|(k, v)| e.tag(k).as_deref() == Some(v.as_str()))
     }
 
-    /// Runs the query, returning matching points in insertion order.
-    pub fn run<'a>(&self, db: &'a crate::store::TraceDb) -> Vec<&'a DataPoint> {
+    /// Runs the query, returning matching entries in insertion order.
+    pub fn run<'a>(&self, db: &'a crate::store::TraceDb) -> Vec<Entry<'a>> {
         match db.table(&self.measurement) {
             Some(t) => self.run_table(t),
             None => Vec::new(),
@@ -77,15 +78,19 @@ impl Query {
     }
 
     /// Runs the query against a single table.
-    pub fn run_table<'a>(&self, table: &'a Table) -> Vec<&'a DataPoint> {
-        table.points().iter().filter(|p| self.matches(p)).collect()
+    pub fn run_table<'a>(&self, table: &'a Table) -> Vec<Entry<'a>> {
+        table
+            .entries()
+            .into_iter()
+            .filter(|e| self.matches(e))
+            .collect()
     }
 }
 
-/// Aggregate statistics over one numeric field of a point set.
+/// Aggregate statistics over one numeric field of an entry set.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct Aggregate {
-    /// Number of points carrying the field.
+    /// Number of entries carrying the field.
     pub count: usize,
     /// Sum of values.
     pub sum: f64,
@@ -97,12 +102,9 @@ pub struct Aggregate {
     pub max: f64,
 }
 
-/// Computes aggregate statistics of `field` over `points`.
-pub fn aggregate(points: &[&DataPoint], field: &str) -> Aggregate {
-    let values: Vec<f64> = points
-        .iter()
-        .filter_map(|p| p.field_value(field).and_then(|v| v.as_f64()))
-        .collect();
+/// Computes aggregate statistics of `field` over `entries`.
+pub fn aggregate(entries: &[Entry<'_>], field: &str) -> Aggregate {
+    let values: Vec<f64> = entries.iter().filter_map(|e| e.field_f64(field)).collect();
     if values.is_empty() {
         return Aggregate::default();
     }
@@ -118,21 +120,18 @@ pub fn aggregate(points: &[&DataPoint], field: &str) -> Aggregate {
     }
 }
 
-/// Computes the `q`-quantile (0.0..=1.0) of `field` over `points` using
+/// Computes the `q`-quantile (0.0..=1.0) of `field` over `entries` using
 /// nearest-rank on the sorted values. Returns `None` when no values.
 ///
 /// # Panics
 ///
 /// Panics if `q` is outside `0.0..=1.0`.
-pub fn percentile(points: &[&DataPoint], field: &str, q: f64) -> Option<f64> {
+pub fn percentile(entries: &[Entry<'_>], field: &str, q: f64) -> Option<f64> {
     assert!(
         (0.0..=1.0).contains(&q),
         "quantile must be in 0..=1, got {q}"
     );
-    let mut values: Vec<f64> = points
-        .iter()
-        .filter_map(|p| p.field_value(field).and_then(|v| v.as_f64()))
-        .collect();
+    let mut values: Vec<f64> = entries.iter().filter_map(|e| e.field_f64(field)).collect();
     if values.is_empty() {
         return None;
     }
@@ -144,6 +143,9 @@ pub fn percentile(points: &[&DataPoint], field: &str, q: f64) -> Option<f64> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::batch::RecordBatch;
+    use crate::point::DataPoint;
+    use crate::record::CompactRecord;
     use crate::store::TraceDb;
 
     fn db() -> TraceDb {
@@ -201,5 +203,34 @@ mod tests {
     #[should_panic(expected = "quantile")]
     fn percentile_rejects_bad_quantile() {
         let _ = percentile(&[], "us", 1.5);
+    }
+
+    #[test]
+    fn queries_see_batched_records() {
+        let mut db = TraceDb::new();
+        let mut batch = RecordBatch::new();
+        for i in 0..10u32 {
+            batch.push(
+                "rx",
+                if i % 2 == 0 { "n0" } else { "n1" },
+                CompactRecord {
+                    timestamp_ns: u64::from(i) * 100,
+                    pkt_len: 60 + i,
+                    direction: 0,
+                    ..Default::default()
+                },
+            );
+        }
+        db.insert_batch(&batch);
+        let hits = Query::new("rx")
+            .tag_eq("node", "n0")
+            .time_range(0, 400)
+            .run(&db);
+        assert_eq!(hits.len(), 3); // t=0,200,400
+        let agg = aggregate(&hits, "pkt_len");
+        assert_eq!(agg.count, 3);
+        assert_eq!(agg.min, 60.0);
+        assert_eq!(agg.max, 64.0);
+        assert_eq!(percentile(&hits, "pkt_len", 0.5), Some(62.0));
     }
 }

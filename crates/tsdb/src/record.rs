@@ -1,0 +1,140 @@
+//! Compact trace records: the fixed-size, allocation-free form trace
+//! records take inside the store's per-(table, node) shards.
+//!
+//! The agent's kernel-side records are plain structs of integers; turning
+//! each one into a [`DataPoint`](crate::point::DataPoint) (two `BTreeMap`s
+//! and several freshly formatted `String`s) at ingest time is what made
+//! the old single-record path slow. A [`CompactRecord`] keeps the integer
+//! form end to end; the tag and field views a query sees are derived on
+//! read instead.
+
+use crate::point::DataPoint;
+use crate::table::TRACE_ID_TAG;
+
+/// Bytes one record occupies on the wire (and, padded, in a shard) —
+/// used for ingest byte accounting.
+pub const COMPACT_RECORD_BYTES: u64 = 32;
+
+/// One packet trace record in compact (integer) form. Field for field
+/// this mirrors the 32-byte wire record the eBPF trace scripts emit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CompactRecord {
+    /// Node-local `CLOCK_MONOTONIC` timestamp, nanoseconds.
+    pub timestamp_ns: u64,
+    /// The packet's trace ID (0 when absent; see
+    /// [`CompactRecord::has_trace_id`]).
+    pub trace_id: u32,
+    /// Packet length in bytes.
+    pub pkt_len: u32,
+    /// Source IPv4 address (numeric, host order).
+    pub saddr: u32,
+    /// Destination IPv4 address (numeric, host order).
+    pub daddr: u32,
+    /// Source port.
+    pub sport: u16,
+    /// Destination port.
+    pub dport: u16,
+    /// CPU the probe fired on.
+    pub cpu: u16,
+    /// 0 = RX, 1 = TX.
+    pub direction: u8,
+    /// Bit 0: a trace ID was found in the packet.
+    pub flags: u8,
+}
+
+impl CompactRecord {
+    /// Whether the packet carried a trace ID.
+    pub fn has_trace_id(&self) -> bool {
+        self.flags & 1 != 0
+    }
+
+    /// The trace ID in the 8-digit hex form used as the `trace_id` tag.
+    pub fn trace_id_hex(&self) -> String {
+        format!("{:08x}", self.trace_id)
+    }
+
+    /// The `flow` tag value: `src:sport->dst:dport`.
+    pub fn flow(&self) -> String {
+        let src = std::net::Ipv4Addr::from(self.saddr);
+        let dst = std::net::Ipv4Addr::from(self.daddr);
+        format!("{src}:{}->{dst}:{}", self.sport, self.dport)
+    }
+
+    /// The `direction` tag value.
+    pub fn direction_str(&self) -> &'static str {
+        if self.direction == 0 {
+            "rx"
+        } else {
+            "tx"
+        }
+    }
+
+    /// Materializes the record as the [`DataPoint`] the single-record
+    /// ingest path would have produced: tagged with node, flow, direction
+    /// and (when present) trace ID; fields `pkt_len` and `cpu`.
+    pub fn to_point(&self, measurement: &str, node: &str) -> DataPoint {
+        let mut p = DataPoint::new(measurement, self.timestamp_ns)
+            .tag("node", node)
+            .tag("flow", self.flow())
+            .tag("direction", self.direction_str())
+            .field("pkt_len", u64::from(self.pkt_len))
+            .field("cpu", u64::from(self.cpu));
+        if self.has_trace_id() {
+            p = p.tag(TRACE_ID_TAG, self.trace_id_hex());
+        }
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CompactRecord {
+        CompactRecord {
+            timestamp_ns: 1_234,
+            trace_id: 0xdeadbeef,
+            pkt_len: 102,
+            saddr: u32::from(std::net::Ipv4Addr::new(10, 0, 0, 1)),
+            daddr: u32::from(std::net::Ipv4Addr::new(10, 0, 0, 2)),
+            sport: 1000,
+            dport: 2000,
+            cpu: 3,
+            direction: 0,
+            flags: 1,
+        }
+    }
+
+    #[test]
+    fn materialization_matches_tag_conventions() {
+        let p = sample().to_point("tp", "server1");
+        assert_eq!(p.measurement, "tp");
+        assert_eq!(p.timestamp_ns, 1_234);
+        assert_eq!(p.tag_value("node"), Some("server1"));
+        assert_eq!(p.tag_value("flow"), Some("10.0.0.1:1000->10.0.0.2:2000"));
+        assert_eq!(p.tag_value("direction"), Some("rx"));
+        assert_eq!(p.tag_value(TRACE_ID_TAG), Some("deadbeef"));
+        assert_eq!(p.field_value("pkt_len").unwrap().as_u64(), Some(102));
+        assert_eq!(p.field_value("cpu").unwrap().as_u64(), Some(3));
+    }
+
+    #[test]
+    fn trace_id_tag_only_when_flagged() {
+        let mut r = sample();
+        r.flags = 0;
+        r.direction = 1;
+        let p = r.to_point("tp", "n");
+        assert_eq!(p.tag_value(TRACE_ID_TAG), None);
+        assert_eq!(p.tag_value("direction"), Some("tx"));
+    }
+
+    #[test]
+    fn hex_id_zero_padded() {
+        let r = CompactRecord {
+            trace_id: 0xa,
+            flags: 1,
+            ..Default::default()
+        };
+        assert_eq!(r.trace_id_hex(), "0000000a");
+    }
+}

@@ -1,17 +1,25 @@
-//! The trace database: tables keyed by measurement.
+//! The trace database: tables keyed by interned measurement symbols.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
+use crate::batch::RecordBatch;
 use crate::point::DataPoint;
+use crate::symbol::{Symbol, SymbolTable};
 use crate::table::Table;
 
 /// An embedded time-series store, one [`Table`] per measurement —
 /// vNetTracer's "trace database" where "all the tracing records at
 /// different tracepoints are dumped … where records are indexed by their
 /// packet IDs" (§III-C).
+///
+/// Measurement and node names are interned once in a [`SymbolTable`];
+/// tables are keyed by symbol, so the batched ingest path
+/// ([`TraceDb::insert_batch`]) hashes each name at most once per batch
+/// group rather than once per record.
 #[derive(Debug, Default)]
 pub struct TraceDb {
-    tables: HashMap<String, Table>,
+    symbols: SymbolTable,
+    tables: BTreeMap<Symbol, Table>,
 }
 
 impl TraceDb {
@@ -20,11 +28,19 @@ impl TraceDb {
         Self::default()
     }
 
+    fn table_mut(&mut self, measurement: &str) -> &mut Table {
+        let sym = self.symbols.intern(measurement);
+        self.tables
+            .entry(sym)
+            .or_insert_with(|| Table::new(measurement))
+    }
+
     /// Inserts a point into its measurement's table (created on demand).
     pub fn insert(&mut self, point: DataPoint) {
+        let sym = self.symbols.intern(&point.measurement);
         self.tables
-            .entry(point.measurement.clone())
-            .or_default()
+            .entry(sym)
+            .or_insert_with(|| Table::new(&point.measurement))
             .insert(point);
     }
 
@@ -35,22 +51,45 @@ impl TraceDb {
         }
     }
 
+    /// Ingests a whole batch: each group's records are appended into the
+    /// matching (table, node) shard in one go, with no per-record name
+    /// hashing or allocation. Returns the number of records ingested.
+    pub fn insert_batch(&mut self, batch: &RecordBatch) -> u64 {
+        let mut ingested = 0u64;
+        for group in batch.groups() {
+            if group.records.is_empty() {
+                continue;
+            }
+            let node = self.symbols.intern(&group.node);
+            self.table_mut(&group.measurement)
+                .insert_records(node, &group.node, &group.records);
+            ingested += group.records.len() as u64;
+        }
+        ingested
+    }
+
+    /// The database's symbol table.
+    pub fn symbols(&self) -> &SymbolTable {
+        &self.symbols
+    }
+
     /// Borrows a measurement's table.
     pub fn table(&self, measurement: &str) -> Option<&Table> {
-        self.tables.get(measurement)
+        let sym = self.symbols.lookup(measurement)?;
+        self.tables.get(&sym)
     }
 
-    /// Names of all measurements.
+    /// Names of all measurements, in first-seen order.
     pub fn measurements(&self) -> impl Iterator<Item = &str> {
-        self.tables.keys().map(String::as_str)
+        self.tables.values().map(Table::name)
     }
 
-    /// Total number of stored points.
+    /// Total number of stored entries (points plus shard records).
     pub fn len(&self) -> usize {
         self.tables.values().map(Table::len).sum()
     }
 
-    /// Whether the database holds no points.
+    /// Whether the database holds no entries.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
@@ -65,13 +104,13 @@ impl TraceDb {
         };
         let mut out = Vec::new();
         for id in a.trace_ids() {
-            let Some(pa) = a.by_trace_id(id).next() else {
+            let Some(ea) = a.by_trace_id(&id).first().copied() else {
                 continue;
             };
-            let Some(pb) = b.by_trace_id(id).next() else {
+            let Some(eb) = b.by_trace_id(&id).first().copied() else {
                 continue;
             };
-            out.push((pa.timestamp_ns, pb.timestamp_ns));
+            out.push((ea.timestamp_ns(), eb.timestamp_ns()));
         }
         out.sort_unstable();
         out
@@ -95,6 +134,7 @@ impl FromIterator<DataPoint> for TraceDb {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::record::CompactRecord;
     use crate::table::TRACE_ID_TAG;
 
     #[test]
@@ -133,5 +173,67 @@ mod tests {
         let mut db = db;
         db.extend((0..3u64).map(|i| DataPoint::new("m2", i)));
         assert_eq!(db.len(), 8);
+    }
+
+    fn rec(ts: u64, trace_id: u32) -> CompactRecord {
+        CompactRecord {
+            timestamp_ns: ts,
+            trace_id,
+            pkt_len: 60,
+            flags: 1,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn batched_ingest_matches_single_record_ingest() {
+        // The same records, once via insert_batch and once via the old
+        // materialize-per-record path, must produce equal query results.
+        let records: Vec<(String, CompactRecord)> = (0..50u32)
+            .map(|i| {
+                let m = if i % 2 == 0 { "tp_a" } else { "tp_b" };
+                (m.to_owned(), rec(u64::from(i) * 10, i / 2))
+            })
+            .collect();
+
+        let mut batched = TraceDb::new();
+        let mut batch = RecordBatch::new();
+        for (m, r) in &records {
+            batch.push(m, "server1", *r);
+        }
+        assert_eq!(batched.insert_batch(&batch), 50);
+
+        let mut single = TraceDb::new();
+        for (m, r) in &records {
+            single.insert(r.to_point(m, "server1"));
+        }
+
+        assert_eq!(batched.len(), single.len());
+        assert_eq!(
+            batched.join_timestamps("tp_a", "tp_b"),
+            single.join_timestamps("tp_a", "tp_b")
+        );
+        for m in ["tp_a", "tp_b"] {
+            let b = batched.table(m).unwrap();
+            let s = single.table(m).unwrap();
+            assert_eq!(b.trace_ids(), s.trace_ids());
+            let bp: Vec<DataPoint> = b.entries().iter().map(|e| e.to_point()).collect();
+            let sp: Vec<DataPoint> = s.entries().iter().map(|e| e.to_point()).collect();
+            assert_eq!(bp, sp);
+        }
+        // Batched tables hold shards, not points.
+        assert_eq!(batched.table("tp_a").unwrap().shards().len(), 1);
+        assert_eq!(batched.table("tp_a").unwrap().shards()[0].len(), 25);
+    }
+
+    #[test]
+    fn empty_batch_groups_are_skipped() {
+        let mut db = TraceDb::new();
+        let mut batch = RecordBatch::new();
+        batch.push("tp", "n", rec(1, 1));
+        batch.clear(); // group remains, but empty
+        assert_eq!(db.insert_batch(&batch), 0);
+        assert!(db.is_empty());
+        assert!(db.table("tp").is_none(), "no table for an empty group");
     }
 }

@@ -1,0 +1,118 @@
+//! String interning for measurement and node names.
+//!
+//! The batched ingestion path stores trace records in per-(table, node)
+//! shards. Keying those shards by interned `u32` symbols instead of
+//! `String`s means the hot ingest loop never hashes or clones a name:
+//! the name is resolved to a [`Symbol`] once per batch group, and every
+//! record append after that is integer-keyed.
+
+use std::collections::HashMap;
+
+/// An interned string: a cheap `Copy` key into a [`SymbolTable`].
+///
+/// Symbols are ordered by interning time, which makes `BTreeMap<Symbol,
+/// _>` iteration deterministic for a deterministic insert order — a
+/// property the golden regression tests rely on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Symbol(u32);
+
+impl Symbol {
+    /// The raw intern index.
+    pub fn index(self) -> u32 {
+        self.0
+    }
+}
+
+/// A bidirectional string ↔ [`Symbol`] table.
+///
+/// # Examples
+///
+/// ```
+/// use vnet_tsdb::symbol::SymbolTable;
+///
+/// let mut t = SymbolTable::new();
+/// let a = t.intern("eth0_rx");
+/// assert_eq!(t.intern("eth0_rx"), a);
+/// assert_eq!(t.resolve(a), "eth0_rx");
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct SymbolTable {
+    names: Vec<String>,
+    index: HashMap<String, Symbol>,
+}
+
+impl SymbolTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `name`, returning its (possibly pre-existing) symbol.
+    pub fn intern(&mut self, name: &str) -> Symbol {
+        if let Some(&sym) = self.index.get(name) {
+            return sym;
+        }
+        let sym = Symbol(u32::try_from(self.names.len()).expect("fewer than 2^32 symbols"));
+        self.names.push(name.to_owned());
+        self.index.insert(name.to_owned(), sym);
+        sym
+    }
+
+    /// Looks up a name without interning it.
+    pub fn lookup(&self, name: &str) -> Option<Symbol> {
+        self.index.get(name).copied()
+    }
+
+    /// Resolves a symbol back to its name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sym` came from a different table.
+    pub fn resolve(&self, sym: Symbol) -> &str {
+        &self.names[sym.0 as usize]
+    }
+
+    /// Number of interned names.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether no names are interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut t = SymbolTable::new();
+        let a = t.intern("a");
+        let b = t.intern("b");
+        assert_ne!(a, b);
+        assert_eq!(t.intern("a"), a);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.resolve(a), "a");
+        assert_eq!(t.resolve(b), "b");
+    }
+
+    #[test]
+    fn lookup_does_not_intern() {
+        let mut t = SymbolTable::new();
+        assert_eq!(t.lookup("x"), None);
+        let x = t.intern("x");
+        assert_eq!(t.lookup("x"), Some(x));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn symbols_order_by_intern_time() {
+        let mut t = SymbolTable::new();
+        let first = t.intern("zzz");
+        let second = t.intern("aaa");
+        assert!(first < second, "ordering follows interning, not names");
+    }
+}

@@ -1,75 +1,314 @@
-//! Per-measurement tables with a trace-ID index.
+//! Per-measurement tables: point storage plus per-node record shards,
+//! unified behind the [`Entry`] read view.
+//!
+//! A table holds two kinds of data. Hand-built [`DataPoint`]s (offline
+//! analysis artifacts, persisted files) keep the old row form. Records
+//! arriving through the batched ingest path stay in compact integer form
+//! inside one [`RecordShard`] per originating node — no tags or fields
+//! are materialized at ingest. Read paths see both uniformly as
+//! [`Entry`] values, ordered by insertion sequence.
 
-use std::collections::HashMap;
+use std::borrow::Cow;
+use std::collections::{BTreeSet, HashMap};
 
 use crate::point::DataPoint;
+use crate::record::CompactRecord;
+use crate::symbol::Symbol;
 
 /// The tag key under which vNetTracer stores the per-packet trace ID;
 /// the collector indexes it so records for one packet can be joined
 /// across tracepoints ("records are indexed by their packet IDs", §III-C).
 pub const TRACE_ID_TAG: &str = "trace_id";
 
-/// All points of one measurement (one table per tracepoint).
+/// All compact records one node contributed to a table. Shards are
+/// append-only and keyed by the node's interned [`Symbol`]; the resolved
+/// name is cached once per shard for read-side materialization.
+#[derive(Debug, Clone)]
+pub struct RecordShard {
+    node: Symbol,
+    node_name: String,
+    records: Vec<(u64, CompactRecord)>,
+    by_trace_id: HashMap<u32, Vec<usize>>,
+}
+
+impl RecordShard {
+    fn new(node: Symbol, node_name: &str) -> Self {
+        RecordShard {
+            node,
+            node_name: node_name.to_owned(),
+            records: Vec::new(),
+            by_trace_id: HashMap::new(),
+        }
+    }
+
+    fn push(&mut self, seq: u64, record: CompactRecord) {
+        if record.has_trace_id() {
+            self.by_trace_id
+                .entry(record.trace_id)
+                .or_default()
+                .push(self.records.len());
+        }
+        self.records.push((seq, record));
+    }
+
+    /// The owning node's symbol.
+    pub fn node(&self) -> Symbol {
+        self.node
+    }
+
+    /// The owning node's name.
+    pub fn node_name(&self) -> &str {
+        &self.node_name
+    }
+
+    /// Number of records in the shard.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the shard is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// The shard's records, in ingest order.
+    pub fn records(&self) -> impl Iterator<Item = &CompactRecord> {
+        self.records.iter().map(|(_, r)| r)
+    }
+}
+
+/// A borrowed view of one stored entry — either a materialized
+/// [`DataPoint`] or a compact record in a shard. Tag and field accessors
+/// present both identically, so queries and metrics need not know how an
+/// entry is stored.
+#[derive(Debug, Clone, Copy)]
+pub enum Entry<'a> {
+    /// A point inserted in row form.
+    Point(&'a DataPoint),
+    /// A compact record in a per-node shard.
+    Record {
+        /// The table (measurement) name.
+        measurement: &'a str,
+        /// The shard's node name.
+        node: &'a str,
+        /// The record itself.
+        record: &'a CompactRecord,
+    },
+}
+
+impl<'a> Entry<'a> {
+    /// The entry's timestamp in nanoseconds.
+    pub fn timestamp_ns(&self) -> u64 {
+        match self {
+            Entry::Point(p) => p.timestamp_ns,
+            Entry::Record { record, .. } => record.timestamp_ns,
+        }
+    }
+
+    /// The entry's measurement (table) name.
+    pub fn measurement(&self) -> &'a str {
+        match self {
+            Entry::Point(p) => &p.measurement,
+            Entry::Record { measurement, .. } => measurement,
+        }
+    }
+
+    /// A tag's value. Record-backed entries derive `node`, `flow`,
+    /// `direction` and [`TRACE_ID_TAG`] from the compact form.
+    pub fn tag(&self, key: &str) -> Option<Cow<'a, str>> {
+        match self {
+            Entry::Point(p) => p.tag_value(key).map(Cow::Borrowed),
+            Entry::Record { node, record, .. } => match key {
+                "node" => Some(Cow::Borrowed(*node)),
+                "flow" => Some(Cow::Owned(record.flow())),
+                "direction" => Some(Cow::Borrowed(record.direction_str())),
+                TRACE_ID_TAG if record.has_trace_id() => Some(Cow::Owned(record.trace_id_hex())),
+                _ => None,
+            },
+        }
+    }
+
+    /// A numeric field as `u64`. Record-backed entries expose `pkt_len`
+    /// and `cpu`.
+    pub fn field_u64(&self, key: &str) -> Option<u64> {
+        match self {
+            Entry::Point(p) => p.field_value(key).and_then(|v| v.as_u64()),
+            Entry::Record { record, .. } => match key {
+                "pkt_len" => Some(u64::from(record.pkt_len)),
+                "cpu" => Some(u64::from(record.cpu)),
+                _ => None,
+            },
+        }
+    }
+
+    /// A numeric field as `f64`.
+    pub fn field_f64(&self, key: &str) -> Option<f64> {
+        match self {
+            Entry::Point(p) => p.field_value(key).and_then(|v| v.as_f64()),
+            Entry::Record { .. } => self.field_u64(key).map(|v| v as f64),
+        }
+    }
+
+    /// Materializes the entry as an owned [`DataPoint`] (cloning for
+    /// point-backed entries).
+    pub fn to_point(&self) -> DataPoint {
+        match self {
+            Entry::Point(p) => (*p).clone(),
+            Entry::Record {
+                measurement,
+                node,
+                record,
+            } => record.to_point(measurement, node),
+        }
+    }
+}
+
+/// All entries of one measurement (one table per tracepoint).
 #[derive(Debug, Default, Clone)]
 pub struct Table {
-    points: Vec<DataPoint>,
-    by_trace_id: HashMap<String, Vec<usize>>,
+    name: String,
+    next_seq: u64,
+    points: Vec<(u64, DataPoint)>,
+    points_by_trace_id: HashMap<String, Vec<usize>>,
+    shards: Vec<RecordShard>,
 }
 
 impl Table {
-    /// Creates an empty table.
-    pub fn new() -> Self {
-        Self::default()
+    /// Creates an empty table named `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        Table {
+            name: name.into(),
+            ..Default::default()
+        }
+    }
+
+    /// The table's measurement name.
+    pub fn name(&self) -> &str {
+        &self.name
     }
 
     /// Appends a point, indexing its trace ID if present.
     pub fn insert(&mut self, point: DataPoint) {
         if let Some(id) = point.tag_value(TRACE_ID_TAG) {
-            self.by_trace_id
+            self.points_by_trace_id
                 .entry(id.to_owned())
                 .or_default()
                 .push(self.points.len());
         }
-        self.points.push(point);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.points.push((seq, point));
     }
 
-    /// All points, in insertion order.
-    pub fn points(&self) -> &[DataPoint] {
-        &self.points
+    /// Appends a slice of compact records into `node`'s shard (created on
+    /// demand) — the batched ingest path. Records are copied as-is; no
+    /// tags or fields are materialized.
+    pub fn insert_records(&mut self, node: Symbol, node_name: &str, records: &[CompactRecord]) {
+        let shard = match self.shards.iter().position(|s| s.node == node) {
+            Some(i) => &mut self.shards[i],
+            None => {
+                self.shards.push(RecordShard::new(node, node_name));
+                self.shards.last_mut().expect("just pushed")
+            }
+        };
+        for &record in records {
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            shard.push(seq, record);
+        }
     }
 
-    /// Points carrying the given trace ID.
-    pub fn by_trace_id(&self, id: &str) -> impl Iterator<Item = &DataPoint> {
-        self.by_trace_id
-            .get(id)
-            .into_iter()
-            .flatten()
-            .map(move |&i| &self.points[i])
+    /// The table's per-node record shards.
+    pub fn shards(&self) -> &[RecordShard] {
+        &self.shards
     }
 
-    /// All distinct trace IDs in the table.
-    pub fn trace_ids(&self) -> impl Iterator<Item = &str> {
-        self.by_trace_id.keys().map(String::as_str)
+    /// All entries — points and shard records — in insertion order.
+    pub fn entries(&self) -> Vec<Entry<'_>> {
+        let mut out: Vec<(u64, Entry<'_>)> = Vec::with_capacity(self.len());
+        for (seq, p) in &self.points {
+            out.push((*seq, Entry::Point(p)));
+        }
+        for shard in &self.shards {
+            for (seq, record) in &shard.records {
+                out.push((
+                    *seq,
+                    Entry::Record {
+                        measurement: &self.name,
+                        node: &shard.node_name,
+                        record,
+                    },
+                ));
+            }
+        }
+        out.sort_by_key(|(seq, _)| *seq);
+        out.into_iter().map(|(_, e)| e).collect()
     }
 
-    /// Number of points.
+    /// Entries carrying the given trace ID, in insertion order.
+    pub fn by_trace_id(&self, id: &str) -> Vec<Entry<'_>> {
+        let mut out: Vec<(u64, Entry<'_>)> = Vec::new();
+        if let Some(indexes) = self.points_by_trace_id.get(id) {
+            for &i in indexes {
+                let (seq, ref p) = self.points[i];
+                out.push((seq, Entry::Point(p)));
+            }
+        }
+        // Record trace IDs are stored numerically; only an 8-digit hex
+        // string can name one (the tag form is always zero-padded).
+        if id.len() == 8 {
+            if let Ok(numeric) = u32::from_str_radix(id, 16) {
+                for shard in &self.shards {
+                    if let Some(indexes) = shard.by_trace_id.get(&numeric) {
+                        for &i in indexes {
+                            let (seq, ref record) = shard.records[i];
+                            out.push((
+                                seq,
+                                Entry::Record {
+                                    measurement: &self.name,
+                                    node: &shard.node_name,
+                                    record,
+                                },
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        out.sort_by_key(|(seq, _)| *seq);
+        out.into_iter().map(|(_, e)| e).collect()
+    }
+
+    /// All distinct trace IDs in the table, sorted.
+    pub fn trace_ids(&self) -> Vec<String> {
+        let mut ids: BTreeSet<String> = self.points_by_trace_id.keys().cloned().collect();
+        for shard in &self.shards {
+            for id in shard.by_trace_id.keys() {
+                ids.insert(format!("{id:08x}"));
+            }
+        }
+        ids.into_iter().collect()
+    }
+
+    /// Number of entries (points plus shard records).
     pub fn len(&self) -> usize {
-        self.points.len()
+        self.points.len() + self.shards.iter().map(RecordShard::len).sum::<usize>()
     }
 
     /// Whether the table is empty.
     pub fn is_empty(&self) -> bool {
-        self.points.is_empty()
+        self.len() == 0
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::symbol::SymbolTable;
 
     #[test]
     fn insert_indexes_trace_ids() {
-        let mut t = Table::new();
+        let mut t = Table::new("m");
         t.insert(
             DataPoint::new("m", 1)
                 .tag(TRACE_ID_TAG, "a")
@@ -87,18 +326,68 @@ mod tests {
         );
         t.insert(DataPoint::new("m", 4).field("v", 4u64)); // no id
         assert_eq!(t.len(), 4);
-        let a: Vec<u64> = t.by_trace_id("a").map(|p| p.timestamp_ns).collect();
+        let a: Vec<u64> = t.by_trace_id("a").iter().map(Entry::timestamp_ns).collect();
         assert_eq!(a, vec![1, 3]);
-        assert_eq!(t.by_trace_id("zzz").count(), 0);
-        let mut ids: Vec<&str> = t.trace_ids().collect();
-        ids.sort_unstable();
-        assert_eq!(ids, vec!["a", "b"]);
+        assert!(t.by_trace_id("zzz").is_empty());
+        assert_eq!(t.trace_ids(), vec!["a".to_owned(), "b".to_owned()]);
     }
 
     #[test]
     fn empty_table() {
-        let t = Table::new();
+        let t = Table::new("m");
         assert!(t.is_empty());
-        assert_eq!(t.points().len(), 0);
+        assert!(t.entries().is_empty());
+        assert!(t.shards().is_empty());
+    }
+
+    fn rec(ts: u64, trace_id: u32) -> CompactRecord {
+        CompactRecord {
+            timestamp_ns: ts,
+            trace_id,
+            pkt_len: 60,
+            flags: 1,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn records_shard_by_node_and_merge_in_sequence_order() {
+        let mut syms = SymbolTable::new();
+        let n1 = syms.intern("n1");
+        let n2 = syms.intern("n2");
+        let mut t = Table::new("m");
+        t.insert(DataPoint::new("m", 5).tag(TRACE_ID_TAG, "00000001"));
+        t.insert_records(n1, "n1", &[rec(10, 2), rec(20, 3)]);
+        t.insert_records(n2, "n2", &[rec(30, 4)]);
+        t.insert_records(n1, "n1", &[rec(40, 5)]);
+        assert_eq!(t.len(), 5);
+        assert_eq!(t.shards().len(), 2, "one shard per node");
+        assert_eq!(t.shards()[0].node_name(), "n1");
+        assert_eq!(t.shards()[0].len(), 3);
+        let stamps: Vec<u64> = t.entries().iter().map(Entry::timestamp_ns).collect();
+        assert_eq!(stamps, vec![5, 10, 20, 30, 40], "insertion order");
+    }
+
+    #[test]
+    fn entry_views_unify_points_and_records() {
+        let mut syms = SymbolTable::new();
+        let n1 = syms.intern("server1");
+        let mut t = Table::new("m");
+        t.insert_records(n1, "server1", &[rec(10, 0xab)]);
+        let entries = t.entries();
+        let e = &entries[0];
+        assert_eq!(e.measurement(), "m");
+        assert_eq!(e.tag("node").as_deref(), Some("server1"));
+        assert_eq!(e.tag(TRACE_ID_TAG).as_deref(), Some("000000ab"));
+        assert_eq!(e.tag("direction").as_deref(), Some("rx"));
+        assert_eq!(e.field_u64("pkt_len"), Some(60));
+        assert_eq!(e.field_f64("cpu"), Some(0.0));
+        assert_eq!(e.field_u64("absent"), None);
+        // Materialization matches the compact record's own view.
+        assert_eq!(e.to_point(), rec(10, 0xab).to_point("m", "server1"));
+        // The hex index finds it; a non-padded ID does not.
+        assert_eq!(t.by_trace_id("000000ab").len(), 1);
+        assert!(t.by_trace_id("ab").is_empty());
+        assert_eq!(t.trace_ids(), vec!["000000ab".to_owned()]);
     }
 }

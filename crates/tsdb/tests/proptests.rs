@@ -2,7 +2,27 @@
 
 use proptest::prelude::*;
 use vnet_tsdb::query::{aggregate, percentile, Query};
-use vnet_tsdb::{DataPoint, TraceDb, TRACE_ID_TAG};
+use vnet_tsdb::{CompactRecord, DataPoint, RecordBatch, TraceDb, TRACE_ID_TAG};
+
+prop_compose! {
+    fn arb_record()(
+        timestamp_ns in 0u64..1_000_000,
+        trace_id in 0u32..4096,
+        pkt_len in 0u32..65_536,
+        saddr in any::<u32>(),
+        daddr in any::<u32>(),
+        sport in any::<u16>(),
+        dport in any::<u16>(),
+        cpu in 0u16..64,
+        direction in 0u8..2,
+        flags in 0u8..2,
+    ) -> CompactRecord {
+        CompactRecord {
+            timestamp_ns, trace_id, pkt_len, saddr, daddr,
+            sport, dport, cpu, direction, flags,
+        }
+    }
+}
 
 proptest! {
     /// Percentiles are order statistics: within [min, max], monotone in q.
@@ -57,7 +77,7 @@ proptest! {
         let inside = Query::new("m").time_range(lo, hi).run(&db);
         let expected: Vec<u64> =
             stamps.iter().copied().filter(|t| (lo..=hi).contains(t)).collect();
-        let got: Vec<u64> = inside.iter().map(|p| p.timestamp_ns).collect();
+        let got: Vec<u64> = inside.iter().map(|e| e.timestamp_ns()).collect();
         prop_assert_eq!(got, expected);
     }
 
@@ -79,5 +99,58 @@ proptest! {
             .map(|&id| (u64::from(id), u64::from(id) + 1000))
             .collect();
         prop_assert_eq!(joined, expected);
+    }
+
+    /// Batched ingestion is observationally equivalent to the old
+    /// materialize-per-record path, modulo grouping: a batch reorders a
+    /// table's records by (node) group, so the invariant is that each
+    /// per-(table, node) stream keeps its order and nothing is lost,
+    /// gained or altered.
+    #[test]
+    fn batched_ingest_equivalent_to_single(
+        records in proptest::collection::vec(arb_record(), 0..100),
+        tables in proptest::collection::vec(0u8..3, 0..100),
+        nodes in proptest::collection::vec(0u8..3, 0..100),
+    ) {
+        let table_names = ["tp_a", "tp_b", "tp_c"];
+        let node_names = ["n0", "n1", "n2"];
+        let routed: Vec<(&str, &str, CompactRecord)> = records
+            .iter()
+            .enumerate()
+            .map(|(i, r)| {
+                let t = table_names[usize::from(*tables.get(i).unwrap_or(&0)) % 3];
+                let n = node_names[usize::from(*nodes.get(i).unwrap_or(&0)) % 3];
+                (t, n, *r)
+            })
+            .collect();
+
+        let mut batch = RecordBatch::new();
+        let mut batched = TraceDb::new();
+        let mut single = TraceDb::new();
+        for (t, n, r) in &routed {
+            batch.push(t, n, *r);
+            single.insert(r.to_point(t, n));
+        }
+        let n = batched.insert_batch(&batch);
+        prop_assert_eq!(n as usize, routed.len());
+        prop_assert_eq!(batched.len(), single.len());
+        for t in table_names {
+            match (batched.table(t), single.table(t)) {
+                (None, None) => {}
+                (Some(b), Some(s)) => {
+                    prop_assert_eq!(b.trace_ids(), s.trace_ids());
+                    for node in node_names {
+                        let filter = Query::new(t).tag_eq("node", node);
+                        let bp: Vec<DataPoint> =
+                            filter.run_table(b).iter().map(|e| e.to_point()).collect();
+                        let sp: Vec<DataPoint> =
+                            filter.run_table(s).iter().map(|e| e.to_point()).collect();
+                        prop_assert_eq!(bp, sp, "stream ({}, {}) diverged", t, node);
+                    }
+                }
+                (b, s) => prop_assert!(false, "table presence differs: {:?} vs {:?}",
+                                       b.is_some(), s.is_some()),
+            }
+        }
     }
 }

@@ -1,0 +1,108 @@
+//! Golden end-to-end regression: a fixed-seed simulated run must keep
+//! producing these exact numbers.
+//!
+//! The simulator is deterministic by construction (seeded RNG, no wall
+//! clock), so any drift in the snapshot below means a behavioural change
+//! somewhere in the inject → trace → batch → ingest → query pipeline —
+//! exactly the kind of silent regression a refactor of the ingestion
+//! path could introduce. Update the snapshot only after confirming the
+//! new numbers are intended.
+
+use vnet_testbed::ovs::{OvsCase, OvsConfig, OvsScenario};
+use vnet_testbed::two_host::{TwoHostConfig, TwoHostScenario};
+use vnettracer::metrics;
+
+/// Renders the run's observable outputs into one comparable string:
+/// per-table record counts and throughput, the latency decomposition,
+/// and the collector's ingest counters.
+fn snapshot(tracer: &vnettracer::VNetTracer, world: &vnet_sim::World, chain: &[&str]) -> String {
+    let mut out = String::new();
+    let mut names: Vec<&str> = tracer.db().measurements().collect();
+    names.sort_unstable();
+    for name in &names {
+        let len = tracer.db().table(name).map_or(0, |t| t.len());
+        let bps = metrics::throughput_at(tracer.db(), name);
+        out.push_str(&format!("table {name}: {len} records, {bps:.0} bps\n"));
+    }
+    for seg in tracer.decompose(chain) {
+        out.push_str(&format!(
+            "segment {} -> {}: count {} min {} p50 {} max {} mean {:.1}\n",
+            seg.from,
+            seg.to,
+            seg.stats.count,
+            seg.stats.min_ns,
+            seg.stats.p50_ns,
+            seg.stats.max_ns,
+            seg.stats.mean_ns,
+        ));
+    }
+    let stats = tracer.stats(world);
+    out.push_str(&format!(
+        "collector: {} records in {} batches, {} bytes, {} lost\n",
+        stats.totals.records, stats.totals.batches, stats.totals.bytes, stats.lost_records,
+    ));
+    for a in &stats.agents {
+        out.push_str(&format!(
+            "agent {}: seq {} records {} lost {}\n",
+            a.node, a.last_seq, a.stats.records, a.lost_records,
+        ));
+    }
+    out
+}
+
+#[test]
+fn golden_ovs_case_iii() {
+    let cfg = OvsConfig {
+        seed: 13,
+        case: OvsCase::III,
+        messages: 200,
+        ..Default::default()
+    };
+    let mut s = OvsScenario::build(&cfg);
+    let pkg = s.control_package();
+    let mut tracer = s.make_tracer();
+    tracer.deploy(&mut s.world, &pkg).unwrap();
+    s.run(&cfg);
+    tracer.collect(&s.world);
+    let got = snapshot(&tracer, &s.world, &OvsScenario::decomposition_chain());
+    let want = "\
+table sock_em0: 200 records, 1575879 bps
+table sock_em2_in: 101 records, 782044 bps
+table sock_em2_out: 101 records, 782044 bps
+table sock_vnet0: 200 records, 1575879 bps
+segment sock_em0 -> sock_vnet0: count 200 min 391 p50 391 max 391 mean 391.0
+segment sock_vnet0 -> sock_em2_in: count 101 min 5709 p50 1483800 max 1883600 mean 1451493.2
+segment sock_em2_in -> sock_em2_out: count 101 min 1091 p50 1091 max 1091 mean 1091.0
+collector: 602 records in 1 batches, 19264 bytes, 0 lost
+agent server1: seq 1 records 602 lost 0
+";
+    assert_eq!(got, want, "golden OVS snapshot drifted:\n{got}");
+}
+
+#[test]
+fn golden_two_host() {
+    let cfg = TwoHostConfig {
+        seed: 7,
+        messages: 250,
+        ..Default::default()
+    };
+    let mut s = TwoHostScenario::build(&cfg);
+    let pkg = s.control_package();
+    let mut tracer = s.make_tracer();
+    tracer.deploy(&mut s.world, &pkg).unwrap();
+    s.run(&cfg);
+    tracer.collect(&s.world);
+    let got = snapshot(&tracer, &s.world, &["s1_ovs_br1", "s2_ovs_br1", "s2_ens3"]);
+    let want = "\
+table s1_ens3: 250 records, 7869964 bps
+table s1_ovs_br1: 250 records, 7871486 bps
+table s2_ens3: 250 records, 7869964 bps
+table s2_ovs_br1: 250 records, 7870100 bps
+segment s1_ovs_br1 -> s2_ovs_br1: count 250 min 33007 p50 33007 max 44591 mean 34853.3
+segment s2_ovs_br1 -> s2_ens3: count 250 min 1591 p50 1591 max 2022 mean 1724.0
+collector: 1000 records in 2 batches, 32000 bytes, 0 lost
+agent server1: seq 1 records 500 lost 0
+agent server2: seq 1 records 500 lost 0
+";
+    assert_eq!(got, want, "golden two-host snapshot drifted:\n{got}");
+}

@@ -99,8 +99,8 @@ fn uprobe_traces_application_deliveries() {
     assert_eq!(kernel_table.len(), 50);
     // The uprobe sees the request after kernel processing: its timestamps
     // trail the kernel tap by the stack service time (3us).
-    let k0 = kernel_table.points()[0].timestamp_ns;
-    let u0 = uprobe_table.points()[0].timestamp_ns;
+    let k0 = kernel_table.entries()[0].timestamp_ns();
+    let u0 = uprobe_table.entries()[0].timestamp_ns();
     assert!(
         u0 > k0,
         "user space sees the packet after the kernel ({u0} vs {k0})"
@@ -109,20 +109,20 @@ fn uprobe_traces_application_deliveries() {
     // IDs. At the uprobe the kernel has already stripped the trailer, so
     // the positional extractor reads the application payload's zero
     // padding instead — evidence the ID is gone from the user-space view.
-    let kernel_ids: std::collections::BTreeSet<&str> = kernel_table
-        .points()
+    let kernel_ids: std::collections::BTreeSet<String> = kernel_table
+        .entries()
         .iter()
-        .filter_map(|p| p.tag_value("trace_id"))
+        .filter_map(|e| e.tag("trace_id").map(|t| t.into_owned()))
         .collect();
     assert_eq!(
         kernel_ids.len(),
         50,
         "50 distinct random IDs in the kernel view"
     );
-    let uprobe_ids: std::collections::BTreeSet<&str> = uprobe_table
-        .points()
+    let uprobe_ids: std::collections::BTreeSet<String> = uprobe_table
+        .entries()
         .iter()
-        .filter_map(|p| p.tag_value("trace_id"))
+        .filter_map(|e| e.tag("trace_id").map(|t| t.into_owned()))
         .collect();
     assert_eq!(
         uprobe_ids.into_iter().collect::<Vec<_>>(),

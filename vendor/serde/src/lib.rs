@@ -1,0 +1,19 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace builds without network access to crates.io, so this
+//! crate supplies just enough surface for `use serde::{Deserialize,
+//! Serialize}` + `#[derive(Serialize, Deserialize)]` to compile: the
+//! derive macros (inert — see `serde_derive`) and same-named marker
+//! traits so the identifiers also resolve in type position. Actual JSON
+//! encoding lives in the vendored `serde_json` as explicit
+//! `ToJson`/`FromJson` impls.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize`; satisfied by every type.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker trait mirroring `serde::Deserialize`; satisfied by every type.
+pub trait Deserialize<'de> {}
+impl<T: ?Sized> Deserialize<'_> for T {}

@@ -1,0 +1,23 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! This workspace builds in an environment with no access to crates.io,
+//! so the real serde machinery cannot be fetched. Nothing in the tree
+//! relies on derived (de)serialization — the two types that actually
+//! travel as JSON (`vnet_tsdb::DataPoint` and `vnettracer`'s
+//! `ControlPackage`) carry hand-written `ToJson`/`FromJson` impls against
+//! the vendored `serde_json` — so the derives here are deliberately
+//! inert: they accept the item and emit no code.
+
+use proc_macro::TokenStream;
+
+/// Inert `#[derive(Serialize)]`: accepted everywhere, generates nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Inert `#[derive(Deserialize)]`: accepted everywhere, generates nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
