@@ -117,6 +117,40 @@ fn print_collector_stats(stats: &vnettracer::collector::CollectorStats) {
     println!("{t}");
 }
 
+/// Prints per-program run statistics: which execution tier each trace
+/// script compiled to, how often it fired, and what it cost — the
+/// kernel-style `run_cnt` / `run_time_ns` counters.
+fn print_run_stats(tracer: &vnettracer::VNetTracer) {
+    let mut t = Table::new(
+        "trace programs",
+        &[
+            "script",
+            "node",
+            "tier",
+            "runs",
+            "matched",
+            "errors",
+            "avg ns/run",
+            "ops",
+            "fused",
+        ],
+    );
+    for s in tracer.run_stats() {
+        t.row(&[
+            s.name.clone(),
+            s.node.clone(),
+            format!("{:?}", s.stats.tier).to_lowercase(),
+            s.stats.executions.to_string(),
+            s.stats.matched.to_string(),
+            s.stats.errors.to_string(),
+            s.stats.avg_run_ns().to_string(),
+            s.stats.ops_executed.to_string(),
+            s.stats.fused_hits.to_string(),
+        ]);
+    }
+    println!("{t}");
+}
+
 fn run(args: &Args) -> Result<(), String> {
     match args.scenario.as_str() {
         "two-host" => {
@@ -139,6 +173,7 @@ fn run(args: &Args) -> Result<(), String> {
             println!("collected {n} records\n");
             print_db_summary(&tracer);
             print_collector_stats(&tracer.stats(&s.world));
+            print_run_stats(&tracer);
             if let Some(summary) = s.latency.borrow().summary() {
                 println!(
                     "sockperf: avg {:.1} us, p99.9 {:.1} us over {} messages",
@@ -169,6 +204,7 @@ fn run(args: &Args) -> Result<(), String> {
             tracer.collect(&s.world);
             print_db_summary(&tracer);
             print_collector_stats(&tracer.stats(&s.world));
+            print_run_stats(&tracer);
             let mut t = Table::new("latency decomposition", &["segment", "mean (us)"]);
             for seg in tracer.decompose(&vnet_testbed::ovs::OvsScenario::decomposition_chain()) {
                 t.row(&[
@@ -198,6 +234,7 @@ fn run(args: &Args) -> Result<(), String> {
             s.run(&cfg);
             tracer.collect(&s.world);
             print_db_summary(&tracer);
+            print_run_stats(&tracer);
             let mut t = Table::new("latency decomposition", &["segment", "mean (us)"]);
             for seg in tracer.decompose(&vnet_testbed::xen::XenScenario::decomposition_chain()) {
                 t.row(&[
@@ -226,6 +263,7 @@ fn run(args: &Args) -> Result<(), String> {
                 .deploy(&mut s.world, &pkg)
                 .map_err(|e| e.to_string())?;
             s.run(&cfg);
+            print_run_stats(&tracer);
             let mut t = Table::new(
                 "softirq counters (vm2)",
                 &["counter", "cpu0", "cpu1", "cpu2", "cpu3"],

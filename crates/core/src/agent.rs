@@ -12,30 +12,57 @@ use std::collections::HashMap;
 use std::rc::Rc;
 
 use vnet_ebpf::context::TraceContext;
+use vnet_ebpf::jit::CompiledProgram;
 use vnet_ebpf::map::{MapDef, MapRegistry};
 use vnet_ebpf::program::LoadedProgram;
-use vnet_ebpf::vm::{execution_cost_ns, standard_helpers, Vm, VmEnv};
+use vnet_ebpf::vm::{
+    execution_cost_ns, jit_compile_cost_ns, jit_execution_cost_ns, standard_helpers, Vm, VmEnv,
+};
 use vnet_sim::ids::NodeId;
 use vnet_sim::probe::{Direction, ProbeEvent, ProbeId, ProbeOutcome, ProbeSink};
 use vnet_sim::time::SimDuration;
 use vnet_sim::world::World;
 
-use crate::config::{Action, CollectionMode, TraceSpec};
+use crate::config::{Action, CollectionMode, ExecTier, GlobalConfig, TraceSpec};
 use crate::error::{Result, TracerError};
 use crate::record::{TraceRecord, RECORD_SIZE};
 
 /// Identifies an installed script on an agent.
 pub type ScriptId = u64;
 
-/// Execution statistics for one installed script.
+/// Execution statistics for one installed script — the simulator's
+/// version of the kernel's `bpf_prog_info` run stats (`run_cnt`,
+/// `run_time_ns`).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ScriptStats {
-    /// Times the probe fired and the program ran.
+    /// Times the probe fired and the program ran (`run_cnt`).
     pub executions: u64,
     /// Times the program reported a rule match.
     pub matched: u64,
     /// Runtime aborts (should stay zero for compiler-generated scripts).
     pub errors: u64,
+    /// Total simulated CPU time spent executing the program, excluding
+    /// the one-time compile cost and per-record ship cost
+    /// (`run_time_ns`).
+    pub run_time_ns: u64,
+    /// Original instructions retired across all runs (tier-independent:
+    /// both tiers retire the same count for the same inputs).
+    pub insns_retired: u64,
+    /// Ops dispatched across all runs: equals `insns_retired` on the
+    /// interpreter, less on the threaded tier where fused ops retire
+    /// several instructions each.
+    pub ops_executed: u64,
+    /// Fused-op executions on the threaded tier (0 on the interpreter).
+    pub fused_hits: u64,
+    /// The tier this script executes on.
+    pub tier: ExecTier,
+}
+
+impl ScriptStats {
+    /// Average simulated nanoseconds per run, 0 before the first run.
+    pub fn avg_run_ns(&self) -> u64 {
+        self.run_time_ns.checked_div(self.executions).unwrap_or(0)
+    }
 }
 
 /// CPU cost of shipping one record to user space immediately in
@@ -45,6 +72,18 @@ pub struct ScriptStats {
 /// (§III-C).
 pub const ONLINE_SHIP_COST_NS: u64 = 1_500;
 
+/// The execution engine behind a probe: the interpreter re-decodes
+/// bytecode every firing; the threaded tier runs the pre-compiled form,
+/// paying a one-time compile cost on its first firing.
+enum Engine {
+    Interp(Vm),
+    Jit {
+        compiled: CompiledProgram,
+        /// Compile cost not yet charged; taken (zeroed) on first run.
+        pending_compile_ns: u64,
+    },
+}
+
 /// The [`ProbeSink`] wrapper that runs a loaded eBPF program each time
 /// its hook fires, charging the simulated CPU cost of the execution back
 /// to the packet being processed — the mechanism behind the overhead
@@ -52,10 +91,39 @@ pub const ONLINE_SHIP_COST_NS: u64 = 1_500;
 pub struct EbpfProbeSink {
     program: LoadedProgram,
     maps: Rc<RefCell<MapRegistry>>,
-    vm: Vm,
+    engine: Engine,
     stats: ScriptStats,
     prandom_state: u64,
     per_match_extra_ns: u64,
+}
+
+impl EbpfProbeSink {
+    fn new(
+        loaded: LoadedProgram,
+        maps: Rc<RefCell<MapRegistry>>,
+        tier: ExecTier,
+        prandom_state: u64,
+        per_match_extra_ns: u64,
+    ) -> Self {
+        let engine = match tier {
+            ExecTier::Interp => Engine::Interp(Vm::new()),
+            ExecTier::Jit => Engine::Jit {
+                compiled: vnet_ebpf::jit::compile(&loaded),
+                pending_compile_ns: jit_compile_cost_ns(loaded.insns().len()),
+            },
+        };
+        EbpfProbeSink {
+            program: loaded,
+            maps,
+            engine,
+            stats: ScriptStats {
+                tier,
+                ..ScriptStats::default()
+            },
+            prandom_state,
+            per_match_extra_ns,
+        }
+    }
 }
 
 impl std::fmt::Debug for EbpfProbeSink {
@@ -111,22 +179,51 @@ impl ProbeSink for EbpfProbeSink {
             prandom_state: &mut self.prandom_state,
         };
         let mut maps = self.maps.borrow_mut();
-        match self
-            .vm
-            .execute(&self.program, &ctx, pkt, &mut maps, &mut env)
-        {
-            Ok(out) => {
+        // (return value, execution cost, one-time extra) per tier; both
+        // tiers produce identical results and side effects — they
+        // differ only in what the run costs the traced system.
+        let (result, one_time_ns) = match &mut self.engine {
+            Engine::Interp(vm) => (
+                vm.execute(&self.program, &ctx, pkt, &mut maps, &mut env)
+                    .map(|out| {
+                        self.stats.insns_retired += out.insns_executed;
+                        self.stats.ops_executed += out.insns_executed;
+                        (out.ret, execution_cost_ns(out.insns_executed))
+                    })
+                    .map_err(|_| execution_cost_ns(0)),
+                0,
+            ),
+            Engine::Jit {
+                compiled,
+                pending_compile_ns,
+            } => (
+                compiled
+                    .execute(&ctx, pkt, &mut maps, &mut env)
+                    .map(|out| {
+                        self.stats.insns_retired += out.insns_retired;
+                        self.stats.ops_executed += out.ops_executed;
+                        self.stats.fused_hits += out.fused_hits;
+                        (out.ret, jit_execution_cost_ns(out.ops_executed))
+                    })
+                    .map_err(|_| jit_execution_cost_ns(0)),
+                // First firing pays the compile.
+                std::mem::take(pending_compile_ns),
+            ),
+        };
+        match result {
+            Ok((ret, exec_ns)) => {
                 self.stats.executions += 1;
-                let mut cost = execution_cost_ns(out.insns_executed);
-                if out.ret == 1 {
+                self.stats.run_time_ns += exec_ns;
+                let mut cost = exec_ns + one_time_ns;
+                if ret == 1 {
                     self.stats.matched += 1;
                     cost += self.per_match_extra_ns;
                 }
                 ProbeOutcome::with_cost(SimDuration::from_nanos(cost))
             }
-            Err(_) => {
+            Err(base_ns) => {
                 self.stats.errors += 1;
-                ProbeOutcome::with_cost(SimDuration::from_nanos(execution_cost_ns(0)))
+                ProbeOutcome::with_cost(SimDuration::from_nanos(base_ns + one_time_ns))
             }
         }
     }
@@ -208,6 +305,29 @@ impl Agent {
         buffer_size: u32,
         mode: CollectionMode,
     ) -> Result<ScriptId> {
+        let global = GlobalConfig {
+            buffer_size,
+            mode,
+            ..GlobalConfig::default()
+        };
+        self.install_with_config(world, spec, &global)
+    }
+
+    /// Like [`Agent::install`], taking the full global configuration:
+    /// collection mode (online shipping costs per-match CPU) and
+    /// execution tier (the threaded tier pays a one-time compile cost on
+    /// the script's first firing, then a reduced per-op cost).
+    ///
+    /// # Errors
+    ///
+    /// See [`Agent::install`].
+    pub fn install_with_config(
+        &mut self,
+        world: &mut World,
+        spec: &TraceSpec,
+        global: &GlobalConfig,
+    ) -> Result<ScriptId> {
+        let buffer_size = global.buffer_size;
         let cpus = usize::from(self.num_cpus);
         let (perf_fd, counter_fd) = match spec.action {
             Action::RecordPacketInfo => {
@@ -230,18 +350,17 @@ impl Agent {
             let maps = self.maps.borrow();
             vnet_ebpf::program::load(program, &maps, &standard_helpers())?
         };
-        let per_match_extra_ns = match mode {
+        let per_match_extra_ns = match global.mode {
             CollectionMode::Offline => 0,
             CollectionMode::Online => ONLINE_SHIP_COST_NS,
         };
-        let sink = Rc::new(RefCell::new(EbpfProbeSink {
-            program: loaded,
-            maps: Rc::clone(&self.maps),
-            vm: Vm::new(),
-            stats: ScriptStats::default(),
-            prandom_state: 0x5eed ^ self.next_id,
+        let sink = Rc::new(RefCell::new(EbpfProbeSink::new(
+            loaded,
+            Rc::clone(&self.maps),
+            global.exec_tier,
+            0x5eed ^ self.next_id,
             per_match_extra_ns,
-        }));
+        )));
         let probe = world.attach_probe(self.node, spec.hook.to_sim_hook(), sink.clone());
         let id = self.next_id;
         self.next_id += 1;
@@ -278,14 +397,13 @@ impl Agent {
             let maps = self.maps.borrow();
             vnet_ebpf::program::load(program, &maps, &standard_helpers())?
         };
-        let sink = Rc::new(RefCell::new(EbpfProbeSink {
-            program: loaded,
-            maps: Rc::clone(&self.maps),
-            vm: Vm::new(),
-            stats: ScriptStats::default(),
-            prandom_state: 0x5eed ^ self.next_id,
-            per_match_extra_ns: 0,
-        }));
+        let sink = Rc::new(RefCell::new(EbpfProbeSink::new(
+            loaded,
+            Rc::clone(&self.maps),
+            ExecTier::default(),
+            0x5eed ^ self.next_id,
+            0,
+        )));
         let probe = world.attach_probe(self.node, hook.to_sim_hook(), sink.clone());
         let id = self.next_id;
         self.next_id += 1;

@@ -24,6 +24,17 @@ pub struct DeployedScript {
     pub id: ScriptId,
 }
 
+/// Run statistics of one deployed script, with its deployment identity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScriptRunStats {
+    /// Script (table) name.
+    pub name: String,
+    /// Node name.
+    pub node: String,
+    /// The script's execution counters.
+    pub stats: ScriptStats,
+}
+
 /// The whole tracing system: a control-data dispatcher and raw-data
 /// collector on the master, plus one agent per monitored node.
 ///
@@ -86,12 +97,7 @@ impl VNetTracer {
                 .ok_or_else(|| TracerError::UnknownNode(message.node.clone()))?;
             let sub = ControlPackage::from_json(&message.payload).map_err(TracerError::Config)?;
             for spec in &sub.traces {
-                let id = agent.install_with_mode(
-                    world,
-                    spec,
-                    sub.global.buffer_size,
-                    sub.global.mode,
-                )?;
+                let id = agent.install_with_config(world, spec, &sub.global)?;
                 let handle = DeployedScript {
                     name: spec.name.clone(),
                     node: message.node.clone(),
@@ -124,6 +130,23 @@ impl VNetTracer {
     pub fn script_stats(&self, name: &str) -> Option<ScriptStats> {
         let handle = self.deployed.iter().find(|d| d.name == name)?;
         self.agents.get(&handle.node)?.stats(handle.id)
+    }
+
+    /// Kernel-style run stats for every deployed script, in deployment
+    /// order — run count, accumulated run time, instruction/op counters
+    /// and the execution tier, alongside the script's identity.
+    pub fn run_stats(&self) -> Vec<ScriptRunStats> {
+        self.deployed
+            .iter()
+            .filter_map(|d| {
+                let stats = self.agents.get(&d.node)?.stats(d.id)?;
+                Some(ScriptRunStats {
+                    name: d.name.clone(),
+                    node: d.node.clone(),
+                    stats,
+                })
+            })
+            .collect()
     }
 
     /// Per-CPU counter values of a deployed [`crate::config::Action::CountPerCpu`]
@@ -284,10 +307,14 @@ mod tests {
     #[test]
     fn end_to_end_deploy_trace_collect_analyze() {
         let (mut w, mut tracer, d0) = setup();
-        let pkg = ControlPackage::new(vec![
+        // Pinned to the interpreter: the latency windows below encode
+        // the interpreter's per-instruction cost arithmetic. The jit
+        // tier's cost model is covered separately.
+        let mut pkg = ControlPackage::new(vec![
             flow_spec("eth0_rx", HookSpec::DeviceRx("eth0".into())),
             flow_spec("eth1_rx", HookSpec::DeviceRx("eth1".into())),
         ]);
+        pkg.global.exec_tier = crate::config::ExecTier::Interp;
         let deployed = tracer.deploy(&mut w, &pkg).unwrap();
         assert_eq!(deployed.len(), 2);
         send_packets(&mut w, d0, 10);
@@ -340,6 +367,73 @@ mod tests {
         assert_eq!(cstats.agents[0].node, "server1");
         // Records landed in shards, not materialized points.
         assert_eq!(tracer.db().table("eth0_rx").unwrap().shards().len(), 1);
+    }
+
+    #[test]
+    fn jit_tier_is_default_and_traces_identically() {
+        // Same scenario on both tiers: identical records and match
+        // counts, but the jit tier reports fused ops, fewer dispatched
+        // ops than retired instructions, and less accumulated run time.
+        let run = |tier: crate::config::ExecTier| {
+            let (mut w, mut tracer, d0) = setup();
+            let mut pkg = ControlPackage::new(vec![
+                flow_spec("eth0_rx", HookSpec::DeviceRx("eth0".into())),
+                flow_spec("eth1_rx", HookSpec::DeviceRx("eth1".into())),
+            ]);
+            pkg.global.exec_tier = tier;
+            tracer.deploy(&mut w, &pkg).unwrap();
+            send_packets(&mut w, d0, 10);
+            w.run_until(SimTime::from_millis(5));
+            tracer.collect(&w);
+            let recs: Vec<_> = tracer
+                .db()
+                .table("eth0_rx")
+                .unwrap()
+                .entries()
+                .iter()
+                .map(|e| {
+                    (
+                        e.timestamp_ns(),
+                        e.tag(vnet_tsdb::TRACE_ID_TAG).map(|t| t.into_owned()),
+                        e.field_u64("pkt_len"),
+                    )
+                })
+                .collect();
+            let stats = tracer.script_stats("eth0_rx").unwrap();
+            (recs, stats, tracer.run_stats())
+        };
+        // Default tier is jit.
+        assert_eq!(
+            ControlPackage::new(vec![]).global.exec_tier,
+            crate::config::ExecTier::Jit
+        );
+        let (recs_i, stats_i, _) = run(crate::config::ExecTier::Interp);
+        let (recs_j, stats_j, run_stats) = run(crate::config::ExecTier::Jit);
+        assert_eq!(recs_i, recs_j, "tiers must trace identical records");
+        assert_eq!(stats_i.executions, stats_j.executions);
+        assert_eq!(stats_i.matched, stats_j.matched);
+        assert_eq!(stats_i.insns_retired, stats_j.insns_retired);
+        assert_eq!(stats_j.tier, crate::config::ExecTier::Jit);
+        assert!(
+            stats_j.fused_hits > 0,
+            "trace programs contain fusable runs"
+        );
+        assert!(
+            stats_j.ops_executed < stats_i.ops_executed,
+            "fusion dispatches fewer ops ({} vs {})",
+            stats_j.ops_executed,
+            stats_i.ops_executed
+        );
+        assert!(
+            stats_j.run_time_ns < stats_i.run_time_ns,
+            "jit runs must charge less CPU ({} vs {})",
+            stats_j.run_time_ns,
+            stats_i.run_time_ns
+        );
+        // Run stats surface one entry per deployed script.
+        assert_eq!(run_stats.len(), 2);
+        assert!(run_stats.iter().all(|s| s.node == "server1"));
+        assert!(run_stats.iter().all(|s| s.stats.avg_run_ns() > 0));
     }
 
     #[test]

@@ -10,6 +10,9 @@
 //!   limit the paper cites (§II) and loop rejection;
 //! * [`vm`] — the interpreter, with a per-instruction cost model that
 //!   feeds tracing overhead back into the simulated system;
+//! * [`jit`] — the threaded-code tier: programs pre-decoded once into
+//!   typed ops with resolved jumps, bound helper thunks and fused
+//!   sequences, the simulator's stand-in for the kernel's JIT (§II);
 //! * [`map`] — hash / array / per-CPU / perf-event maps (the perf buffer
 //!   honours the paper's 32 B..128 KiB−16 size constraint);
 //! * [`program`] — programs, attach types (kprobe, kretprobe, tracepoint,
@@ -44,6 +47,7 @@ pub mod asm;
 pub mod context;
 pub mod disasm;
 pub mod insn;
+pub mod jit;
 pub mod map;
 pub mod parse;
 pub mod program;
@@ -53,6 +57,7 @@ pub mod vm;
 pub use context::TraceContext;
 pub use disasm::disassemble;
 pub use insn::{Insn, MAX_INSNS};
+pub use jit::{compile, CompiledProgram, JitOutcome};
 pub use map::{MapDef, MapRegistry, MapType};
 pub use program::{load, AttachType, LoadedProgram, Program};
 pub use verifier::{verify, VerifyError};

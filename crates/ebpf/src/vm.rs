@@ -21,11 +21,11 @@ use crate::program::LoadedProgram;
 /// kernel pointer, as real map pointers do.
 pub const MAP_HANDLE_BASE: u64 = 0xffff_8800_0000_0000;
 
-const CTX_BASE: u64 = 0x0000_0000_1000_0000;
-const PKT_BASE: u64 = 0x0000_0000_2000_0000;
-const STACK_BASE: u64 = 0x0000_0000_3000_0000;
-const MAP_VAL_BASE: u64 = 0x0000_0000_4000_0000;
-const MAP_VAL_STRIDE: u64 = 1 << 20;
+pub(crate) const CTX_BASE: u64 = 0x0000_0000_1000_0000;
+pub(crate) const PKT_BASE: u64 = 0x0000_0000_2000_0000;
+pub(crate) const STACK_BASE: u64 = 0x0000_0000_3000_0000;
+pub(crate) const MAP_VAL_BASE: u64 = 0x0000_0000_4000_0000;
+pub(crate) const MAP_VAL_STRIDE: u64 = 1 << 20;
 
 /// Fixed cost of entering a probe (trampoline + register save), in
 /// simulated nanoseconds.
@@ -34,9 +34,31 @@ pub const PROBE_BASE_COST_NS: u64 = 25;
 /// eBPF executes close to native speed).
 pub const COST_PER_INSN_NS: u64 = 1;
 
-/// The simulated CPU time a program execution consumes.
+/// The simulated CPU time an interpreted program execution consumes.
 pub fn execution_cost_ns(insns_executed: u64) -> u64 {
     PROBE_BASE_COST_NS + insns_executed * COST_PER_INSN_NS
+}
+
+/// One-time cost, per original instruction, of lowering a program to the
+/// threaded-code tier (decode, jump resolution, helper binding). Charged
+/// once per installed program, on its first execution.
+pub const JIT_COMPILE_COST_PER_INSN_NS: u64 = 12;
+
+/// The one-time compile cost of the threaded-code tier for a program of
+/// `insn_count` instructions.
+pub fn jit_compile_cost_ns(insn_count: usize) -> u64 {
+    insn_count as u64 * JIT_COMPILE_COST_PER_INSN_NS
+}
+
+/// The simulated CPU time a compiled (threaded-code) execution consumes.
+///
+/// The per-op constant matches [`COST_PER_INSN_NS`], but `ops_executed`
+/// counts *pre-decoded ops*, of which fused sequences (compare+branch,
+/// map-lookup + null check, stack-store runs) retire several original
+/// instructions each — so a compiled execution charges less than
+/// [`execution_cost_ns`] would for the same path.
+pub fn jit_execution_cost_ns(ops_executed: u64) -> u64 {
+    PROBE_BASE_COST_NS + ops_executed * COST_PER_INSN_NS
 }
 
 /// Helper function ids (matching Linux `bpf.h` numbering).
@@ -62,20 +84,49 @@ pub mod helper_ids {
     pub const SKB_LOAD_BYTES: i32 = 26;
 }
 
-/// The set of helpers this VM implements (what the verifier accepts).
+/// A bound helper implementation: reads its arguments from `r1`–`r5`,
+/// leaves its result in `r0`. Both execution tiers dispatch through
+/// these; the threaded-code tier binds one per call site at compile time.
+pub(crate) type HelperFn = fn(
+    &mut [u64; NUM_REGS],
+    &mut Memory<'_>,
+    &mut MapRegistry,
+    &mut dyn VmEnv,
+    &mut Vec<u8>,
+) -> Result<(), VmError>;
+
+/// The single source of truth for which helpers exist: id → thunk.
+/// [`standard_helpers`] (what the verifier accepts) and both execution
+/// tiers (what actually runs) all derive from this table, so a helper
+/// cannot be registered with the verifier but not the runtime, or vice
+/// versa.
+pub(crate) static HELPER_TABLE: &[(i32, HelperFn)] = &[
+    (helper_ids::MAP_LOOKUP_ELEM, helper_map_lookup),
+    (helper_ids::MAP_UPDATE_ELEM, helper_map_update),
+    (helper_ids::MAP_DELETE_ELEM, helper_map_delete),
+    (helper_ids::KTIME_GET_NS, helper_ktime_get_ns),
+    (helper_ids::TRACE_PRINTK, helper_trace_printk),
+    (helper_ids::GET_PRANDOM_U32, helper_get_prandom_u32),
+    (
+        helper_ids::GET_SMP_PROCESSOR_ID,
+        helper_get_smp_processor_id,
+    ),
+    (helper_ids::PERF_EVENT_OUTPUT, helper_perf_event_output),
+    (helper_ids::SKB_LOAD_BYTES, helper_skb_load_bytes),
+];
+
+/// Looks up the bound implementation of a helper id.
+pub(crate) fn helper_by_id(id: i32) -> Option<HelperFn> {
+    HELPER_TABLE
+        .iter()
+        .find(|(hid, _)| *hid == id)
+        .map(|(_, f)| *f)
+}
+
+/// The set of helpers this VM implements (what the verifier accepts),
+/// derived from [`HELPER_TABLE`].
 pub fn standard_helpers() -> Vec<i32> {
-    use helper_ids::*;
-    vec![
-        MAP_LOOKUP_ELEM,
-        MAP_UPDATE_ELEM,
-        MAP_DELETE_ELEM,
-        KTIME_GET_NS,
-        TRACE_PRINTK,
-        GET_PRANDOM_U32,
-        GET_SMP_PROCESSOR_ID,
-        PERF_EVENT_OUTPUT,
-        SKB_LOAD_BYTES,
-    ]
+    HELPER_TABLE.iter().map(|(id, _)| *id).collect()
 }
 
 /// Flag value for `perf_event_output` meaning "use the current CPU's
@@ -194,34 +245,99 @@ pub struct ExecOutcome {
     pub insns_executed: u64,
 }
 
+/// A map key captured when a lookup allocates a value slot. Keys of up
+/// to eight bytes (every key the standard trace scripts use) are stored
+/// inline, so the per-lookup heap allocation is only paid for oversized
+/// keys.
+#[derive(Debug, Clone)]
+pub(crate) enum KeyBuf {
+    Inline { buf: [u8; 8], len: u8 },
+    Heap(Vec<u8>),
+}
+
+impl KeyBuf {
+    #[inline]
+    fn as_slice(&self) -> &[u8] {
+        match self {
+            KeyBuf::Inline { buf, len } => &buf[..*len as usize],
+            KeyBuf::Heap(v) => v,
+        }
+    }
+}
+
 #[derive(Debug, Clone)]
 struct ValueSlot {
     fd: i32,
-    key: Vec<u8>,
+    key: KeyBuf,
     value_size: usize,
 }
 
-struct Memory<'a> {
-    ctx: [u8; CTX_SIZE],
-    pkt: &'a [u8],
-    stack: [u8; STACK_SIZE],
-    slots: Vec<ValueSlot>,
-    cpu: usize,
+/// Value-slot table. The first two slots live inline — the standard
+/// trace scripts perform at most a couple of lookups per run, so a
+/// lookup-heavy execution allocates nothing; further slots spill to the
+/// heap.
+#[derive(Debug)]
+struct Slots {
+    inline: [Option<ValueSlot>; 2],
+    spill: Vec<ValueSlot>,
+    len: usize,
+}
+
+impl Slots {
+    fn new() -> Self {
+        Slots {
+            inline: [None, None],
+            spill: Vec::new(),
+            len: 0,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    #[inline]
+    fn get(&self, idx: usize) -> Option<&ValueSlot> {
+        match self.inline.get(idx) {
+            Some(slot) => slot.as_ref(),
+            None => self.spill.get(idx - self.inline.len()),
+        }
+    }
+
+    fn push(&mut self, slot: ValueSlot) {
+        match self.inline.get_mut(self.len) {
+            Some(entry) => *entry = Some(slot),
+            None => self.spill.push(slot),
+        }
+        self.len += 1;
+    }
+}
+
+/// The tagged flat address space a program execution sees. Shared by
+/// both execution tiers so addresses, map-value slot allocation order and
+/// error behaviour are bit-identical between them (addresses are data —
+/// a program may return or store one).
+pub(crate) struct Memory<'a> {
+    pub(crate) ctx: [u8; CTX_SIZE],
+    pub(crate) pkt: &'a [u8],
+    pub(crate) stack: [u8; STACK_SIZE],
+    slots: Slots,
+    pub(crate) cpu: usize,
 }
 
 impl<'a> Memory<'a> {
-    fn new(ctx: &TraceContext, pkt: &'a [u8], cpu: usize) -> Self {
+    pub(crate) fn new(ctx: &TraceContext, pkt: &'a [u8], cpu: usize) -> Self {
         let ctx_bytes = ctx.to_bytes(PKT_BASE, PKT_BASE + pkt.len() as u64);
         Memory {
             ctx: ctx_bytes,
             pkt,
             stack: [0u8; STACK_SIZE],
-            slots: Vec::new(),
+            slots: Slots::new(),
             cpu,
         }
     }
 
-    fn alloc_slot(&mut self, fd: i32, key: Vec<u8>, value_size: usize) -> u64 {
+    pub(crate) fn alloc_slot(&mut self, fd: i32, key: KeyBuf, value_size: usize) -> u64 {
         self.slots.push(ValueSlot {
             fd,
             key,
@@ -230,7 +346,7 @@ impl<'a> Memory<'a> {
         MAP_VAL_BASE + (self.slots.len() as u64 - 1) * MAP_VAL_STRIDE
     }
 
-    fn read_bytes(
+    pub(crate) fn read_bytes(
         &self,
         maps: &mut MapRegistry,
         addr: u64,
@@ -259,7 +375,9 @@ impl<'a> Memory<'a> {
                 return Err(oob);
             }
             let map = maps.get_mut(slot.fd).ok_or(VmError::BadMapHandle(addr))?;
-            let value = map.lookup(&slot.key, self.cpu).map_err(VmError::Map)?;
+            let value = map
+                .lookup(slot.key.as_slice(), self.cpu)
+                .map_err(VmError::Map)?;
             out.extend_from_slice(&value[off..off + len]);
         } else {
             return Err(oob);
@@ -267,7 +385,12 @@ impl<'a> Memory<'a> {
         Ok(())
     }
 
-    fn read_u64(&self, maps: &mut MapRegistry, addr: u64, len: usize) -> Result<u64, VmError> {
+    pub(crate) fn read_u64(
+        &self,
+        maps: &mut MapRegistry,
+        addr: u64,
+        len: usize,
+    ) -> Result<u64, VmError> {
         let mut buf = Vec::with_capacity(8);
         self.read_bytes(maps, addr, len, &mut buf)?;
         let mut b = [0u8; 8];
@@ -275,17 +398,103 @@ impl<'a> Memory<'a> {
         Ok(u64::from_le_bytes(b))
     }
 
-    fn write(
+    /// Allocation-free scalar load used by the compiled tier: accesses
+    /// that land wholly inside the context, packet, stack or a map-value
+    /// region read directly from the backing storage; everything else
+    /// (faults, address-space edge cases) defers to [`Memory::read_u64`]
+    /// so the result — value or error — is identical to the interpreter.
+    #[inline]
+    pub(crate) fn read_scalar(
+        &self,
+        maps: &mut MapRegistry,
+        addr: u64,
+        len: usize,
+    ) -> Result<u64, VmError> {
+        if len > 0 {
+            if let Some(end) = addr.checked_add(len as u64) {
+                if addr >= CTX_BASE && end <= CTX_BASE + CTX_SIZE as u64 {
+                    return Ok(read_le(&self.ctx[(addr - CTX_BASE) as usize..], len));
+                }
+                if addr >= PKT_BASE && end <= PKT_BASE + self.pkt.len() as u64 {
+                    return Ok(read_le(&self.pkt[(addr - PKT_BASE) as usize..], len));
+                }
+                if addr >= STACK_BASE && end <= STACK_BASE + STACK_SIZE as u64 {
+                    return Ok(read_le(&self.stack[(addr - STACK_BASE) as usize..], len));
+                }
+                if (MAP_VAL_BASE..MAP_HANDLE_BASE).contains(&addr) {
+                    let slot_idx = ((addr - MAP_VAL_BASE) / MAP_VAL_STRIDE) as usize;
+                    let off = ((addr - MAP_VAL_BASE) % MAP_VAL_STRIDE) as usize;
+                    let oob = VmError::MemoryOutOfBounds { addr, len };
+                    let slot = self.slots.get(slot_idx).ok_or_else(|| oob.clone())?;
+                    if off + len > slot.value_size {
+                        return Err(oob);
+                    }
+                    let map = maps.get_mut(slot.fd).ok_or(VmError::BadMapHandle(addr))?;
+                    let value = map
+                        .lookup(slot.key.as_slice(), self.cpu)
+                        .map_err(VmError::Map)?;
+                    return Ok(read_le(&value[off..], len));
+                }
+            }
+        }
+        self.read_u64(maps, addr, len)
+    }
+
+    /// Read-modify-write for the compiled tier's fused `ldx; add imm;
+    /// stx` sequence: one region resolution (and, for map values, one
+    /// map lookup) covers both accesses, which is sound because the
+    /// store targets the exact address and width the load just proved
+    /// accessible. Off the writable fast paths it falls back to the
+    /// split read-then-write, so faults (including stores to read-only
+    /// regions) are ordered exactly as the interpreter orders them.
+    pub(crate) fn rmw_add(
+        &mut self,
+        maps: &mut MapRegistry,
+        addr: u64,
+        len: usize,
+        add: u64,
+    ) -> Result<u64, VmError> {
+        if len > 0 {
+            if let Some(end) = addr.checked_add(len as u64) {
+                if addr >= STACK_BASE && end <= STACK_BASE + STACK_SIZE as u64 {
+                    let s = (addr - STACK_BASE) as usize;
+                    let new = read_le(&self.stack[s..], len).wrapping_add(add);
+                    write_le(&mut self.stack[s..], len, new);
+                    return Ok(new);
+                }
+                if (MAP_VAL_BASE..MAP_HANDLE_BASE).contains(&addr) {
+                    let slot_idx = ((addr - MAP_VAL_BASE) / MAP_VAL_STRIDE) as usize;
+                    let off = ((addr - MAP_VAL_BASE) % MAP_VAL_STRIDE) as usize;
+                    let oob = VmError::MemoryOutOfBounds { addr, len };
+                    let slot = self.slots.get(slot_idx).ok_or_else(|| oob.clone())?;
+                    if off + len > slot.value_size {
+                        return Err(oob);
+                    }
+                    let map = maps.get_mut(slot.fd).ok_or(VmError::BadMapHandle(addr))?;
+                    let value = map
+                        .lookup(slot.key.as_slice(), self.cpu)
+                        .map_err(VmError::Map)?;
+                    let new = read_le(&value[off..], len).wrapping_add(add);
+                    write_le(&mut value[off..], len, new);
+                    return Ok(new);
+                }
+            }
+        }
+        let new = self.read_u64(maps, addr, len)?.wrapping_add(add);
+        self.write(maps, addr, len, new)?;
+        Ok(new)
+    }
+
+    pub(crate) fn write(
         &mut self,
         maps: &mut MapRegistry,
         addr: u64,
         len: usize,
         val: u64,
     ) -> Result<(), VmError> {
-        let bytes = val.to_le_bytes();
         if addr >= STACK_BASE && addr + len as u64 <= STACK_BASE + STACK_SIZE as u64 {
             let s = (addr - STACK_BASE) as usize;
-            self.stack[s..s + len].copy_from_slice(&bytes[..len]);
+            write_le(&mut self.stack[s..], len, val);
             Ok(())
         } else if (MAP_VAL_BASE..MAP_HANDLE_BASE).contains(&addr) {
             let slot_idx = ((addr - MAP_VAL_BASE) / MAP_VAL_STRIDE) as usize;
@@ -293,14 +502,15 @@ impl<'a> Memory<'a> {
             let slot = self
                 .slots
                 .get(slot_idx)
-                .ok_or(VmError::MemoryOutOfBounds { addr, len })?
-                .clone();
+                .ok_or(VmError::MemoryOutOfBounds { addr, len })?;
             if off + len > slot.value_size {
                 return Err(VmError::MemoryOutOfBounds { addr, len });
             }
             let map = maps.get_mut(slot.fd).ok_or(VmError::BadMapHandle(addr))?;
-            let value = map.lookup(&slot.key, self.cpu).map_err(VmError::Map)?;
-            value[off..off + len].copy_from_slice(&bytes[..len]);
+            let value = map
+                .lookup(slot.key.as_slice(), self.cpu)
+                .map_err(VmError::Map)?;
+            write_le(&mut value[off..], len, val);
             Ok(())
         } else if (addr >= CTX_BASE && addr < CTX_BASE + CTX_SIZE as u64)
             || (addr >= PKT_BASE && addr < PKT_BASE + self.pkt.len() as u64)
@@ -500,102 +710,218 @@ impl Vm {
         env: &mut dyn VmEnv,
         scratch: &mut Vec<u8>,
     ) -> Result<(), VmError> {
-        use helper_ids::*;
-        let ret = match id {
-            KTIME_GET_NS => env.ktime_get_ns(),
-            GET_PRANDOM_U32 => u64::from(env.prandom_u32()),
-            GET_SMP_PROCESSOR_ID => u64::from(env.smp_processor_id()),
-            MAP_LOOKUP_ELEM => {
-                let fd = map_fd(reg[1])?;
-                let map = maps.get_mut(fd).ok_or(VmError::BadMapHandle(reg[1]))?;
-                let key_size = map.def().key_size as usize;
-                let value_size = map.def().value_size as usize;
-                mem.read_bytes(maps, reg[2], key_size, scratch)?;
-                let key = scratch.clone();
-                let map = maps.get_mut(fd).expect("fd checked");
-                match map.lookup(&key, mem.cpu) {
-                    Ok(_) => mem.alloc_slot(fd, key, value_size),
-                    Err(_) => 0,
-                }
-            }
-            MAP_UPDATE_ELEM => {
-                let fd = map_fd(reg[1])?;
-                let (key_size, value_size) = {
-                    let map = maps.get(fd).ok_or(VmError::BadMapHandle(reg[1]))?;
-                    (map.def().key_size as usize, map.def().value_size as usize)
-                };
-                mem.read_bytes(maps, reg[2], key_size, scratch)?;
-                let key = scratch.clone();
-                mem.read_bytes(maps, reg[3], value_size, scratch)?;
-                let value = scratch.clone();
-                let map = maps.get_mut(fd).expect("fd checked");
-                match map.update(&key, &value, mem.cpu) {
-                    Ok(()) => 0,
-                    Err(_) => (-1i64) as u64,
-                }
-            }
-            MAP_DELETE_ELEM => {
-                let fd = map_fd(reg[1])?;
-                let key_size = {
-                    let map = maps.get(fd).ok_or(VmError::BadMapHandle(reg[1]))?;
-                    map.def().key_size as usize
-                };
-                mem.read_bytes(maps, reg[2], key_size, scratch)?;
-                let key = scratch.clone();
-                let map = maps.get_mut(fd).expect("fd checked");
-                match map.delete(&key) {
-                    Ok(()) => 0,
-                    Err(_) => (-1i64) as u64,
-                }
-            }
-            PERF_EVENT_OUTPUT => {
-                let fd = map_fd(reg[2])?;
-                let len = reg[5] as usize;
-                mem.read_bytes(maps, reg[4], len, scratch)?;
-                let data = scratch.clone();
-                let cpu = if reg[3] == BPF_F_CURRENT_CPU {
-                    mem.cpu
-                } else {
-                    reg[3] as usize
-                };
-                let map = maps.get_mut(fd).ok_or(VmError::BadMapHandle(reg[2]))?;
-                match map.perf_output(cpu, &data) {
-                    Ok(()) => 0,
-                    Err(_) => (-1i64) as u64,
-                }
-            }
-            SKB_LOAD_BYTES => {
-                let off = reg[2] as usize;
-                let len = reg[4] as usize;
-                if off + len > mem.pkt.len() {
-                    (-1i64) as u64
-                } else {
-                    let data = mem.pkt[off..off + len].to_vec();
-                    let mut dst_addr = reg[3];
-                    for chunk in data.chunks(8) {
-                        let mut b = [0u8; 8];
-                        b[..chunk.len()].copy_from_slice(chunk);
-                        mem.write(maps, dst_addr, chunk.len(), u64::from_le_bytes(b))?;
-                        dst_addr += chunk.len() as u64;
-                    }
-                    0
-                }
-            }
-            TRACE_PRINTK => {
-                let len = (reg[2] as usize).min(512);
-                mem.read_bytes(maps, reg[1], len, scratch)?;
-                let msg = String::from_utf8_lossy(scratch).into_owned();
-                env.trace_printk(msg.trim_end_matches('\0'));
-                0
-            }
-            other => return Err(VmError::UnknownHelper(other)),
-        };
-        reg[0] = ret;
-        Ok(())
+        let thunk = helper_by_id(id).ok_or(VmError::UnknownHelper(id))?;
+        thunk(reg, mem, maps, env, scratch)
     }
 }
 
-fn map_fd(handle: u64) -> Result<i32, VmError> {
+fn helper_ktime_get_ns(
+    reg: &mut [u64; NUM_REGS],
+    _mem: &mut Memory<'_>,
+    _maps: &mut MapRegistry,
+    env: &mut dyn VmEnv,
+    _scratch: &mut Vec<u8>,
+) -> Result<(), VmError> {
+    reg[0] = env.ktime_get_ns();
+    Ok(())
+}
+
+fn helper_get_prandom_u32(
+    reg: &mut [u64; NUM_REGS],
+    _mem: &mut Memory<'_>,
+    _maps: &mut MapRegistry,
+    env: &mut dyn VmEnv,
+    _scratch: &mut Vec<u8>,
+) -> Result<(), VmError> {
+    reg[0] = u64::from(env.prandom_u32());
+    Ok(())
+}
+
+fn helper_get_smp_processor_id(
+    reg: &mut [u64; NUM_REGS],
+    _mem: &mut Memory<'_>,
+    _maps: &mut MapRegistry,
+    env: &mut dyn VmEnv,
+    _scratch: &mut Vec<u8>,
+) -> Result<(), VmError> {
+    reg[0] = u64::from(env.smp_processor_id());
+    Ok(())
+}
+
+pub(crate) fn helper_map_lookup(
+    reg: &mut [u64; NUM_REGS],
+    mem: &mut Memory<'_>,
+    maps: &mut MapRegistry,
+    _env: &mut dyn VmEnv,
+    scratch: &mut Vec<u8>,
+) -> Result<(), VmError> {
+    let fd = map_fd(reg[1])?;
+    let map = maps.get_mut(fd).ok_or(VmError::BadMapHandle(reg[1]))?;
+    let key_size = map.def().key_size as usize;
+    let value_size = map.def().value_size as usize;
+    // Small keys (all the standard trace scripts') read and store inline;
+    // `read_scalar` applies the same single-region bounds check as
+    // `read_bytes`, so faults are unchanged.
+    let key = if key_size <= 8 {
+        let v = mem.read_scalar(maps, reg[2], key_size)?;
+        KeyBuf::Inline {
+            buf: v.to_le_bytes(),
+            len: key_size as u8,
+        }
+    } else {
+        mem.read_bytes(maps, reg[2], key_size, scratch)?;
+        KeyBuf::Heap(scratch.clone())
+    };
+    let map = maps.get_mut(fd).expect("fd checked");
+    reg[0] = match map.lookup(key.as_slice(), mem.cpu) {
+        Ok(_) => mem.alloc_slot(fd, key, value_size),
+        Err(_) => 0,
+    };
+    Ok(())
+}
+
+fn helper_map_update(
+    reg: &mut [u64; NUM_REGS],
+    mem: &mut Memory<'_>,
+    maps: &mut MapRegistry,
+    _env: &mut dyn VmEnv,
+    scratch: &mut Vec<u8>,
+) -> Result<(), VmError> {
+    let fd = map_fd(reg[1])?;
+    let (key_size, value_size) = {
+        let map = maps.get(fd).ok_or(VmError::BadMapHandle(reg[1]))?;
+        (map.def().key_size as usize, map.def().value_size as usize)
+    };
+    mem.read_bytes(maps, reg[2], key_size, scratch)?;
+    let key = scratch.clone();
+    mem.read_bytes(maps, reg[3], value_size, scratch)?;
+    let value = scratch.clone();
+    let map = maps.get_mut(fd).expect("fd checked");
+    reg[0] = match map.update(&key, &value, mem.cpu) {
+        Ok(()) => 0,
+        Err(_) => (-1i64) as u64,
+    };
+    Ok(())
+}
+
+fn helper_map_delete(
+    reg: &mut [u64; NUM_REGS],
+    mem: &mut Memory<'_>,
+    maps: &mut MapRegistry,
+    _env: &mut dyn VmEnv,
+    scratch: &mut Vec<u8>,
+) -> Result<(), VmError> {
+    let fd = map_fd(reg[1])?;
+    let key_size = {
+        let map = maps.get(fd).ok_or(VmError::BadMapHandle(reg[1]))?;
+        map.def().key_size as usize
+    };
+    mem.read_bytes(maps, reg[2], key_size, scratch)?;
+    let key = scratch.clone();
+    let map = maps.get_mut(fd).expect("fd checked");
+    reg[0] = match map.delete(&key) {
+        Ok(()) => 0,
+        Err(_) => (-1i64) as u64,
+    };
+    Ok(())
+}
+
+fn helper_perf_event_output(
+    reg: &mut [u64; NUM_REGS],
+    mem: &mut Memory<'_>,
+    maps: &mut MapRegistry,
+    _env: &mut dyn VmEnv,
+    scratch: &mut Vec<u8>,
+) -> Result<(), VmError> {
+    let fd = map_fd(reg[2])?;
+    let len = reg[5] as usize;
+    mem.read_bytes(maps, reg[4], len, scratch)?;
+    let cpu = if reg[3] == BPF_F_CURRENT_CPU {
+        mem.cpu
+    } else {
+        reg[3] as usize
+    };
+    let map = maps.get_mut(fd).ok_or(VmError::BadMapHandle(reg[2]))?;
+    reg[0] = match map.perf_output(cpu, scratch) {
+        Ok(()) => 0,
+        Err(_) => (-1i64) as u64,
+    };
+    Ok(())
+}
+
+fn helper_skb_load_bytes(
+    reg: &mut [u64; NUM_REGS],
+    mem: &mut Memory<'_>,
+    maps: &mut MapRegistry,
+    _env: &mut dyn VmEnv,
+    _scratch: &mut Vec<u8>,
+) -> Result<(), VmError> {
+    let off = reg[2] as usize;
+    let len = reg[4] as usize;
+    reg[0] = if off + len > mem.pkt.len() {
+        (-1i64) as u64
+    } else {
+        let data = mem.pkt[off..off + len].to_vec();
+        let mut dst_addr = reg[3];
+        for chunk in data.chunks(8) {
+            let mut b = [0u8; 8];
+            b[..chunk.len()].copy_from_slice(chunk);
+            mem.write(maps, dst_addr, chunk.len(), u64::from_le_bytes(b))?;
+            dst_addr += chunk.len() as u64;
+        }
+        0
+    };
+    Ok(())
+}
+
+fn helper_trace_printk(
+    reg: &mut [u64; NUM_REGS],
+    mem: &mut Memory<'_>,
+    maps: &mut MapRegistry,
+    env: &mut dyn VmEnv,
+    scratch: &mut Vec<u8>,
+) -> Result<(), VmError> {
+    let len = (reg[2] as usize).min(512);
+    mem.read_bytes(maps, reg[1], len, scratch)?;
+    let msg = String::from_utf8_lossy(scratch).into_owned();
+    env.trace_printk(msg.trim_end_matches('\0'));
+    reg[0] = 0;
+    Ok(())
+}
+
+/// Little-endian scalar read out of a region slice; `len` is 1/2/4/8 and
+/// the caller has already bounds-checked `b.len() >= len`. Each width is
+/// a fixed-size load rather than a variable-length copy.
+#[inline]
+pub(crate) fn read_le(b: &[u8], len: usize) -> u64 {
+    match len {
+        1 => u64::from(b[0]),
+        2 => u64::from(u16::from_le_bytes([b[0], b[1]])),
+        4 => u64::from(u32::from_le_bytes([b[0], b[1], b[2], b[3]])),
+        8 => u64::from_le_bytes(b[..8].try_into().expect("8-byte slice")),
+        _ => {
+            let mut buf = [0u8; 8];
+            buf[..len].copy_from_slice(&b[..len]);
+            u64::from_le_bytes(buf)
+        }
+    }
+}
+
+/// Little-endian scalar store into a region slice; the counterpart of
+/// [`read_le`], with the same fixed-width specialisation.
+#[inline]
+pub(crate) fn write_le(b: &mut [u8], len: usize, val: u64) {
+    match len {
+        1 => b[0] = val as u8,
+        2 => b[..2].copy_from_slice(&(val as u16).to_le_bytes()),
+        4 => b[..4].copy_from_slice(&(val as u32).to_le_bytes()),
+        8 => b[..8].copy_from_slice(&val.to_le_bytes()),
+        _ => b[..len].copy_from_slice(&val.to_le_bytes()[..len]),
+    }
+}
+
+#[inline]
+pub(crate) fn map_fd(handle: u64) -> Result<i32, VmError> {
     if handle & MAP_HANDLE_BASE == MAP_HANDLE_BASE {
         Ok((handle & 0xffff_ffff) as i32)
     } else {
@@ -603,7 +929,8 @@ fn map_fd(handle: u64) -> Result<i32, VmError> {
     }
 }
 
-fn access_size(opcode: u8) -> usize {
+#[inline]
+pub(crate) fn access_size(opcode: u8) -> usize {
     match opcode & 0x18 {
         BPF_W => 4,
         BPF_H => 2,
@@ -615,7 +942,8 @@ fn access_size(opcode: u8) -> usize {
 // Divide-by-zero handling is deliberate eBPF semantics (div -> 0,
 // mod -> dst unchanged), not a checked_div candidate.
 #[allow(clippy::manual_checked_ops)]
-fn alu64(op: u8, lhs: u64, rhs: u64) -> u64 {
+#[inline]
+pub(crate) fn alu64(op: u8, lhs: u64, rhs: u64) -> u64 {
     match op {
         BPF_ADD => lhs.wrapping_add(rhs),
         BPF_SUB => lhs.wrapping_sub(rhs),
@@ -647,7 +975,8 @@ fn alu64(op: u8, lhs: u64, rhs: u64) -> u64 {
 }
 
 #[allow(clippy::manual_checked_ops)]
-fn alu32(op: u8, lhs: u32, rhs: u32) -> u32 {
+#[inline]
+pub(crate) fn alu32(op: u8, lhs: u32, rhs: u32) -> u32 {
     match op {
         BPF_ADD => lhs.wrapping_add(rhs),
         BPF_SUB => lhs.wrapping_sub(rhs),
@@ -678,7 +1007,8 @@ fn alu32(op: u8, lhs: u32, rhs: u32) -> u32 {
     }
 }
 
-fn jump_taken(op: u8, lhs: u64, rhs: u64, narrow: bool) -> bool {
+#[inline]
+pub(crate) fn jump_taken(op: u8, lhs: u64, rhs: u64, narrow: bool) -> bool {
     let (slhs, srhs) = if narrow {
         (i64::from(lhs as u32 as i32), i64::from(rhs as u32 as i32))
     } else {

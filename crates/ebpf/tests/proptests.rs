@@ -2,15 +2,59 @@
 //! verified programs terminate, and the interpreter respects its sandbox.
 
 use proptest::prelude::*;
-use vnet_ebpf::asm::{reg::*, AluOp, Asm};
+use vnet_ebpf::asm::{reg::*, AluOp, Asm, Cond, Size};
 use vnet_ebpf::context::TraceContext;
 use vnet_ebpf::disasm::disassemble;
 use vnet_ebpf::insn::*;
-use vnet_ebpf::map::MapRegistry;
+use vnet_ebpf::map::{MapDef, MapRegistry};
 use vnet_ebpf::parse::parse_program;
 use vnet_ebpf::program::{load, AttachType, Program};
 use vnet_ebpf::verifier::verify;
 use vnet_ebpf::vm::{standard_helpers, FixedEnv, Vm};
+
+/// Runs one loaded program on both execution tiers with independent but
+/// identically-constructed map registries, then checks the tier contract:
+/// same result or same error, and the threaded-code tier retires exactly
+/// the instruction count the interpreter executed. Returns both
+/// registries so callers can compare map side effects.
+fn run_both_tiers(
+    loaded: &vnet_ebpf::program::LoadedProgram,
+    pkt: &[u8],
+    mut mk_maps: impl FnMut() -> MapRegistry,
+) -> (MapRegistry, MapRegistry) {
+    let ctx = TraceContext::default();
+    let mut maps_i = mk_maps();
+    let mut env_i = FixedEnv::default();
+    let interp = Vm::new().execute(loaded, &ctx, pkt, &mut maps_i, &mut env_i);
+    let compiled = vnet_ebpf::jit::compile(loaded);
+    let mut maps_j = mk_maps();
+    let mut env_j = FixedEnv::default();
+    let jit = compiled.execute(&ctx, pkt, &mut maps_j, &mut env_j);
+    match (interp, jit) {
+        (Ok(i), Ok(j)) => {
+            assert_eq!(i.ret, j.ret, "tiers must return the same value");
+            assert_eq!(
+                i.insns_executed, j.insns_retired,
+                "fused ops must retire the same instruction count"
+            );
+        }
+        (Err(i), Err(j)) => assert_eq!(i, j, "tiers must abort identically"),
+        (i, j) => panic!("tiers diverge: interp {i:?} vs jit {j:?}"),
+    }
+    (maps_i, maps_j)
+}
+
+/// One map's interpreter-visible contents, sorted for comparison.
+fn hash_contents(maps: &MapRegistry, fd: i32) -> Vec<(Vec<u8>, Vec<u8>)> {
+    let mut entries: Vec<_> = maps
+        .get(fd)
+        .expect("map exists")
+        .iter_hash()
+        .map(|(k, v)| (k.to_vec(), v.to_vec()))
+        .collect();
+    entries.sort();
+    entries
+}
 
 prop_compose! {
     fn arb_insn()(opcode in any::<u8>(), dst in 0u8..16, src in 0u8..16, off in any::<i16>(), imm in any::<i32>()) -> Insn {
@@ -73,6 +117,69 @@ prop_compose! {
             _ => vec![Insn::new(BPF_JMP | BPF_EXIT, 0, 0, 0, 0)],
         }
     }
+}
+
+// A random hash-map workload shaped like a real trace script: per step,
+// update (op 0), delete (op 1) or lookup + in-place counter bump (op 2)
+// under a random small key, finishing with a perf record emission.
+prop_compose! {
+    fn arb_map_ops()(ops in proptest::collection::vec((0u8..3, 0u32..8, any::<i32>()), 1..24)) -> Vec<(u8, u32, i32)> {
+        ops
+    }
+}
+
+/// Assembles the [`arb_map_ops`] workload against a hash map `fd` and a
+/// perf buffer `perf_fd`.
+fn assemble_map_workload(ops: &[(u8, u32, i32)], fd: i32, perf_fd: i32) -> Vec<Insn> {
+    let mut asm = Asm::new();
+    for (i, &(op, key, val)) in ops.iter().enumerate() {
+        asm = asm.st(Size::W, R10, -4, key as i32);
+        match op {
+            0 => {
+                asm = asm
+                    .mov64_imm(R2, val)
+                    .stx(Size::DW, R10, R2, -16)
+                    .ld_map_fd(R1, fd)
+                    .mov64(R2, R10)
+                    .add64_imm(R2, -4)
+                    .mov64(R3, R10)
+                    .add64_imm(R3, -16)
+                    .mov64_imm(R4, 0)
+                    .call(vnet_ebpf::vm::helper_ids::MAP_UPDATE_ELEM);
+            }
+            1 => {
+                asm = asm
+                    .ld_map_fd(R1, fd)
+                    .mov64(R2, R10)
+                    .add64_imm(R2, -4)
+                    .call(vnet_ebpf::vm::helper_ids::MAP_DELETE_ELEM);
+            }
+            _ => {
+                let merge = format!("merge{i}");
+                asm = asm
+                    .ld_map_fd(R1, fd)
+                    .mov64(R2, R10)
+                    .add64_imm(R2, -4)
+                    .call(vnet_ebpf::vm::helper_ids::MAP_LOOKUP_ELEM)
+                    .jmp_imm(Cond::Eq, R0, 0, &merge)
+                    .ldx(Size::DW, R2, R0, 0)
+                    .add64_imm(R2, 1)
+                    .stx(Size::DW, R0, R2, 0)
+                    .label(&merge);
+            }
+        }
+    }
+    asm.mov64_imm(R2, 0x5eed)
+        .stx(Size::DW, R10, R2, -8)
+        .mov64(R4, R10)
+        .add64_imm(R4, -8)
+        .ld_map_fd(R2, perf_fd)
+        .mov32_imm(R3, 0xffff_ffffu32 as i32) // BPF_F_CURRENT_CPU
+        .mov64_imm(R5, 8)
+        .call(vnet_ebpf::vm::helper_ids::PERF_EVENT_OUTPUT)
+        .exit()
+        .build()
+        .expect("workload assembles")
 }
 
 // A random straight-line ALU program over initialised registers, always
@@ -192,6 +299,60 @@ proptest! {
         let parsed = parse_program(&listing)
             .unwrap_or_else(|e| panic!("{e}\nlisting: {listing:#?}"));
         prop_assert_eq!(encode_program(&parsed), encode_program(&insns));
+    }
+
+    /// Differential: on every verifier-accepted instruction stream — not
+    /// just well-formed programs — the threaded-code tier returns the
+    /// interpreter's value, retires the interpreter's instruction count,
+    /// and aborts with the interpreter's exact error.
+    #[test]
+    fn tiers_agree_on_verified_garbage(
+        insns in proptest::collection::vec(arb_insn(), 0..256),
+        pkt_len in 0usize..64,
+    ) {
+        if verify(&insns, &standard_helpers()).is_ok() {
+            let maps = MapRegistry::new();
+            let prog = Program::new("p", AttachType::Kprobe("f".into()), insns);
+            let loaded = load(prog, &maps, &standard_helpers()).expect("verified streams load");
+            let pkt = vec![0u8; pkt_len];
+            run_both_tiers(&loaded, &pkt, MapRegistry::new);
+        }
+    }
+
+    /// Differential: random ALU programs (always accepted) compute the
+    /// same value on both tiers.
+    #[test]
+    fn tiers_agree_on_alu_programs(insns in arb_alu_program()) {
+        let maps = MapRegistry::new();
+        let prog = Program::new("p", AttachType::Kprobe("f".into()), insns);
+        let loaded = load(prog, &maps, &standard_helpers()).expect("verifies");
+        run_both_tiers(&loaded, &[], MapRegistry::new);
+    }
+
+    /// Differential: random map workloads leave byte-identical hash-map
+    /// contents and emit byte-identical perf records on both tiers —
+    /// the side effects the collector turns into trace records.
+    #[test]
+    fn tiers_agree_on_map_side_effects(ops in arb_map_ops()) {
+        let mk_maps = || {
+            let mut m = MapRegistry::new();
+            m.create(MapDef::hash(4, 8, 16), 1).unwrap();
+            m.create(MapDef::perf(4096), 4).unwrap();
+            m
+        };
+        let maps = mk_maps();
+        let prog = Program::new(
+            "p",
+            AttachType::Kprobe("f".into()),
+            assemble_map_workload(&ops, 0, 1),
+        );
+        let loaded = load(prog, &maps, &standard_helpers()).expect("workload verifies");
+        let (mut maps_i, mut maps_j) = run_both_tiers(&loaded, &[], mk_maps);
+        prop_assert_eq!(hash_contents(&maps_i, 0), hash_contents(&maps_j, 0));
+        prop_assert_eq!(
+            maps_i.get_mut(1).unwrap().perf_drain_all(),
+            maps_j.get_mut(1).unwrap().perf_drain_all()
+        );
     }
 
     /// Perf buffers never deliver more bytes than their capacity between

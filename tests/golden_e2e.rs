@@ -59,7 +59,10 @@ fn golden_ovs_case_iii() {
         ..Default::default()
     };
     let mut s = OvsScenario::build(&cfg);
-    let pkg = s.control_package();
+    // Pin the interpreter tier: the snapshot encodes its cost model, and
+    // the jit tier intentionally charges less per probe firing.
+    let mut pkg = s.control_package();
+    pkg.global.exec_tier = vnettracer::config::ExecTier::Interp;
     let mut tracer = s.make_tracer();
     tracer.deploy(&mut s.world, &pkg).unwrap();
     s.run(&cfg);
@@ -87,7 +90,9 @@ fn golden_two_host() {
         ..Default::default()
     };
     let mut s = TwoHostScenario::build(&cfg);
-    let pkg = s.control_package();
+    // Pin the interpreter tier; see golden_ovs_case_iii.
+    let mut pkg = s.control_package();
+    pkg.global.exec_tier = vnettracer::config::ExecTier::Interp;
     let mut tracer = s.make_tracer();
     tracer.deploy(&mut s.world, &pkg).unwrap();
     s.run(&cfg);
