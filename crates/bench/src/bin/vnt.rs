@@ -8,12 +8,20 @@
 //!
 //! ```text
 //! vnt <scenario> [--package FILE.json] [--messages N] [--emit-package]
+//! vnt verify <prog.bpf>
 //!
 //! scenarios: two-host | ovs | xen | container
 //! ```
 //!
 //! `--emit-package` prints the scenario's default control package as JSON
 //! (a starting point for hand-edited packages) and exits.
+//!
+//! `vnt verify` runs the abstract-interpretation verifier over a
+//! kernel-style program listing (one instruction per line, `#` comments
+//! and `;` annotations ignored) and prints the annotated listing with
+//! per-instruction register states, proven facts and — for rejected
+//! programs — every diagnostic with the register state at the point of
+//! rejection.
 
 use std::process::ExitCode;
 
@@ -31,6 +39,17 @@ struct Args {
 fn parse_args() -> Result<Args, String> {
     let mut args = std::env::args().skip(1);
     let scenario = args.next().ok_or_else(usage)?;
+    if scenario == "verify" {
+        let file = args
+            .next()
+            .ok_or("verify needs a program file".to_owned())?;
+        return Ok(Args {
+            scenario,
+            package: Some(file),
+            messages: 0,
+            emit_package: false,
+        });
+    }
     let mut out = Args {
         scenario,
         package: None,
@@ -57,8 +76,29 @@ fn parse_args() -> Result<Args, String> {
 }
 
 fn usage() -> String {
-    "usage: vnt <two-host|ovs|xen|container> [--package FILE.json] [--messages N] [--emit-package]"
+    "usage: vnt <two-host|ovs|xen|container> [--package FILE.json] [--messages N] [--emit-package]\n       vnt verify <prog.bpf>"
         .to_owned()
+}
+
+/// `vnt verify <file>`: parse a program listing, run the
+/// abstract-interpretation verifier against the standard helper set, and
+/// print the kernel-style annotated log. Returns an error (non-zero
+/// exit) when verification rejects the program.
+fn verify_file(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let lines: Vec<&str> = text.lines().collect();
+    let insns =
+        vnet_ebpf::parse::parse_program(&lines).map_err(|e| format!("{path}: parse error: {e}"))?;
+    let analysis = vnet_ebpf::analyze(&insns, &vnet_ebpf::standard_helpers(), |_| None);
+    print!("{}", vnet_ebpf::analysis::render_log(&insns, &analysis));
+    if analysis.ok() {
+        Ok(())
+    } else {
+        Err(format!(
+            "{path}: rejected with {} diagnostic(s)",
+            analysis.diagnostics().len()
+        ))
+    }
 }
 
 fn load_package(args: &Args, default: ControlPackage) -> Result<ControlPackage, String> {
@@ -133,6 +173,7 @@ fn print_run_stats(tracer: &vnettracer::VNetTracer) {
             "avg ns/run",
             "ops",
             "fused",
+            "elided",
         ],
     );
     for s in tracer.run_stats() {
@@ -146,6 +187,7 @@ fn print_run_stats(tracer: &vnettracer::VNetTracer) {
             s.stats.avg_run_ns().to_string(),
             s.stats.ops_executed.to_string(),
             s.stats.fused_hits.to_string(),
+            s.stats.checks_elided.to_string(),
         ]);
     }
     println!("{t}");
@@ -153,6 +195,7 @@ fn print_run_stats(tracer: &vnettracer::VNetTracer) {
 
 fn run(args: &Args) -> Result<(), String> {
     match args.scenario.as_str() {
+        "verify" => verify_file(args.package.as_deref().expect("checked in parse_args")),
         "two-host" => {
             let cfg = vnet_testbed::two_host::TwoHostConfig {
                 messages: args.messages,

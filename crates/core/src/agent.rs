@@ -54,6 +54,11 @@ pub struct ScriptStats {
     pub ops_executed: u64,
     /// Fused-op executions on the threaded tier (0 on the interpreter).
     pub fused_hits: u64,
+    /// Runtime checks skipped across all runs because the verifier's
+    /// abstract interpretation proved them redundant — bounds checks,
+    /// region dispatches and decided branches on the threaded tier,
+    /// divisor zero-tests on both tiers.
+    pub checks_elided: u64,
     /// The tier this script executes on.
     pub tier: ExecTier,
 }
@@ -188,6 +193,7 @@ impl ProbeSink for EbpfProbeSink {
                     .map(|out| {
                         self.stats.insns_retired += out.insns_executed;
                         self.stats.ops_executed += out.insns_executed;
+                        self.stats.checks_elided += out.checks_elided;
                         (out.ret, execution_cost_ns(out.insns_executed))
                     })
                     .map_err(|_| execution_cost_ns(0)),
@@ -203,6 +209,7 @@ impl ProbeSink for EbpfProbeSink {
                         self.stats.insns_retired += out.insns_retired;
                         self.stats.ops_executed += out.ops_executed;
                         self.stats.fused_hits += out.fused_hits;
+                        self.stats.checks_elided += out.checks_elided;
                         (out.ret, jit_execution_cost_ns(out.ops_executed))
                     })
                     .map_err(|_| jit_execution_cost_ns(0)),

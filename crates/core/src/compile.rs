@@ -595,6 +595,33 @@ mod tests {
     }
 
     #[test]
+    fn compiled_programs_carry_elision_facts() {
+        // The generated trace programs are exactly what the analysis is
+        // for: ctx-relative loads and fp-relative record assembly should
+        // yield proven facts, and the threaded-code tier should find
+        // sites to elide.
+        let mut maps = MapRegistry::new();
+        let perf = maps.create(MapDef::perf(4096), 1).unwrap();
+        let counter = maps.create(MapDef::per_cpu_array(8, 1), 1).unwrap();
+        for (action, fds) in [
+            (Action::RecordPacketInfo, (Some(perf), None)),
+            (Action::CountPerCpu, (None, Some(counter))),
+        ] {
+            let p = compile(&spec(udp_rule(), action), fds.0, fds.1).unwrap();
+            let loaded = load(p, &maps, &standard_helpers()).unwrap();
+            assert!(
+                loaded.analysis().proven_facts() > 0,
+                "{action:?} program should carry proven facts"
+            );
+            let compiled = vnet_ebpf::compile(&loaded);
+            assert!(
+                compiled.elided_site_count() > 0,
+                "{action:?} program should have elided check sites"
+            );
+        }
+    }
+
+    #[test]
     fn record_program_ignores_packetless_hooks() {
         // No packet bytes: bounds check fails, nothing recorded.
         let (matched, recs) = run_record(FilterRule::any(), &[]);

@@ -21,6 +21,17 @@
 //!   access lands inside the 512-byte stack and that `r10` is never
 //!   written, so stack loads/stores compile to direct array indexing
 //!   with no region dispatch;
+//! * **verifier-proved check elision** — the abstract-interpretation
+//!   [`Analysis`](crate::analysis::Analysis) attached to every loaded
+//!   program proves facts the syntactic `r10` rule cannot: in-bounds
+//!   context reads at constant offsets, stack accesses through
+//!   *computed* pointers, map-value accesses inside the value size
+//!   (after the null check), nonzero register divisors and
+//!   statically-decided branches. Each proved site lowers to an
+//!   unchecked op (`LoadCtx`, `LoadStackDyn`, `LoadMapVal`, `DivReg`,
+//!   `Nop`/`JaElided` and store counterparts); [`compile_with`] can
+//!   switch the whole mechanism off, which the differential proptests
+//!   use to pin elided and checked executions against each other;
 //! * **fusion** — sequences the trace-program compiler emits constantly
 //!   become single ops: load(+byteswap)+compare-branch (filter field
 //!   checks), load(+byteswap)+store-to-stack (field extraction),
@@ -36,6 +47,7 @@
 //! in the sim cost model ([`crate::vm::jit_execution_cost_ns`] plus the
 //! one-time [`crate::vm::jit_compile_cost_ns`]).
 
+use crate::analysis::{BranchFact, InsnFact, MemFact};
 use crate::context::TraceContext;
 use crate::insn::*;
 use crate::map::MapRegistry;
@@ -168,6 +180,10 @@ enum Op {
         rhs: u64,
         target: u32,
         retire: u8,
+        /// `Some(off)` when the verifier proved the load is an in-bounds
+        /// context read at constant offset `off`: the region dispatch is
+        /// elided inside the fused op.
+        ctx_off: Option<u16>,
     },
     /// Fused load (+ optional byteswap) + store of the loaded register
     /// into a verifier-proven stack slot — the record-building idiom
@@ -183,6 +199,8 @@ enum Op {
         st_size: u8,
         idx: u16,
         retire: u8,
+        /// As in [`Op::LoadBranch`]: proved constant context offset.
+        ctx_off: Option<u16>,
     },
     /// Fused address computation: `mov64 dst, src; dst += imm`.
     Lea { dst: u8, src: u8, imm: u64 },
@@ -209,6 +227,71 @@ enum Op {
     /// Fused run of immediate stack stores; `count` side-table entries
     /// starting at `start`, retiring `count` instructions.
     StoreRun { start: u32, count: u16 },
+    /// Context load at a verifier-proved constant in-bounds offset
+    /// (`MemFact::CtxConst`): the base register is ignored — the
+    /// analysis proved its value is exactly `CTX_BASE + off`.
+    LoadCtx { size: u8, dst: u8, off: u16 },
+    /// Stack access through a *computed* pointer the verifier proved
+    /// in-frame (`MemFact::StackConst`/`StackDyn`): region dispatch and
+    /// bounds check elided, the runtime address is trusted.
+    LoadStackDyn {
+        size: u8,
+        dst: u8,
+        src: u8,
+        off: i16,
+    },
+    /// Register-store counterpart of [`Op::LoadStackDyn`].
+    StoreStackDynReg {
+        size: u8,
+        dst: u8,
+        src: u8,
+        off: i16,
+    },
+    /// Immediate-store counterpart of [`Op::LoadStackDyn`].
+    StoreStackDynImm {
+        size: u8,
+        dst: u8,
+        off: i16,
+        imm: u64,
+    },
+    /// Map-value load the verifier proved inside the value size after a
+    /// null check (`MemFact::MapValue`): region dispatch and the
+    /// value-size bounds check elided; only the slot/map resolution
+    /// remains.
+    LoadMapVal {
+        size: u8,
+        dst: u8,
+        src: u8,
+        off: i16,
+    },
+    /// Register-store counterpart of [`Op::LoadMapVal`].
+    StoreMapValReg {
+        size: u8,
+        dst: u8,
+        src: u8,
+        off: i16,
+    },
+    /// Immediate-store counterpart of [`Op::LoadMapVal`].
+    StoreMapValImm {
+        size: u8,
+        dst: u8,
+        off: i16,
+        imm: u64,
+    },
+    /// Register divide/modulo whose divisor the verifier proved nonzero:
+    /// the zero test is elided. `narrow` selects the 32-bit form.
+    DivReg {
+        dst: u8,
+        src: u8,
+        rem: bool,
+        narrow: bool,
+    },
+    /// A conditional branch the verifier proved never taken: compare
+    /// elided, falls through. Retires one instruction, like the branch.
+    Nop,
+    /// A conditional branch the verifier proved always taken: compare
+    /// elided, unconditional jump.
+    JaElided { target: u32 },
 }
 
 /// Result of a compiled execution.
@@ -224,6 +307,10 @@ pub struct JitOutcome {
     pub insns_retired: u64,
     /// Fused ops dispatched this run.
     pub fused_hits: u64,
+    /// Runtime checks skipped this run because the verifier's analysis
+    /// proved them redundant (bounds checks, region dispatches, divisor
+    /// zero-tests, decided branch compares).
+    pub checks_elided: u64,
 }
 
 /// A program lowered to threaded code, ready to execute.
@@ -234,6 +321,7 @@ pub struct CompiledProgram {
     stores: Box<[StackStore]>,
     insn_count: usize,
     fused_ops: usize,
+    elided_sites: usize,
     budget: u64,
 }
 
@@ -257,6 +345,13 @@ impl CompiledProgram {
     /// Number of fused ops in the compiled body (static count, not hits).
     pub fn fused_op_count(&self) -> usize {
         self.fused_ops
+    }
+
+    /// Number of sites where compilation elided a runtime check on the
+    /// strength of a verifier-proved fact (static count; the dynamic
+    /// counterpart is [`JitOutcome::checks_elided`]).
+    pub fn elided_site_count(&self) -> usize {
+        self.elided_sites
     }
 
     /// Overrides the instruction budget (a testing hook; the default
@@ -289,6 +384,7 @@ impl CompiledProgram {
         let mut ops_executed: u64 = 0;
         let mut retired: u64 = 0;
         let mut fused_hits: u64 = 0;
+        let mut checks_elided: u64 = 0;
         // Grows on first helper use; branch-heavy filter runs that call
         // no helpers never pay the allocation.
         let mut scratch = Vec::new();
@@ -461,6 +557,7 @@ impl CompiledProgram {
                         ops_executed,
                         insns_retired: retired,
                         fused_hits,
+                        checks_elided,
                     })
                 }
                 Op::Abort { pc } => return Err(VmError::BadInstruction(pc as usize)),
@@ -475,11 +572,20 @@ impl CompiledProgram {
                     rhs,
                     target,
                     retire,
+                    ctx_off,
                 } => {
                     fused_hits += 1;
                     retired += u64::from(retire) - 1;
-                    let addr = reg[src as usize].wrapping_add(off as i64 as u64);
-                    let mut val = mem.read_scalar(maps, addr, size as usize)?;
+                    let mut val = match ctx_off {
+                        Some(o) => {
+                            checks_elided += 1;
+                            read_le(&mem.ctx[o as usize..], size as usize)
+                        }
+                        None => {
+                            let addr = reg[src as usize].wrapping_add(off as i64 as u64);
+                            mem.read_scalar(maps, addr, size as usize)?
+                        }
+                    };
                     if be != 0 {
                         val = byteswap(val, be);
                     }
@@ -504,11 +610,20 @@ impl CompiledProgram {
                     st_size,
                     idx,
                     retire,
+                    ctx_off,
                 } => {
                     fused_hits += 1;
                     retired += u64::from(retire) - 1;
-                    let addr = reg[src as usize].wrapping_add(off as i64 as u64);
-                    let mut val = mem.read_scalar(maps, addr, size as usize)?;
+                    let mut val = match ctx_off {
+                        Some(o) => {
+                            checks_elided += 1;
+                            read_le(&mem.ctx[o as usize..], size as usize)
+                        }
+                        None => {
+                            let addr = reg[src as usize].wrapping_add(off as i64 as u64);
+                            mem.read_scalar(maps, addr, size as usize)?
+                        }
+                    };
                     if be != 0 {
                         val = byteswap(val, be);
                     }
@@ -553,6 +668,7 @@ impl CompiledProgram {
                         ops_executed,
                         insns_retired: retired,
                         fused_hits,
+                        checks_elided,
                     });
                 }
                 Op::StoreRun { start, count } => {
@@ -562,6 +678,103 @@ impl CompiledProgram {
                         stack_store(&mut mem, s.idx, s.len, s.imm);
                     }
                     ip += 1;
+                }
+                Op::LoadCtx { size, dst, off } => {
+                    checks_elided += 1;
+                    reg[dst as usize] = read_le(&mem.ctx[off as usize..], size as usize);
+                    ip += 1;
+                }
+                Op::LoadStackDyn {
+                    size,
+                    dst,
+                    src,
+                    off,
+                } => {
+                    checks_elided += 1;
+                    let addr = reg[src as usize].wrapping_add(off as i64 as u64);
+                    reg[dst as usize] = mem.stack_dyn_read(addr, size as usize);
+                    ip += 1;
+                }
+                Op::StoreStackDynReg {
+                    size,
+                    dst,
+                    src,
+                    off,
+                } => {
+                    checks_elided += 1;
+                    let addr = reg[dst as usize].wrapping_add(off as i64 as u64);
+                    mem.stack_dyn_write(addr, size as usize, reg[src as usize]);
+                    ip += 1;
+                }
+                Op::StoreStackDynImm {
+                    size,
+                    dst,
+                    off,
+                    imm,
+                } => {
+                    checks_elided += 1;
+                    let addr = reg[dst as usize].wrapping_add(off as i64 as u64);
+                    mem.stack_dyn_write(addr, size as usize, imm);
+                    ip += 1;
+                }
+                Op::LoadMapVal {
+                    size,
+                    dst,
+                    src,
+                    off,
+                } => {
+                    checks_elided += 1;
+                    let addr = reg[src as usize].wrapping_add(off as i64 as u64);
+                    reg[dst as usize] = mem.map_val_read(maps, addr, size as usize)?;
+                    ip += 1;
+                }
+                Op::StoreMapValReg {
+                    size,
+                    dst,
+                    src,
+                    off,
+                } => {
+                    checks_elided += 1;
+                    let addr = reg[dst as usize].wrapping_add(off as i64 as u64);
+                    mem.map_val_write(maps, addr, size as usize, reg[src as usize])?;
+                    ip += 1;
+                }
+                Op::StoreMapValImm {
+                    size,
+                    dst,
+                    off,
+                    imm,
+                } => {
+                    checks_elided += 1;
+                    let addr = reg[dst as usize].wrapping_add(off as i64 as u64);
+                    mem.map_val_write(maps, addr, size as usize, imm)?;
+                    ip += 1;
+                }
+                Op::DivReg {
+                    dst,
+                    src,
+                    rem,
+                    narrow,
+                } => {
+                    checks_elided += 1;
+                    let (l, r) = (reg[dst as usize], reg[src as usize]);
+                    reg[dst as usize] = if narrow {
+                        let (l, r) = (l as u32, r as u32);
+                        u64::from(if rem { l % r } else { l / r })
+                    } else if rem {
+                        l % r
+                    } else {
+                        l / r
+                    };
+                    ip += 1;
+                }
+                Op::Nop => {
+                    checks_elided += 1;
+                    ip += 1;
+                }
+                Op::JaElided { target } => {
+                    checks_elided += 1;
+                    ip = target as usize;
                 }
             }
         }
@@ -593,17 +806,58 @@ fn stack_idx(off: i16) -> u16 {
     (STACK_SIZE as i32 + i32::from(off)) as u16
 }
 
+/// Compilation options for [`compile_with`].
+#[derive(Debug, Clone, Copy)]
+pub struct CompileOpts {
+    /// Lower verifier-proved facts to unchecked ops. On by default;
+    /// switching it off reproduces the purely syntactic tier (the
+    /// differential proptests run both and require identical behaviour).
+    pub elide: bool,
+}
+
+impl Default for CompileOpts {
+    fn default() -> Self {
+        CompileOpts { elide: true }
+    }
+}
+
+/// Lowers a verified program into threaded code with elision on — see
+/// [`compile_with`].
+pub fn compile(prog: &LoadedProgram) -> CompiledProgram {
+    compile_with(prog, CompileOpts::default())
+}
+
 /// Lowers a verified program into threaded code. Total: any instruction
 /// the tier cannot lower (impossible for verifier-accepted programs)
 /// becomes an [`Op::Abort`] that reproduces the interpreter's runtime
 /// error, so compilation itself never fails.
-pub fn compile(prog: &LoadedProgram) -> CompiledProgram {
+///
+/// With `opts.elide` set, each instruction carrying a fact from the
+/// program's [`Analysis`](crate::analysis::Analysis) lowers to an
+/// unchecked op; the per-instruction order is fuse first (fused ops are
+/// already past the dispatch the facts would elide, except for the
+/// context fast path folded into the load-carrying fusions), then fact
+/// lowering, then the generic op. `r10`-relative accesses keep the
+/// original syntactic lowering in both modes so the baseline tier is
+/// exactly the pre-analysis compiler.
+pub fn compile_with(prog: &LoadedProgram, opts: CompileOpts) -> CompiledProgram {
     let insns = prog.insns();
     let targets = jump_targets(insns);
+    let all_facts = prog.analysis().facts();
+    // Per-pc fact under the current options: default (no fact) when
+    // elision is off or the analysis carries none for this pc.
+    let fact = |pc: usize| -> InsnFact {
+        if opts.elide {
+            all_facts.get(pc).copied().unwrap_or_default()
+        } else {
+            InsnFact::default()
+        }
+    };
 
     let mut ops: Vec<Op> = Vec::with_capacity(insns.len());
     let mut stores: Vec<StackStore> = Vec::new();
     let mut fused_ops = 0usize;
+    let mut elided_sites = 0usize;
     // pc -> op index, u32::MAX for pcs consumed into a predecessor
     // (lddw high slots, fused tails) — never jump targets, per the
     // verifier and the fusion guard below.
@@ -615,10 +869,25 @@ pub fn compile(prog: &LoadedProgram) -> CompiledProgram {
     while pc < insns.len() {
         let insn = insns[pc];
         pc2op[pc] = ops.len() as u32;
-        let consumed = try_fuse(insns, pc, &targets, &mut ops, &mut stores, &mut fixups);
+        let consumed = try_fuse(
+            insns,
+            pc,
+            &targets,
+            &fact,
+            &mut ops,
+            &mut stores,
+            &mut fixups,
+            &mut elided_sites,
+        );
         if consumed > 0 {
             fused_ops += 1;
             pc += consumed;
+            continue;
+        }
+        if let Some(op) = lower_fact(insn, fact(pc), &mut fixups, ops.len(), pc) {
+            elided_sites += 1;
+            ops.push(op);
+            pc += 1;
             continue;
         }
         match insn.class() {
@@ -815,7 +1084,102 @@ pub fn compile(prog: &LoadedProgram) -> CompiledProgram {
         stores: stores.into_boxed_slice(),
         insn_count: insns.len(),
         fused_ops,
+        elided_sites,
         budget: DEFAULT_BUDGET,
+    }
+}
+
+/// Lowers an instruction carrying a verifier-proved fact to its
+/// unchecked op, or `None` if no fact applies (the caller falls back to
+/// the generic lowering). `r10`-based accesses are left to the generic
+/// path's syntactic elision, which already indexes the stack directly.
+fn lower_fact(
+    insn: Insn,
+    fact: InsnFact,
+    fixups: &mut Vec<(usize, usize)>,
+    op_idx: usize,
+    pc: usize,
+) -> Option<Op> {
+    match insn.class() {
+        BPF_ALU64 | BPF_ALU if fact.div_nonzero => {
+            let op = insn.opcode & 0xf0;
+            if matches!(op, BPF_DIV | BPF_MOD) && insn.opcode & 0x08 == BPF_X {
+                return Some(Op::DivReg {
+                    dst: insn.dst,
+                    src: insn.src,
+                    rem: op == BPF_MOD,
+                    narrow: insn.class() == BPF_ALU,
+                });
+            }
+            None
+        }
+        BPF_LDX if insn.src != REG_FP => {
+            let size = access_size(insn.opcode) as u8;
+            match fact.mem? {
+                MemFact::CtxConst { off } => Some(Op::LoadCtx {
+                    size,
+                    dst: insn.dst,
+                    off,
+                }),
+                MemFact::StackConst { .. } | MemFact::StackDyn => Some(Op::LoadStackDyn {
+                    size,
+                    dst: insn.dst,
+                    src: insn.src,
+                    off: insn.off,
+                }),
+                MemFact::MapValue => Some(Op::LoadMapVal {
+                    size,
+                    dst: insn.dst,
+                    src: insn.src,
+                    off: insn.off,
+                }),
+            }
+        }
+        BPF_ST if insn.dst != REG_FP => {
+            let size = access_size(insn.opcode) as u8;
+            let imm = insn.imm as i64 as u64;
+            match fact.mem? {
+                MemFact::StackConst { .. } | MemFact::StackDyn => Some(Op::StoreStackDynImm {
+                    size,
+                    dst: insn.dst,
+                    off: insn.off,
+                    imm,
+                }),
+                MemFact::MapValue => Some(Op::StoreMapValImm {
+                    size,
+                    dst: insn.dst,
+                    off: insn.off,
+                    imm,
+                }),
+                MemFact::CtxConst { .. } => None,
+            }
+        }
+        BPF_STX if insn.dst != REG_FP && insn.opcode & 0xe0 != BPF_ATOMIC => {
+            let size = access_size(insn.opcode) as u8;
+            match fact.mem? {
+                MemFact::StackConst { .. } | MemFact::StackDyn => Some(Op::StoreStackDynReg {
+                    size,
+                    dst: insn.dst,
+                    src: insn.src,
+                    off: insn.off,
+                }),
+                MemFact::MapValue => Some(Op::StoreMapValReg {
+                    size,
+                    dst: insn.dst,
+                    src: insn.src,
+                    off: insn.off,
+                }),
+                MemFact::CtxConst { .. } => None,
+            }
+        }
+        BPF_JMP | BPF_JMP32 => match fact.branch? {
+            BranchFact::NeverTaken => Some(Op::Nop),
+            BranchFact::AlwaysTaken => {
+                fixups.push((op_idx, pc));
+                Some(Op::JaElided { target: 0 })
+            }
+        },
+        _ => None,
     }
 }
 
@@ -827,7 +1191,8 @@ fn set_target(op: &mut Op, tgt: u32) {
         | Op::Jmp32Imm { target, .. }
         | Op::Jmp32Reg { target, .. }
         | Op::LoadBranch { target, .. }
-        | Op::MapLookupNull { target, .. } => *target = tgt,
+        | Op::MapLookupNull { target, .. }
+        | Op::JaElided { target } => *target = tgt,
         _ => unreachable!("fixup on non-branch op"),
     }
 }
@@ -861,18 +1226,28 @@ fn jump_targets(insns: &[Insn]) -> Vec<bool> {
 /// Attempts to fuse the sequence starting at `pc` into a single op.
 /// Returns the number of instructions consumed (0 = no fusion). A
 /// sequence only fuses when its tail instructions are not jump targets.
+#[allow(clippy::too_many_arguments)]
 fn try_fuse(
     insns: &[Insn],
     pc: usize,
     targets: &[bool],
+    fact: &impl Fn(usize) -> InsnFact,
     ops: &mut Vec<Op>,
     stores: &mut Vec<StackStore>,
     fixups: &mut Vec<(usize, usize)>,
+    elided_sites: &mut usize,
 ) -> usize {
     let insn = insns[pc];
 
     // --- load (+ byteswap) + compare-branch: filter field checks ---
     if insn.class() == BPF_LDX {
+        // A proved constant-offset context read folds into the fused op
+        // as a direct byte-array access (the other load-bearing facts
+        // are already subsumed by what fusion itself elides).
+        let ctx_off = match fact(pc).mem {
+            Some(MemFact::CtxConst { off }) if insn.src != REG_FP => Some(off),
+            _ => None,
+        };
         let mut at = pc + 1;
         let mut be = 0u8;
         // Optional byteswap of the loaded register.
@@ -901,6 +1276,9 @@ fn try_fuse(
             {
                 let narrow = next.class() == BPF_JMP32;
                 fixups.push((ops.len(), at));
+                if ctx_off.is_some() {
+                    *elided_sites += 1;
+                }
                 ops.push(Op::LoadBranch {
                     size: access_size(insn.opcode) as u8,
                     dst: insn.dst,
@@ -916,6 +1294,7 @@ fn try_fuse(
                     },
                     target: 0,
                     retire: (at + 1 - pc) as u8,
+                    ctx_off,
                 });
                 return at + 1 - pc;
             }
@@ -926,6 +1305,9 @@ fn try_fuse(
                 && next.dst == REG_FP
                 && next.src == insn.dst
             {
+                if ctx_off.is_some() {
+                    *elided_sites += 1;
+                }
                 ops.push(Op::LoadToStack {
                     size: access_size(insn.opcode) as u8,
                     dst: insn.dst,
@@ -935,6 +1317,7 @@ fn try_fuse(
                     st_size: access_size(next.opcode) as u8,
                     idx: stack_idx(next.off),
                     retire: (at + 1 - pc) as u8,
+                    ctx_off,
                 });
                 return at + 1 - pc;
             }
@@ -1285,5 +1668,123 @@ mod tests {
         let (i, j) = both_tiers(asm);
         assert_eq!(i, j);
         assert_eq!(j, 9);
+    }
+
+    #[test]
+    fn proven_ctx_load_is_elided() {
+        let maps = MapRegistry::new();
+        let asm = Asm::new().ldx(Size::DW, R0, R1, 0).exit();
+        let prog = Program::new("t", AttachType::Kprobe("f".into()), asm.build().unwrap());
+        let loaded = load(prog, &maps, &standard_helpers()).unwrap();
+        let on = compile(&loaded);
+        let off = compile_with(&loaded, CompileOpts { elide: false });
+        assert!(on.elided_site_count() >= 1, "ctx load should be proven");
+        assert_eq!(off.elided_site_count(), 0);
+
+        let ctx = TraceContext::default();
+        let mut m1 = MapRegistry::new();
+        let mut m2 = MapRegistry::new();
+        let mut env = FixedEnv::default();
+        let a = on.execute(&ctx, &[], &mut m1, &mut env).unwrap();
+        let b = off.execute(&ctx, &[], &mut m2, &mut env).unwrap();
+        assert!(a.checks_elided >= 1);
+        assert_eq!(b.checks_elided, 0);
+        assert_eq!(a.ret, b.ret);
+        assert_eq!(a.insns_retired, b.insns_retired);
+    }
+
+    #[test]
+    fn statically_decided_branches_elide_with_retired_parity() {
+        // Never taken: the jump compiles to a Nop that still retires.
+        let never = Asm::new()
+            .mov64_imm(R2, 3)
+            .jmp_imm(Cond::Gt, R2, 5, "dead")
+            .mov64_imm(R0, 1)
+            .exit()
+            .label("dead")
+            .mov64_imm(R0, 0)
+            .exit();
+        assert!(compile_asm(never.clone(), &MapRegistry::new()).elided_site_count() >= 1);
+        let (i, j) = both_tiers(never); // asserts retired parity
+        assert_eq!(i, j);
+        assert_eq!(j, 1);
+
+        // Always taken: the compare compiles to an unconditional jump.
+        let always = Asm::new()
+            .mov64_imm(R2, 9)
+            .jmp_imm(Cond::Gt, R2, 5, "tgt")
+            .mov64_imm(R0, 0)
+            .exit()
+            .label("tgt")
+            .mov64_imm(R0, 7)
+            .exit();
+        assert!(compile_asm(always.clone(), &MapRegistry::new()).elided_site_count() >= 1);
+        let (i, j) = both_tiers(always);
+        assert_eq!(i, j);
+        assert_eq!(j, 7);
+    }
+
+    #[test]
+    fn proven_nonzero_divisor_skips_zero_check_in_both_tiers() {
+        // `r2 = ctx[0] | 1` is nonzero by known bits, so the register
+        // division carries a div_nonzero fact and both tiers skip the
+        // runtime zero test.
+        let asm = Asm::new()
+            .ldx(Size::DW, R2, R1, 0)
+            .alu64_imm(crate::asm::AluOp::Or, R2, 1)
+            .mov64_imm(R0, 100)
+            .alu64(crate::asm::AluOp::Div, R0, R2)
+            .exit();
+        let maps = MapRegistry::new();
+        let prog = Program::new("d", AttachType::Kprobe("f".into()), asm.build().unwrap());
+        let loaded = load(prog, &maps, &standard_helpers()).unwrap();
+        let ctx = TraceContext::default();
+        let mut m1 = MapRegistry::new();
+        let mut m2 = MapRegistry::new();
+        let mut env = FixedEnv::default();
+        let i = Vm::new()
+            .execute(&loaded, &ctx, &[], &mut m1, &mut env)
+            .unwrap();
+        assert!(i.checks_elided >= 1, "interp should skip the zero test");
+        let j = compile(&loaded)
+            .execute(&ctx, &[], &mut m2, &mut env)
+            .unwrap();
+        assert!(j.checks_elided >= 2, "jit skips ctx bounds and zero test");
+        assert_eq!(i.ret, j.ret);
+        assert_eq!(j.ret, 100); // divisor is 0 | 1 = 1
+    }
+
+    #[test]
+    fn null_checked_map_value_load_is_elided() {
+        let mut maps = MapRegistry::new();
+        let fd = maps.create(MapDef::array(8, 4), 1).unwrap();
+        let asm = Asm::new()
+            .st(Size::W, R10, -4, 0)
+            .mov64(R2, R10)
+            .add64_imm(R2, -4)
+            .ld_map_fd(R1, fd)
+            .call(helper_ids::MAP_LOOKUP_ELEM)
+            .jmp_imm(Cond::Eq, R0, 0, "miss")
+            .ldx(Size::DW, R3, R0, 0)
+            .mov64(R0, R3)
+            .exit()
+            .label("miss")
+            .mov64_imm(R0, 1)
+            .exit();
+        let prog = Program::new("m", AttachType::Kprobe("f".into()), asm.build().unwrap());
+        let loaded = load(prog, &maps, &standard_helpers()).unwrap();
+        let on = compile(&loaded);
+        let off = compile_with(&loaded, CompileOpts { elide: false });
+        assert!(on.elided_site_count() > off.elided_site_count());
+
+        let ctx = TraceContext::default();
+        let mut env = FixedEnv::default();
+        let mut maps2 = MapRegistry::new();
+        assert_eq!(maps2.create(MapDef::array(8, 4), 1).unwrap(), fd);
+        let a = on.execute(&ctx, &[], &mut maps, &mut env).unwrap();
+        let b = off.execute(&ctx, &[], &mut maps2, &mut env).unwrap();
+        assert_eq!(a.ret, b.ret);
+        assert_eq!(a.ret, 0, "array slot pre-zeroed, lookup hits");
+        assert!(a.checks_elided >= 1, "value-size check should be elided");
     }
 }

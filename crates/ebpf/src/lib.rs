@@ -43,6 +43,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod analysis;
 pub mod asm;
 pub mod context;
 pub mod disasm;
@@ -51,14 +52,19 @@ pub mod jit;
 pub mod map;
 pub mod parse;
 pub mod program;
+pub mod tnum;
 pub mod verifier;
 pub mod vm;
 
+pub use analysis::{
+    analyze, Analysis, BranchFact, Diagnostic, InsnFact, MemFact, RegState, RegType,
+};
 pub use context::TraceContext;
 pub use disasm::disassemble;
 pub use insn::{Insn, MAX_INSNS};
-pub use jit::{compile, CompiledProgram, JitOutcome};
+pub use jit::{compile, compile_with, CompileOpts, CompiledProgram, JitOutcome};
 pub use map::{MapDef, MapRegistry, MapType};
 pub use program::{load, AttachType, LoadedProgram, Program};
+pub use tnum::Tnum;
 pub use verifier::{verify, VerifyError};
 pub use vm::{standard_helpers, ExecOutcome, Vm, VmEnv, VmError};

@@ -328,11 +328,20 @@ pub fn parse_insn(text: &str) -> Result<Vec<Insn>, String> {
 
 /// Parses a whole listing back into bytecode. Lines may carry the
 /// `{index}: ` prefix [`crate::disasm::disassemble`] emits (it is
-/// ignored) or be bare instruction text; blank lines are skipped.
+/// ignored) or be bare instruction text; blank lines are skipped, as are
+/// `#` comment lines and everything after a `;` (the annotation marker
+/// [`crate::disasm::disassemble_annotated`] uses), so annotated listings
+/// and commented corpus files reassemble cleanly.
 pub fn parse_program<S: AsRef<str>>(lines: &[S]) -> Result<Vec<Insn>, ParseError> {
     let mut out = Vec::with_capacity(lines.len());
     for (i, line) in lines.iter().enumerate() {
         let mut text = line.as_ref().trim();
+        if text.starts_with('#') {
+            continue;
+        }
+        if let Some((code, _comment)) = text.split_once(';') {
+            text = code.trim();
+        }
         if let Some((prefix, rest)) = text.split_once(':') {
             if prefix.trim().parse::<usize>().is_ok() {
                 text = rest.trim();

@@ -7,9 +7,10 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::analysis::{analyze, Analysis};
 use crate::insn::{Insn, PSEUDO_MAP_FD};
 use crate::map::MapRegistry;
-use crate::verifier::{verify, VerifyError};
+use crate::verifier::VerifyError;
 use crate::vm::MAP_HANDLE_BASE;
 
 /// Where a program attaches — the paper's §III-B attach surface:
@@ -127,6 +128,7 @@ pub struct LoadedProgram {
     name: String,
     attach: AttachType,
     insns: Vec<Insn>,
+    analysis: Analysis,
 }
 
 impl LoadedProgram {
@@ -143,6 +145,15 @@ impl LoadedProgram {
     /// The relocated instruction stream.
     pub fn insns(&self) -> &[Insn] {
         &self.insns
+    }
+
+    /// The verifier's abstract-interpretation artifact: per-instruction
+    /// proven facts (in-bounds accesses, nonzero divisors, decided
+    /// branches) that the execution tiers may use to elide runtime
+    /// checks. Relocation rewrites `lddw` immediates in place, so the
+    /// instruction indices the facts are keyed on remain valid.
+    pub fn analysis(&self) -> &Analysis {
+        &self.analysis
     }
 
     /// A human-readable listing of the program (kernel-verifier style).
@@ -163,7 +174,12 @@ pub fn load(
     maps: &MapRegistry,
     helpers: &[i32],
 ) -> Result<LoadedProgram, LoadError> {
-    verify(&program.insns, helpers)?;
+    let analysis = analyze(&program.insns, helpers, |fd| {
+        maps.get(fd).map(|m| m.def().value_size as u64)
+    });
+    if let Some(e) = analysis.first_error() {
+        return Err(LoadError::Verify(e.clone()));
+    }
     let mut insns = program.insns;
     let mut i = 0;
     while i < insns.len() {
@@ -188,6 +204,7 @@ pub fn load(
         name: program.name,
         attach: program.attach,
         insns,
+        analysis,
     })
 }
 

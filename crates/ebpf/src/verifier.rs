@@ -11,17 +11,25 @@
 //!   program provably terminates;
 //! * no path falls off the end of the program, and every path reaches
 //!   `exit` with `r0` initialised;
-//! * no read of an uninitialised register (data-flow analysis over the
-//!   DAG);
-//! * no division or modulo by a zero immediate;
+//! * no read of an uninitialised register on any path;
+//! * no division or modulo by a zero immediate, and no division by a
+//!   register whose value the analysis cannot prove nonzero;
 //! * helper calls reference registered helpers only;
 //! * direct stack accesses through `r10` stay within the 512-byte frame.
 //!
-//! Unlike the kernel, pointer/scalar *type* tracking is not implemented;
-//! memory accesses through computed pointers are instead bounds-checked at
-//! runtime by the interpreter, which is equivalent for safety in a
-//! simulator (a rejected access aborts the program, it cannot corrupt the
-//! host).
+//! Since PR 4 the data-flow pass is a path-sensitive abstract interpreter
+//! over typed register states ([`crate::analysis`]), the same analysis
+//! the kernel performs: it tracks pointer/scalar types, known bits and
+//! value ranges, narrows states at conditional jumps, and exports the
+//! memory accesses it *proved* safe so the JIT can drop their runtime
+//! checks. Accesses it cannot prove remain verifier-accepted and
+//! bounds-checked at runtime, which is equivalent for safety in a
+//! simulator (a rejected access aborts the program, it cannot corrupt
+//! the host).
+//!
+//! [`verify`] keeps the historical single-error contract; use
+//! [`crate::analysis::analyze`] for every diagnostic plus the per-
+//! instruction facts and register states.
 
 use crate::insn::*;
 
@@ -68,6 +76,14 @@ pub enum VerifyError {
     },
     /// Division or modulo by a zero immediate.
     DivisionByZero(usize),
+    /// Division or modulo by a register whose value range contains zero
+    /// with no guarding branch.
+    DivisorMayBeZero {
+        /// The divisor register.
+        reg: u8,
+        /// Instruction index.
+        insn: usize,
+    },
     /// A call to a helper id that is not registered.
     UnknownHelper {
         /// The helper id.
@@ -105,6 +121,9 @@ impl core::fmt::Display for VerifyError {
                 write!(f, "read of uninitialized r{reg} at insn {insn}")
             }
             VerifyError::DivisionByZero(i) => write!(f, "division by zero immediate at insn {i}"),
+            VerifyError::DivisorMayBeZero { reg, insn } => {
+                write!(f, "divisor r{reg} not proven nonzero at insn {insn}")
+            }
             VerifyError::UnknownHelper { id, insn } => {
                 write!(f, "unknown helper {id} at insn {insn}")
             }
@@ -115,324 +134,47 @@ impl core::fmt::Display for VerifyError {
     }
 }
 
-impl std::error::Error for VerifyError {}
-
-const ALU_OPS: [u8; 13] = [
-    BPF_ADD, BPF_SUB, BPF_MUL, BPF_DIV, BPF_OR, BPF_AND, BPF_LSH, BPF_RSH, BPF_NEG, BPF_MOD,
-    BPF_XOR, BPF_MOV, BPF_ARSH,
-];
-const JMP_OPS: [u8; 13] = [
-    BPF_JA, BPF_JEQ, BPF_JGT, BPF_JGE, BPF_JSET, BPF_JNE, BPF_JSGT, BPF_JSGE, BPF_JLT, BPF_JLE,
-    BPF_JSLT, BPF_JSLE, BPF_CALL,
-];
-
-fn size_of_access(opcode: u8) -> usize {
-    match opcode & 0x18 {
-        BPF_W => 4,
-        BPF_H => 2,
-        BPF_B => 1,
-        _ => 8, // BPF_DW
+impl VerifyError {
+    /// The instruction index the error is anchored to, when it has one
+    /// (`Empty` and `TooLong` are whole-program errors).
+    pub fn insn(&self) -> Option<usize> {
+        match self {
+            VerifyError::Empty | VerifyError::TooLong(_) => None,
+            VerifyError::BadOpcode { insn, .. }
+            | VerifyError::BadRegister { insn, .. }
+            | VerifyError::UninitializedRegister { insn, .. }
+            | VerifyError::UnknownHelper { insn, .. }
+            | VerifyError::InvalidStackAccess { insn, .. }
+            | VerifyError::DivisorMayBeZero { insn, .. } => Some(*insn),
+            VerifyError::WriteToFramePointer(i)
+            | VerifyError::JumpOutOfBounds(i)
+            | VerifyError::JumpIntoLddw(i)
+            | VerifyError::BackwardJump(i)
+            | VerifyError::TruncatedLddw(i)
+            | VerifyError::FallsOffEnd(i)
+            | VerifyError::DivisionByZero(i) => Some(*i),
+        }
     }
 }
 
+impl std::error::Error for VerifyError {}
+
 /// Verifies `insns`; `helpers` is the set of callable helper ids.
+///
+/// Thin wrapper over [`crate::analysis::analyze`] preserving the
+/// historical single-error contract (no map knowledge, first diagnostic
+/// only). The loader runs the analysis itself so it can keep the full
+/// [`crate::analysis::Analysis`] artifact.
 ///
 /// # Errors
 ///
 /// Returns the first [`VerifyError`] encountered.
 pub fn verify(insns: &[Insn], helpers: &[i32]) -> Result<(), VerifyError> {
-    if insns.is_empty() {
-        return Err(VerifyError::Empty);
+    let analysis = crate::analysis::analyze(insns, helpers, |_| None);
+    match analysis.first_error() {
+        Some(e) => Err(e.clone()),
+        None => Ok(()),
     }
-    if insns.len() > MAX_INSNS {
-        return Err(VerifyError::TooLong(insns.len()));
-    }
-
-    // Pass 1: structural checks, and mark lddw second slots.
-    let mut is_lddw_body = vec![false; insns.len()];
-    {
-        let mut i = 0;
-        while i < insns.len() {
-            let insn = &insns[i];
-            if insn.is_lddw() {
-                if i + 1 >= insns.len() {
-                    return Err(VerifyError::TruncatedLddw(i));
-                }
-                let body = &insns[i + 1];
-                if body.opcode != 0 || body.dst != 0 || body.src != 0 || body.off != 0 {
-                    return Err(VerifyError::TruncatedLddw(i));
-                }
-                is_lddw_body[i + 1] = true;
-                i += 2;
-            } else {
-                i += 1;
-            }
-        }
-    }
-
-    for (i, insn) in insns.iter().enumerate() {
-        if is_lddw_body[i] {
-            continue;
-        }
-        if insn.dst as usize >= NUM_REGS {
-            return Err(VerifyError::BadRegister {
-                reg: insn.dst,
-                insn: i,
-            });
-        }
-        if insn.src as usize >= NUM_REGS && !insn.is_lddw() {
-            return Err(VerifyError::BadRegister {
-                reg: insn.src,
-                insn: i,
-            });
-        }
-        match insn.class() {
-            BPF_ALU | BPF_ALU64 => {
-                let op = insn.opcode & 0xf0;
-                if op == BPF_END {
-                    if !matches!(insn.imm, 16 | 32 | 64) {
-                        return Err(VerifyError::BadOpcode {
-                            opcode: insn.opcode,
-                            insn: i,
-                        });
-                    }
-                } else if !ALU_OPS.contains(&op) {
-                    return Err(VerifyError::BadOpcode {
-                        opcode: insn.opcode,
-                        insn: i,
-                    });
-                }
-                if (op == BPF_DIV || op == BPF_MOD) && insn.opcode & 0x08 == BPF_K && insn.imm == 0
-                {
-                    return Err(VerifyError::DivisionByZero(i));
-                }
-                if insn.dst == REG_FP {
-                    return Err(VerifyError::WriteToFramePointer(i));
-                }
-            }
-            BPF_JMP | BPF_JMP32 => {
-                let op = insn.opcode & 0xf0;
-                if op == BPF_EXIT {
-                    if insn.class() != BPF_JMP {
-                        return Err(VerifyError::BadOpcode {
-                            opcode: insn.opcode,
-                            insn: i,
-                        });
-                    }
-                    continue;
-                }
-                if !JMP_OPS.contains(&op) {
-                    return Err(VerifyError::BadOpcode {
-                        opcode: insn.opcode,
-                        insn: i,
-                    });
-                }
-                if op == BPF_CALL {
-                    if insn.class() != BPF_JMP {
-                        return Err(VerifyError::BadOpcode {
-                            opcode: insn.opcode,
-                            insn: i,
-                        });
-                    }
-                    if !helpers.contains(&insn.imm) {
-                        return Err(VerifyError::UnknownHelper {
-                            id: insn.imm,
-                            insn: i,
-                        });
-                    }
-                    continue;
-                }
-                // Jump target checks.
-                if insn.off < 0 {
-                    return Err(VerifyError::BackwardJump(i));
-                }
-                let target = i as i64 + 1 + insn.off as i64;
-                if target < 0 || target as usize >= insns.len() {
-                    return Err(VerifyError::JumpOutOfBounds(i));
-                }
-                if is_lddw_body[target as usize] {
-                    return Err(VerifyError::JumpIntoLddw(i));
-                }
-            }
-            BPF_LD => {
-                if !insn.is_lddw() {
-                    return Err(VerifyError::BadOpcode {
-                        opcode: insn.opcode,
-                        insn: i,
-                    });
-                }
-                if insn.dst == REG_FP {
-                    return Err(VerifyError::WriteToFramePointer(i));
-                }
-            }
-            BPF_LDX => {
-                if insn.opcode & 0xe0 != BPF_MEM {
-                    return Err(VerifyError::BadOpcode {
-                        opcode: insn.opcode,
-                        insn: i,
-                    });
-                }
-                if insn.dst == REG_FP {
-                    return Err(VerifyError::WriteToFramePointer(i));
-                }
-                if insn.src == REG_FP {
-                    check_stack(insn.off, size_of_access(insn.opcode), i)?;
-                }
-            }
-            BPF_ST | BPF_STX => {
-                let mode = insn.opcode & 0xe0;
-                let atomic = mode == BPF_ATOMIC && insn.class() == BPF_STX;
-                if mode != BPF_MEM && !atomic {
-                    return Err(VerifyError::BadOpcode {
-                        opcode: insn.opcode,
-                        insn: i,
-                    });
-                }
-                if atomic {
-                    // Only ADD (optionally with FETCH) on W/DW is
-                    // implemented, as in pre-5.12 kernels (BPF_XADD).
-                    let sz = insn.opcode & 0x18;
-                    if (sz != BPF_W && sz != BPF_DW) || (insn.imm & !BPF_FETCH) != BPF_ADD as i32 {
-                        return Err(VerifyError::BadOpcode {
-                            opcode: insn.opcode,
-                            insn: i,
-                        });
-                    }
-                }
-                if insn.dst == REG_FP {
-                    check_stack(insn.off, size_of_access(insn.opcode), i)?;
-                }
-            }
-            _ => {
-                return Err(VerifyError::BadOpcode {
-                    opcode: insn.opcode,
-                    insn: i,
-                })
-            }
-        }
-    }
-
-    // Pass 2: reachability + fall-off-end + register initialisation.
-    // Since the CFG is a DAG (no back-edges), a forward pass visiting
-    // instructions in order computes, for each reachable instruction, the
-    // intersection of initialised-register sets over all inbound paths.
-    const UNREACHED: u16 = u16::MAX;
-    let mut init_at = vec![UNREACHED; insns.len()];
-    // Entry: r1 (context) and r10 (frame pointer) are initialised.
-    init_at[0] = (1 << 1) | (1 << 10);
-
-    let mut i = 0;
-    while i < insns.len() {
-        if is_lddw_body[i] || init_at[i] == UNREACHED {
-            i += 1;
-            continue;
-        }
-        let insn = &insns[i];
-        let mut regs = init_at[i];
-        let require = |regs: u16, reg: u8, at: usize| -> Result<(), VerifyError> {
-            if regs & (1 << reg) == 0 {
-                Err(VerifyError::UninitializedRegister { reg, insn: at })
-            } else {
-                Ok(())
-            }
-        };
-        let merge = |init_at: &mut Vec<u16>, target: usize, regs: u16| {
-            if init_at[target] == UNREACHED {
-                init_at[target] = regs;
-            } else {
-                init_at[target] &= regs;
-            }
-        };
-        match insn.class() {
-            BPF_ALU | BPF_ALU64 => {
-                let op = insn.opcode & 0xf0;
-                if op == BPF_MOV {
-                    if insn.opcode & 0x08 == BPF_X {
-                        require(regs, insn.src, i)?;
-                    }
-                } else if op == BPF_NEG || op == BPF_END {
-                    require(regs, insn.dst, i)?;
-                } else {
-                    require(regs, insn.dst, i)?;
-                    if insn.opcode & 0x08 == BPF_X {
-                        require(regs, insn.src, i)?;
-                    }
-                }
-                regs |= 1 << insn.dst;
-            }
-            BPF_LD => {
-                // lddw
-                regs |= 1 << insn.dst;
-                if i + 2 >= insns.len() {
-                    return Err(VerifyError::FallsOffEnd(i));
-                }
-                merge(&mut init_at, i + 2, regs);
-                i += 2;
-                continue;
-            }
-            BPF_LDX => {
-                require(regs, insn.src, i)?;
-                regs |= 1 << insn.dst;
-            }
-            BPF_ST => {
-                require(regs, insn.dst, i)?;
-            }
-            BPF_STX => {
-                require(regs, insn.dst, i)?;
-                require(regs, insn.src, i)?;
-                // Atomic fetch-and-add writes the old value into src.
-                if insn.opcode & 0xe0 == BPF_ATOMIC && insn.imm & BPF_FETCH != 0 {
-                    regs |= 1 << insn.src;
-                }
-            }
-            BPF_JMP | BPF_JMP32 => {
-                let op = insn.opcode & 0xf0;
-                match op {
-                    BPF_EXIT => {
-                        require(regs, 0, i)?;
-                        i += 1;
-                        continue;
-                    }
-                    BPF_CALL => {
-                        // Helpers read r1–r5 as needed (checked at
-                        // runtime), clobber r1–r5 and set r0.
-                        regs &= !0b111110;
-                        regs |= 1;
-                    }
-                    BPF_JA => {
-                        let target = i + 1 + insn.off as usize;
-                        merge(&mut init_at, target, regs);
-                        i += 1;
-                        continue;
-                    }
-                    _ => {
-                        require(regs, insn.dst, i)?;
-                        if insn.opcode & 0x08 == BPF_X {
-                            require(regs, insn.src, i)?;
-                        }
-                        let target = i + 1 + insn.off as usize;
-                        merge(&mut init_at, target, regs);
-                    }
-                }
-            }
-            _ => unreachable!("pass 1 validated classes"),
-        }
-        if i + 1 >= insns.len() {
-            return Err(VerifyError::FallsOffEnd(i));
-        }
-        merge(&mut init_at, i + 1, regs);
-        i += 1;
-    }
-
-    Ok(())
-}
-
-fn check_stack(off: i16, size: usize, insn: usize) -> Result<(), VerifyError> {
-    let off = off as i32;
-    if off >= 0 || off < -(STACK_SIZE as i32) || off + size as i32 > 0 {
-        return Err(VerifyError::InvalidStackAccess { off, insn });
-    }
-    Ok(())
 }
 
 #[cfg(test)]

@@ -243,6 +243,9 @@ pub struct ExecOutcome {
     pub ret: u64,
     /// Instructions executed (drives [`execution_cost_ns`]).
     pub insns_executed: u64,
+    /// Runtime checks skipped because the verifier's analysis proved
+    /// them redundant (in the interpreter tier: divisor zero-tests).
+    pub checks_elided: u64,
 }
 
 /// A map key captured when a lookup allocates a value slot. Keys of up
@@ -485,6 +488,70 @@ impl<'a> Memory<'a> {
         Ok(new)
     }
 
+    /// Map-value load with the region dispatch and value-size bounds
+    /// check elided: only sound when the verifier proved the access is a
+    /// `PtrToMapValue` whose whole `[off, off+len)` window lies inside
+    /// the map's value size (a [`crate::analysis::MemFact::MapValue`]
+    /// fact). The slot/map resolution itself cannot be skipped — it is
+    /// what binds the address to live map storage.
+    #[inline]
+    pub(crate) fn map_val_read(
+        &self,
+        maps: &mut MapRegistry,
+        addr: u64,
+        len: usize,
+    ) -> Result<u64, VmError> {
+        let slot_idx = ((addr - MAP_VAL_BASE) / MAP_VAL_STRIDE) as usize;
+        let off = ((addr - MAP_VAL_BASE) % MAP_VAL_STRIDE) as usize;
+        let slot = self
+            .slots
+            .get(slot_idx)
+            .ok_or(VmError::MemoryOutOfBounds { addr, len })?;
+        let map = maps.get_mut(slot.fd).ok_or(VmError::BadMapHandle(addr))?;
+        let value = map
+            .lookup(slot.key.as_slice(), self.cpu)
+            .map_err(VmError::Map)?;
+        Ok(read_le(&value[off..], len))
+    }
+
+    /// Map-value store counterpart of [`Memory::map_val_read`]; same
+    /// soundness requirement.
+    #[inline]
+    pub(crate) fn map_val_write(
+        &mut self,
+        maps: &mut MapRegistry,
+        addr: u64,
+        len: usize,
+        val: u64,
+    ) -> Result<(), VmError> {
+        let slot_idx = ((addr - MAP_VAL_BASE) / MAP_VAL_STRIDE) as usize;
+        let off = ((addr - MAP_VAL_BASE) % MAP_VAL_STRIDE) as usize;
+        let slot = self
+            .slots
+            .get(slot_idx)
+            .ok_or(VmError::MemoryOutOfBounds { addr, len })?;
+        let map = maps.get_mut(slot.fd).ok_or(VmError::BadMapHandle(addr))?;
+        let value = map
+            .lookup(slot.key.as_slice(), self.cpu)
+            .map_err(VmError::Map)?;
+        write_le(&mut value[off..], len, val);
+        Ok(())
+    }
+
+    /// Stack load through a computed (non-constant) offset the verifier
+    /// proved in-frame ([`crate::analysis::MemFact::StackDyn`]): no
+    /// region dispatch, no bounds check.
+    #[inline]
+    pub(crate) fn stack_dyn_read(&self, addr: u64, len: usize) -> u64 {
+        read_le(&self.stack[(addr - STACK_BASE) as usize..], len)
+    }
+
+    /// Stack store counterpart of [`Memory::stack_dyn_read`].
+    #[inline]
+    pub(crate) fn stack_dyn_write(&mut self, addr: u64, len: usize, val: u64) {
+        write_le(&mut self.stack[(addr - STACK_BASE) as usize..], len, val);
+    }
+
     pub(crate) fn write(
         &mut self,
         maps: &mut MapRegistry,
@@ -562,6 +629,7 @@ impl Vm {
         env: &mut dyn VmEnv,
     ) -> Result<ExecOutcome, VmError> {
         let insns = prog.insns();
+        let facts = prog.analysis().facts();
         let mut reg = [0u64; NUM_REGS];
         let mut mem = Memory::new(ctx, packet, env.smp_processor_id() as usize);
         reg[1] = CTX_BASE;
@@ -569,6 +637,7 @@ impl Vm {
 
         let mut pc = 0usize;
         let mut executed: u64 = 0;
+        let mut checks_elided: u64 = 0;
         let mut scratch = Vec::with_capacity(64);
 
         loop {
@@ -598,7 +667,25 @@ impl Vm {
                         insn.imm as i64 as u64
                     };
                     let lhs = reg[dst];
-                    let val = if is64 {
+                    // Register divisors the analysis proved nonzero skip
+                    // the zero test entirely — the one elision the
+                    // interpreter tier performs.
+                    let val = if (op == BPF_DIV || op == BPF_MOD)
+                        && insn.opcode & 0x08 == BPF_X
+                        && facts.get(pc).is_some_and(|f| f.div_nonzero)
+                    {
+                        checks_elided += 1;
+                        if is64 {
+                            if op == BPF_DIV {
+                                lhs / rhs
+                            } else {
+                                lhs % rhs
+                            }
+                        } else {
+                            let (l, r) = (lhs as u32, rhs as u32);
+                            u64::from(if op == BPF_DIV { l / r } else { l % r })
+                        }
+                    } else if is64 {
                         alu64(op, lhs, rhs)
                     } else {
                         u64::from(alu32(op, lhs as u32, rhs as u32))
@@ -650,6 +737,7 @@ impl Vm {
                             return Ok(ExecOutcome {
                                 ret: reg[0],
                                 insns_executed: executed,
+                                checks_elided,
                             })
                         }
                         BPF_CALL => {
@@ -1091,21 +1179,23 @@ mod tests {
     }
 
     #[test]
-    fn division_by_zero_register_yields_zero() {
+    fn division_by_zero_register_semantics() {
+        // The verifier now rejects any register divisor it cannot prove
+        // nonzero, so no *loaded* program can divide by zero — but the
+        // ALU semantics (div → 0, mod → lhs, kernel behaviour) are still
+        // the contract for the checked execution paths.
+        assert_eq!(alu64(BPF_DIV, 100, 0), 0);
+        assert_eq!(alu64(BPF_MOD, 100, 0), 100);
+        assert_eq!(alu32(BPF_DIV, 100, 0), 0);
+        assert_eq!(alu32(BPF_MOD, 100, 0), 100);
+        // A guarded divisor is accepted and divides normally.
         assert_eq!(
             run(Asm::new()
                 .mov64_imm(R0, 100)
                 .mov64_imm(R2, 0)
+                .jmp_imm(Cond::Eq, R2, 0, "skip")
                 .alu64(AluOp::Div, R0, R2)
-                .exit()),
-            0
-        );
-        // Modulo by zero leaves dst unchanged (kernel semantics).
-        assert_eq!(
-            run(Asm::new()
-                .mov64_imm(R0, 100)
-                .mov64_imm(R2, 0)
-                .alu64(AluOp::Mod, R0, R2)
+                .label("skip")
                 .exit()),
             100
         );

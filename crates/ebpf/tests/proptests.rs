@@ -12,16 +12,19 @@ use vnet_ebpf::program::{load, AttachType, Program};
 use vnet_ebpf::verifier::verify;
 use vnet_ebpf::vm::{standard_helpers, FixedEnv, Vm};
 
-/// Runs one loaded program on both execution tiers with independent but
-/// identically-constructed map registries, then checks the tier contract:
-/// same result or same error, and the threaded-code tier retires exactly
-/// the instruction count the interpreter executed. Returns both
-/// registries so callers can compare map side effects.
+/// Runs one loaded program on the interpreter and on the threaded-code
+/// tier both with and without verifier-proved check elision, each against
+/// independent but identically-constructed map registries, then checks
+/// the tier contract: same result or same error, and every compiled
+/// variant retires exactly the instruction count the interpreter
+/// executed (elision must be observationally invisible). Returns the
+/// registries (interp, jit-elide, jit-no-elide) so callers can compare
+/// map side effects.
 fn run_both_tiers(
     loaded: &vnet_ebpf::program::LoadedProgram,
     pkt: &[u8],
     mut mk_maps: impl FnMut() -> MapRegistry,
-) -> (MapRegistry, MapRegistry) {
+) -> (MapRegistry, MapRegistry, MapRegistry) {
     let ctx = TraceContext::default();
     let mut maps_i = mk_maps();
     let mut env_i = FixedEnv::default();
@@ -30,18 +33,37 @@ fn run_both_tiers(
     let mut maps_j = mk_maps();
     let mut env_j = FixedEnv::default();
     let jit = compiled.execute(&ctx, pkt, &mut maps_j, &mut env_j);
-    match (interp, jit) {
-        (Ok(i), Ok(j)) => {
+    let baseline =
+        vnet_ebpf::jit::compile_with(loaded, vnet_ebpf::jit::CompileOpts { elide: false });
+    assert_eq!(
+        baseline.elided_site_count(),
+        0,
+        "elide:false must elide nothing"
+    );
+    let mut maps_b = mk_maps();
+    let mut env_b = FixedEnv::default();
+    let base = baseline.execute(&ctx, pkt, &mut maps_b, &mut env_b);
+    match (interp, jit, base) {
+        (Ok(i), Ok(j), Ok(b)) => {
             assert_eq!(i.ret, j.ret, "tiers must return the same value");
+            assert_eq!(j.ret, b.ret, "elision must not change the result");
             assert_eq!(
                 i.insns_executed, j.insns_retired,
                 "fused ops must retire the same instruction count"
             );
+            assert_eq!(
+                j.insns_retired, b.insns_retired,
+                "elided branches must keep retired-instruction parity"
+            );
+            assert_eq!(b.checks_elided, 0, "elide:false must skip no checks");
         }
-        (Err(i), Err(j)) => assert_eq!(i, j, "tiers must abort identically"),
-        (i, j) => panic!("tiers diverge: interp {i:?} vs jit {j:?}"),
+        (Err(i), Err(j), Err(b)) => {
+            assert_eq!(i, j, "tiers must abort identically");
+            assert_eq!(j, b, "elision must not change the abort");
+        }
+        (i, j, b) => panic!("tiers diverge: interp {i:?} vs jit {j:?} vs no-elide {b:?}"),
     }
-    (maps_i, maps_j)
+    (maps_i, maps_j, maps_b)
 }
 
 /// One map's interpreter-visible contents, sorted for comparison.
@@ -347,12 +369,36 @@ proptest! {
             assemble_map_workload(&ops, 0, 1),
         );
         let loaded = load(prog, &maps, &standard_helpers()).expect("workload verifies");
-        let (mut maps_i, mut maps_j) = run_both_tiers(&loaded, &[], mk_maps);
+        let (mut maps_i, mut maps_j, mut maps_b) = run_both_tiers(&loaded, &[], mk_maps);
         prop_assert_eq!(hash_contents(&maps_i, 0), hash_contents(&maps_j, 0));
-        prop_assert_eq!(
-            maps_i.get_mut(1).unwrap().perf_drain_all(),
-            maps_j.get_mut(1).unwrap().perf_drain_all()
-        );
+        prop_assert_eq!(hash_contents(&maps_j, 0), hash_contents(&maps_b, 0));
+        let recs_i = maps_i.get_mut(1).unwrap().perf_drain_all();
+        let recs_j = maps_j.get_mut(1).unwrap().perf_drain_all();
+        let recs_b = maps_b.get_mut(1).unwrap().perf_drain_all();
+        prop_assert_eq!(&recs_i, &recs_j);
+        prop_assert_eq!(&recs_j, &recs_b, "elision must not change emitted records");
+    }
+
+    /// Every rejection names an in-bounds instruction: whatever bytes the
+    /// analysis is fed, each diagnostic (and the legacy first error)
+    /// points inside the program so `vnt verify` can annotate the
+    /// offending line. (Empty/oversized programs have no insn to name.)
+    #[test]
+    fn rejections_name_in_bounds_insns(insns in proptest::collection::vec(arb_insn(), 1..200)) {
+        let analysis = vnet_ebpf::analyze(&insns, &standard_helpers(), |_| None);
+        if !analysis.ok() {
+            for d in analysis.diagnostics() {
+                prop_assert!(
+                    d.insn < insns.len(),
+                    "diagnostic names insn {} of {}",
+                    d.insn,
+                    insns.len()
+                );
+            }
+            if let Some(i) = analysis.first_error().and_then(|e| e.insn()) {
+                prop_assert!(i < insns.len());
+            }
+        }
     }
 
     /// Perf buffers never deliver more bytes than their capacity between

@@ -8,9 +8,14 @@
 //! regions abort, and both tiers agree bit for bit on every case.
 //!
 //! All accesses go through *copied* pointers (`r2 = r10`, `r2 = ctx`,
-//! packet pointer loaded from the context), which the verifier cannot
-//! classify statically — so every check here is a runtime check, the
-//! path the jit tier must not have optimised away.
+//! packet pointer loaded from the context). The abstract interpreter
+//! now tracks stack and ctx copies, so the in-bounds cases may run on
+//! the verifier-proved elided path — the boundary values pin that the
+//! proofs draw the region edges exactly where the runtime checks do.
+//! The straddling and gap cases can never carry a proof (and packet
+//! pointers are never classified), so they exercise the runtime-checked
+//! path the jit tier must not have optimised away; both must agree with
+//! the interpreter bit for bit either way.
 
 use vnet_ebpf::asm::{reg::*, Asm, Size};
 use vnet_ebpf::context::{TraceContext, CTX_OFF_DATA, CTX_SIZE};
