@@ -8,6 +8,7 @@
 //!
 //! ```text
 //! vnt <scenario> [--package FILE.json] [--messages N] [--emit-package]
+//! vnt live [--messages N] [--window-us W] [--collect-us I]
 //! vnt verify <prog.bpf>
 //!
 //! scenarios: two-host | ovs | xen | container
@@ -15,6 +16,13 @@
 //!
 //! `--emit-package` prints the scenario's default control package as JSON
 //! (a starting point for hand-edited packages) and exits.
+//!
+//! `vnt live` runs the quickstart container-overlay scenario with a
+//! streaming `vnet-live` engine attached to the collector: the world is
+//! stepped in collection-interval slices, every batch flows through the
+//! windowed operators at ingest time, and the finalized per-window
+//! metrics (throughput, latency percentiles, jitter, loss) are printed
+//! together with any anomaly alerts — no post-hoc database scan.
 //!
 //! `vnt verify` runs the abstract-interpretation verifier over a
 //! kernel-style program listing (one instruction per line, `#` comments
@@ -34,6 +42,8 @@ struct Args {
     package: Option<String>,
     messages: u64,
     emit_package: bool,
+    window_us: u64,
+    collect_us: u64,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -48,6 +58,8 @@ fn parse_args() -> Result<Args, String> {
             package: Some(file),
             messages: 0,
             emit_package: false,
+            window_us: 0,
+            collect_us: 0,
         });
     }
     let mut out = Args {
@@ -55,6 +67,8 @@ fn parse_args() -> Result<Args, String> {
         package: None,
         messages: 500,
         emit_package: false,
+        window_us: 100,
+        collect_us: 50,
     };
     while let Some(flag) = args.next() {
         match flag.as_str() {
@@ -68,15 +82,32 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("bad --messages: {e}"))?
             }
+            "--window-us" => {
+                out.window_us = args
+                    .next()
+                    .ok_or("--window-us needs a number".to_owned())?
+                    .parse()
+                    .map_err(|e| format!("bad --window-us: {e}"))?
+            }
+            "--collect-us" => {
+                out.collect_us = args
+                    .next()
+                    .ok_or("--collect-us needs a number".to_owned())?
+                    .parse()
+                    .map_err(|e| format!("bad --collect-us: {e}"))?
+            }
             "--emit-package" => out.emit_package = true,
             other => return Err(format!("unknown flag `{other}`\n{}", usage())),
         }
+    }
+    if out.window_us == 0 || out.collect_us == 0 {
+        return Err("--window-us and --collect-us must be non-zero".to_owned());
     }
     Ok(out)
 }
 
 fn usage() -> String {
-    "usage: vnt <two-host|ovs|xen|container> [--package FILE.json] [--messages N] [--emit-package]\n       vnt verify <prog.bpf>"
+    "usage: vnt <two-host|ovs|xen|container> [--package FILE.json] [--messages N] [--emit-package]\n       vnt live [--messages N] [--window-us W] [--collect-us I]\n       vnt verify <prog.bpf>"
         .to_owned()
 }
 
@@ -193,9 +224,153 @@ fn print_run_stats(tracer: &vnettracer::VNetTracer) {
     println!("{t}");
 }
 
+/// `vnt live`: the quickstart container-overlay measurement, computed in
+/// flight by a `vnet-live` engine subscribed to the collector instead of
+/// by scanning the trace database afterwards.
+fn run_live(args: &Args) -> Result<(), String> {
+    use std::cell::RefCell;
+    use std::rc::Rc;
+    use vnettracer::config::{Proto, TraceSpec};
+    use vnettracer::IngestSubscriber;
+
+    let cfg = vnet_testbed::container::ContainerConfig {
+        mode: vnet_testbed::container::NetMode::Overlay,
+        transport: vnet_testbed::container::Transport::NetperfUdp,
+        count: args.messages,
+        ..Default::default()
+    };
+    let mut s = vnet_testbed::container::ContainerScenario::build(&cfg);
+
+    // The §III-A tracepoints: where the VXLAN-encapsulated flow leaves
+    // flannel.1 on vm1 and where it arrives at flannel.1 on vm2.
+    let filter = vnettracer::config::FilterRule {
+        ether_type: Some(0x0800),
+        protocol: Some(Proto::Udp),
+        src_ip: Some(vnet_testbed::container::VM1_IP),
+        dst_ip: Some(vnet_testbed::container::VM2_IP),
+        dst_port: Some(4789),
+        ..vnettracer::config::FilterRule::any()
+    };
+    let package = ControlPackage::new(vec![
+        TraceSpec {
+            name: "flannel1".into(),
+            node: "vm1".into(),
+            hook: vnettracer::config::HookSpec::DeviceTx("flannel.1".into()),
+            filter,
+            action: vnettracer::config::Action::RecordPacketInfo,
+        },
+        TraceSpec {
+            name: "flannel2".into(),
+            node: "vm2".into(),
+            hook: vnettracer::config::HookSpec::DeviceRx("flannel.1".into()),
+            filter,
+            action: vnettracer::config::Action::RecordPacketInfo,
+        },
+    ]);
+
+    let window_ns = args.window_us * 1_000;
+    let mut live_cfg = vnet_live::LiveConfig::new(vnet_live::WindowSpec::tumbling(window_ns))
+        .track_throughput("flannel2")
+        .track_latency("flannel1", "flannel2")
+        .track_loss("flannel1", "flannel2");
+    live_cfg.pair_timeout_ns = window_ns.max(1_000_000);
+    let mut engine = vnet_live::LiveEngine::new(live_cfg);
+    engine.register_agent("vm1", None);
+    engine.register_agent("vm2", None);
+    let engine = Rc::new(RefCell::new(engine));
+
+    let mut tracer = s.make_tracer();
+    tracer.subscribe(engine.clone() as Rc<RefCell<dyn IngestSubscriber>>);
+    tracer
+        .deploy(&mut s.world, &package)
+        .map_err(|e| e.to_string())?;
+
+    // Step the world one collection interval at a time; every collect
+    // flows through the engine as it is ingested.
+    let budget_ns = args.messages * 15_000 + 20_000_000;
+    let interval_ns = args.collect_us * 1_000;
+    let mut t = 0u64;
+    while t < budget_ns {
+        t = (t + interval_ns).min(budget_ns);
+        s.world.run_until(vnet_sim::time::SimTime::from_nanos(t));
+        tracer.collect(&s.world);
+    }
+    engine.borrow_mut().finish();
+
+    let mut eng = engine.borrow_mut();
+    let mut table = Table::new(
+        "live windows (flannel1 -> flannel2)",
+        &[
+            "window (us)",
+            "pkts",
+            "Mbps",
+            "p50 (us)",
+            "p95 (us)",
+            "p99 (us)",
+            "jitter (us)",
+            "lost/seen",
+        ],
+    );
+    for w in eng.drain_closed() {
+        let tput = w
+            .throughput
+            .first()
+            .map(|(_, t)| (t.count, t.bps() / 1e6))
+            .unwrap_or((0, 0.0));
+        let lat = w.latency.first().map(|(_, l)| *l);
+        let loss = w.loss.first().map(|(_, l)| *l).unwrap_or_default();
+        table.row(&[
+            format!("{}..{}", w.start_ns / 1_000, w.end_ns / 1_000),
+            tput.0.to_string(),
+            format!("{:.1}", tput.1),
+            lat.map_or("-".into(), |l| format!("{:.1}", l.p50_ns as f64 / 1e3)),
+            lat.map_or("-".into(), |l| format!("{:.1}", l.p95_ns as f64 / 1e3)),
+            lat.map_or("-".into(), |l| format!("{:.1}", l.p99_ns as f64 / 1e3)),
+            lat.and_then(|l| l.jitter).map_or("-".into(), |(lo, hi)| {
+                format!("{:.1}..{:.1}", lo as f64 / 1e3, hi as f64 / 1e3)
+            }),
+            format!("{}/{}", loss.lost, loss.seen),
+        ]);
+    }
+    println!("{table}");
+
+    let alerts = eng.drain_alerts();
+    if alerts.is_empty() {
+        println!("no anomalies detected");
+    } else {
+        println!("alerts:");
+        for a in &alerts {
+            println!("  {a}");
+        }
+    }
+
+    let state = eng.state();
+    println!(
+        "\nstreamed {} records ({} late) through {} open + {} closed windows, \
+         {} sketch buckets, {} pending pairs",
+        state.records_processed,
+        state.late_records,
+        state.open_windows,
+        state.closed_windows,
+        state.sketch_buckets,
+        state.pending_pairs,
+    );
+    if let Some(total) = eng.latency_total("flannel1", "flannel2") {
+        println!(
+            "cumulative: {} pairs, p50 {:.1} us, p99 {:.1} us, smoothed jitter {:.2} us",
+            total.count,
+            total.p50_ns as f64 / 1e3,
+            total.p99_ns as f64 / 1e3,
+            total.smoothed_jitter_ns / 1e3,
+        );
+    }
+    Ok(())
+}
+
 fn run(args: &Args) -> Result<(), String> {
     match args.scenario.as_str() {
         "verify" => verify_file(args.package.as_deref().expect("checked in parse_args")),
+        "live" => run_live(args),
         "two-host" => {
             let cfg = vnet_testbed::two_host::TwoHostConfig {
                 messages: args.messages,

@@ -12,12 +12,45 @@
 //! perf-ring losses, heartbeat lag) that [`Collector::stats`] exposes as
 //! the tracer's self-observability surface.
 
+use std::cell::RefCell;
 use std::collections::HashMap;
+use std::fmt;
+use std::rc::Rc;
 
 use vnet_sim::time::{SimDuration, SimTime};
 use vnet_tsdb::{RecordBatch, TraceDb, COMPACT_RECORD_BYTES};
 
 use crate::record::TraceRecord;
+
+/// An online consumer of the collector's ingest stream.
+///
+/// Subscribers registered via [`Collector::subscribe`] see every record
+/// batch *at ingest time* — before it disappears into the trace
+/// database — plus every agent heartbeat. This is the hook a streaming
+/// analysis engine (e.g. `vnet-live`) attaches to: it can maintain
+/// windowed metrics incrementally instead of rescanning the database,
+/// and derive watermarks from the heartbeat stream.
+pub trait IngestSubscriber: fmt::Debug {
+    /// Called once per ingested batch, before the heartbeat it carries
+    /// is forwarded (so watermark-style consumers see the records ahead
+    /// of the frontier advance that covers them). `lost_records` is the
+    /// agent's cumulative perf-ring loss counter; `now` is the master
+    /// clock at ingest.
+    fn on_batch(
+        &mut self,
+        node: &str,
+        heartbeat_seq: u64,
+        batch: &RecordBatch,
+        lost_records: u64,
+        now: SimTime,
+    );
+
+    /// Called on every heartbeat (standalone or batch-borne). Default:
+    /// ignored.
+    fn on_heartbeat(&mut self, node: &str, seq: u64, now: SimTime) {
+        let _ = (node, seq, now);
+    }
+}
 
 /// Running ingest totals, kept per agent and summed for the collector.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -79,12 +112,25 @@ pub struct Collector {
     db: TraceDb,
     health: HashMap<String, AgentHealth>,
     records_ingested: u64,
+    subscribers: Vec<Rc<RefCell<dyn IngestSubscriber>>>,
 }
 
 impl Collector {
     /// Creates an empty collector.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Registers an online subscriber; every subsequent batch and
+    /// heartbeat is forwarded to it at ingest time. The caller keeps its
+    /// own `Rc` to query the subscriber's state between cycles.
+    pub fn subscribe(&mut self, subscriber: Rc<RefCell<dyn IngestSubscriber>>) {
+        self.subscribers.push(subscriber);
+    }
+
+    /// Number of registered ingest subscribers.
+    pub fn subscriber_count(&self) -> usize {
+        self.subscribers.len()
     }
 
     /// Ingests a whole record batch from `node`'s agent, which doubles as
@@ -99,9 +145,18 @@ impl Collector {
         lost_records: u64,
         now: SimTime,
     ) -> u64 {
-        self.heartbeat(node, heartbeat_seq, now);
         let ingested = self.db.insert_batch(batch);
         self.records_ingested += ingested;
+        for sub in &self.subscribers {
+            sub.borrow_mut()
+                .on_batch(node, heartbeat_seq, batch, lost_records, now);
+        }
+        // The heartbeat is notified after the batch it rode in on: it
+        // asserts "nothing below `now` remains on this agent", which only
+        // holds once the batch has been delivered — subscribers deriving
+        // watermarks from heartbeats would otherwise count the batch's
+        // own records as late.
+        self.heartbeat(node, heartbeat_seq, now);
         let health = self.health.get_mut(node).expect("heartbeat inserted it");
         health.lost_records = lost_records;
         health.stats.add(ingested, ingested * COMPACT_RECORD_BYTES);
@@ -133,6 +188,9 @@ impl Collector {
         let health = self.health.entry(node.to_owned()).or_default();
         health.last_seq = seq;
         health.last_seen = now;
+        for sub in &self.subscribers {
+            sub.borrow_mut().on_heartbeat(node, seq, now);
+        }
     }
 
     /// Agents that have not been heard from within `timeout` of `now`.
@@ -294,6 +352,54 @@ mod tests {
             c.silent_agents(SimTime::from_millis(200), SimDuration::from_millis(60)),
             vec!["b".to_owned()]
         );
+    }
+
+    #[derive(Debug, Default)]
+    struct CountingSub {
+        batches: u64,
+        records: u64,
+        heartbeats: u64,
+        last_now: SimTime,
+    }
+
+    impl IngestSubscriber for CountingSub {
+        fn on_batch(
+            &mut self,
+            _node: &str,
+            _seq: u64,
+            batch: &RecordBatch,
+            _lost: u64,
+            now: SimTime,
+        ) {
+            self.batches += 1;
+            self.records += batch.len() as u64;
+            self.last_now = now;
+        }
+
+        fn on_heartbeat(&mut self, _node: &str, _seq: u64, _now: SimTime) {
+            self.heartbeats += 1;
+        }
+    }
+
+    #[test]
+    fn subscribers_see_batches_and_heartbeats_at_ingest() {
+        let mut c = Collector::new();
+        let sub = std::rc::Rc::new(std::cell::RefCell::new(CountingSub::default()));
+        c.subscribe(sub.clone());
+        assert_eq!(c.subscriber_count(), 1);
+
+        let mut batch = RecordBatch::new();
+        batch.push("tp", "n1", record(10).to_compact());
+        batch.push("tp", "n1", record(20).to_compact());
+        c.ingest_batch("n1", 1, &batch, 0, SimTime::from_micros(3));
+        c.heartbeat("n1", 2, SimTime::from_micros(5));
+
+        let s = sub.borrow();
+        assert_eq!(s.batches, 1);
+        assert_eq!(s.records, 2);
+        // The batch-borne heartbeat and the standalone one both arrive.
+        assert_eq!(s.heartbeats, 2);
+        assert_eq!(s.last_now, SimTime::from_micros(3));
     }
 
     #[test]

@@ -15,7 +15,7 @@ pub mod throughput;
 pub use arrival::{arrival_rate, interarrival_ns};
 pub use decomposition::{decompose, per_packet_segments, SegmentStats};
 pub use flow::{per_flow_loss, per_flow_throughput};
-pub use jitter::{jitter_range, jitter_series};
+pub use jitter::{jitter_range, jitter_series, JitterTracker};
 pub use latency::{latency_between, stats_from_ns, LatencyStats};
 pub use loss::{packet_loss, PacketLoss};
 pub use throughput::{throughput_at, throughput_bps, TRACE_ID_WIRE_BYTES};

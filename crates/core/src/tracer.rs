@@ -188,6 +188,17 @@ impl VNetTracer {
         total
     }
 
+    /// Registers an online subscriber on the collector: every batch an
+    /// agent drains (and every heartbeat) is forwarded to it during
+    /// [`VNetTracer::collect`], before the records reach the database —
+    /// the attachment point for streaming analysis engines.
+    pub fn subscribe(
+        &mut self,
+        subscriber: std::rc::Rc<std::cell::RefCell<dyn crate::collector::IngestSubscriber>>,
+    ) {
+        self.collector.subscribe(subscriber);
+    }
+
     /// Snapshot of the collector's self-observability counters (ingest
     /// totals, per-agent heartbeat lag and perf-ring losses) at the
     /// world's current time.

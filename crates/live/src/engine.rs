@@ -1,0 +1,583 @@
+//! The streaming engine: batches in, finalized windows and alerts out.
+//!
+//! [`LiveEngine`] implements [`IngestSubscriber`], so attaching it to a
+//! collector (`tracer.subscribe(...)`) makes every collection cycle flow
+//! through the operators as it is ingested — the trace database keeps
+//! growing, but the engine's resident state stays bounded by the number
+//! of *open* windows, the pairing caps and the closed-window ring, all
+//! independent of how many records have ever passed through.
+//!
+//! Per batch the engine: advances the source agent's watermark frontier
+//! from the heartbeat, aligns each record timestamp through the agent's
+//! skew estimate, drops-and-counts records below the watermark, routes
+//! the rest to every matching operator, then evicts timed-out pairings
+//! and finalizes windows. A window `[s, s+width)` finalizes only once
+//! `watermark ≥ s + width + pair_timeout`: by then every pairing whose
+//! loss would land in the window has either completed or been evicted,
+//! so the emitted counts are final.
+
+use std::collections::{BTreeSet, VecDeque};
+
+use vnet_sim::time::SimTime;
+use vnet_tsdb::sketch::DEFAULT_SKETCH_ERROR;
+use vnet_tsdb::RecordBatch;
+use vnettracer::clock_sync::SkewEstimate;
+use vnettracer::IngestSubscriber;
+
+use crate::alert::{Alert, AnomalyDetector, DetectorConfig};
+use crate::operators::{
+    Evicted, LatencyOp, LatencySummary, LossOp, LossWindow, Side, ThroughputOp, ThroughputWindow,
+};
+use crate::window::{WatermarkTracker, WindowSpec};
+
+/// What to compute and how tightly to bound state.
+#[derive(Debug, Clone)]
+pub struct LiveConfig {
+    /// The event-time window scheme shared by every operator.
+    pub window: WindowSpec,
+    /// Tracepoints to compute windowed throughput for.
+    pub throughput: Vec<String>,
+    /// `(from, to)` tracepoint pairs to compute windowed latency for.
+    pub latency: Vec<(String, String)>,
+    /// `(upstream, downstream)` tracepoint pairs to compute loss for.
+    pub loss: Vec<(String, String)>,
+    /// Extra out-of-orderness budget added to every agent's watermark
+    /// slack, on top of its skew estimate's residual error.
+    pub allowed_lateness_ns: u64,
+    /// How long an unmatched pairing may wait for its other half before
+    /// being finalized as a loss.
+    pub pair_timeout_ns: u64,
+    /// Relative error bound for the latency sketches.
+    pub sketch_error: f64,
+    /// Hard cap on unmatched pairings per latency/loss operator.
+    pub max_pending_pairs: usize,
+    /// Finalized windows retained for the caller (oldest dropped first).
+    pub max_closed_windows: usize,
+    /// Anomaly detector thresholds.
+    pub detector: DetectorConfig,
+}
+
+impl LiveConfig {
+    /// A config computing nothing yet over the given window scheme, with
+    /// conservative defaults for the state bounds.
+    pub fn new(window: WindowSpec) -> Self {
+        LiveConfig {
+            window,
+            throughput: Vec::new(),
+            latency: Vec::new(),
+            loss: Vec::new(),
+            allowed_lateness_ns: 0,
+            pair_timeout_ns: 10_000_000,
+            sketch_error: DEFAULT_SKETCH_ERROR,
+            max_pending_pairs: 65_536,
+            max_closed_windows: 256,
+            detector: DetectorConfig::default(),
+        }
+    }
+
+    /// Adds a windowed-throughput tracepoint.
+    pub fn track_throughput(mut self, tracepoint: &str) -> Self {
+        self.throughput.push(tracepoint.to_owned());
+        self
+    }
+
+    /// Adds a windowed-latency (and jitter) tracepoint pair.
+    pub fn track_latency(mut self, from: &str, to: &str) -> Self {
+        self.latency.push((from.to_owned(), to.to_owned()));
+        self
+    }
+
+    /// Adds a windowed-loss tracepoint pair.
+    pub fn track_loss(mut self, upstream: &str, downstream: &str) -> Self {
+        self.loss.push((upstream.to_owned(), downstream.to_owned()));
+        self
+    }
+}
+
+/// Every metric of one finalized window, labelled by stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowResult {
+    /// Window start (inclusive), aligned master nanoseconds.
+    pub start_ns: u64,
+    /// Window end (exclusive).
+    pub end_ns: u64,
+    /// Per-tracepoint throughput accumulators.
+    pub throughput: Vec<(String, ThroughputWindow)>,
+    /// Per-pair (`from->to`) latency summaries.
+    pub latency: Vec<(String, LatencySummary)>,
+    /// Per-pair (`up->down`) loss counters.
+    pub loss: Vec<(String, LossWindow)>,
+}
+
+/// A point-in-time accounting of everything the engine keeps resident —
+/// the quantities that must stay bounded regardless of trace size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineState {
+    /// Open (not yet finalized) windows, summed across operators.
+    pub open_windows: usize,
+    /// Sketch buckets alive across all open-window and total sketches.
+    pub sketch_buckets: usize,
+    /// Unmatched pairings waiting for their other half.
+    pub pending_pairs: usize,
+    /// Finalized windows retained in the ring.
+    pub closed_windows: usize,
+    /// Records dropped (and counted) for arriving below the watermark.
+    pub late_records: u64,
+    /// Records routed into at least one operator.
+    pub records_processed: u64,
+}
+
+/// The streaming analysis engine. See the module docs for the lifecycle.
+#[derive(Debug)]
+pub struct LiveEngine {
+    cfg: LiveConfig,
+    watermark: WatermarkTracker,
+    throughput: Vec<ThroughputOp>,
+    latency: Vec<LatencyOp>,
+    loss: Vec<LossOp>,
+    detector: AnomalyDetector,
+    closed: VecDeque<WindowResult>,
+    alerts: Vec<Alert>,
+    evict_scratch: Vec<Evicted>,
+    records_processed: u64,
+    now_ns: u64,
+}
+
+impl LiveEngine {
+    /// Builds the operator set described by `cfg`.
+    pub fn new(cfg: LiveConfig) -> Self {
+        let throughput = cfg
+            .throughput
+            .iter()
+            .map(|tp| ThroughputOp::new(tp.clone()))
+            .collect();
+        let latency = cfg
+            .latency
+            .iter()
+            .map(|(f, t)| {
+                LatencyOp::new(
+                    f.clone(),
+                    t.clone(),
+                    cfg.sketch_error,
+                    cfg.max_pending_pairs,
+                )
+            })
+            .collect();
+        let loss = cfg
+            .loss
+            .iter()
+            .map(|(u, d)| LossOp::new(u.clone(), d.clone(), cfg.max_pending_pairs))
+            .collect();
+        let detector = AnomalyDetector::new(cfg.detector);
+        LiveEngine {
+            cfg,
+            watermark: WatermarkTracker::new(),
+            throughput,
+            latency,
+            loss,
+            detector,
+            closed: VecDeque::new(),
+            alerts: Vec::new(),
+            evict_scratch: Vec::new(),
+            records_processed: 0,
+            now_ns: 0,
+        }
+    }
+
+    /// Registers an agent the watermark must wait for, with the skew
+    /// estimate used to align its timestamps (None for the local node).
+    pub fn register_agent(&mut self, node: &str, skew: Option<SkewEstimate>) {
+        self.watermark
+            .register_agent(node, skew, self.cfg.allowed_lateness_ns);
+    }
+
+    /// Feeds one collection cycle's batch, attributing frontier movement
+    /// to the heartbeat embedded in the cycle (`now_ns`, master clock).
+    pub fn ingest(&mut self, batch: &RecordBatch, now_ns: u64) {
+        self.now_ns = self.now_ns.max(now_ns);
+        for group in batch.groups() {
+            if group.records.is_empty() {
+                continue;
+            }
+            let m = group.measurement.as_str();
+            let tput: Vec<usize> = (0..self.throughput.len())
+                .filter(|&i| self.throughput[i].measurement == m)
+                .collect();
+            let lat: Vec<(usize, Side)> = (0..self.latency.len())
+                .filter_map(|i| {
+                    let op = &self.latency[i];
+                    if op.from == m {
+                        Some((i, Side::Up))
+                    } else if op.to == m {
+                        Some((i, Side::Down))
+                    } else {
+                        None
+                    }
+                })
+                .collect();
+            let loss: Vec<(usize, Side)> = (0..self.loss.len())
+                .filter_map(|i| {
+                    let op = &self.loss[i];
+                    if op.upstream == m {
+                        Some((i, Side::Up))
+                    } else if op.downstream == m {
+                        Some((i, Side::Down))
+                    } else {
+                        None
+                    }
+                })
+                .collect();
+            if tput.is_empty() && lat.is_empty() && loss.is_empty() {
+                continue;
+            }
+            for r in &group.records {
+                let ts = self.watermark.align(&group.node, r.timestamp_ns);
+                if self.watermark.note_if_late(ts) {
+                    continue;
+                }
+                self.records_processed += 1;
+                for &i in &tput {
+                    self.throughput[i].push(
+                        &self.cfg.window,
+                        ts,
+                        r.pkt_len as u64,
+                        r.has_trace_id(),
+                    );
+                }
+                if r.has_trace_id() {
+                    for &(i, side) in &lat {
+                        self.latency[i].push(&self.cfg.window, side, r.trace_id, ts);
+                    }
+                    for &(i, side) in &loss {
+                        self.loss[i].push(&self.cfg.window, side, r.trace_id, ts);
+                    }
+                }
+            }
+        }
+        self.advance();
+    }
+
+    /// Advances `node`'s watermark frontier from a heartbeat at master
+    /// time `now_ns`, finalizing any windows that became complete.
+    pub fn heartbeat(&mut self, node: &str, now_ns: u64) {
+        self.now_ns = self.now_ns.max(now_ns);
+        self.watermark.heartbeat(node, now_ns);
+        self.advance();
+    }
+
+    /// Forces every frontier far past all data and finalizes everything
+    /// still open — call once at the end of a run. Uses a sentinel well
+    /// below `u64::MAX` so window-end arithmetic cannot wrap.
+    pub fn finish(&mut self) {
+        self.watermark.advance_all(u64::MAX / 4);
+        self.advance();
+    }
+
+    /// Evicts timed-out pairings, finalizes complete windows, and runs
+    /// the anomaly detectors over each newly closed window.
+    fn advance(&mut self) {
+        let watermark = self.watermark.watermark_ns();
+        // checked_sub: until a full timeout has elapsed no entry can have
+        // timed out, not even one keyed at t=0.
+        if let Some(evict_before) = watermark.checked_sub(self.cfg.pair_timeout_ns) {
+            for op in &mut self.latency {
+                op.evict(evict_before, &mut self.evict_scratch);
+            }
+            for op in &mut self.loss {
+                op.evict(&self.cfg.window, evict_before, &mut self.evict_scratch);
+            }
+        }
+
+        // A window is final once even its slowest pairing has resolved.
+        let mut to_close: BTreeSet<u64> = BTreeSet::new();
+        let complete = |start: u64, spec: &WindowSpec| {
+            spec.end(start).saturating_add(self.cfg.pair_timeout_ns) <= watermark
+        };
+        for op in &self.throughput {
+            to_close.extend(op.open_starts().filter(|&s| complete(s, &self.cfg.window)));
+        }
+        for op in &self.latency {
+            to_close.extend(op.open_starts().filter(|&s| complete(s, &self.cfg.window)));
+        }
+        for op in &self.loss {
+            to_close.extend(op.open_starts().filter(|&s| complete(s, &self.cfg.window)));
+        }
+        for start in to_close {
+            let result = WindowResult {
+                start_ns: start,
+                end_ns: self.cfg.window.end(start),
+                throughput: self
+                    .throughput
+                    .iter_mut()
+                    .filter_map(|op| op.close(start).map(|w| (op.measurement.clone(), w)))
+                    .collect(),
+                latency: self
+                    .latency
+                    .iter_mut()
+                    .filter_map(|op| {
+                        op.close(start)
+                            .map(|w| (format!("{}->{}", op.from, op.to), w))
+                    })
+                    .collect(),
+                loss: self
+                    .loss
+                    .iter_mut()
+                    .filter_map(|op| {
+                        op.close(start)
+                            .map(|w| (format!("{}->{}", op.upstream, op.downstream), w))
+                    })
+                    .collect(),
+            };
+            self.detector.on_window(&result, &mut self.alerts);
+            self.closed.push_back(result);
+            while self.closed.len() > self.cfg.max_closed_windows {
+                self.closed.pop_front();
+            }
+        }
+
+        let stalled = self
+            .watermark
+            .stalled_agents(self.cfg.detector.stall_timeout_ns);
+        self.detector
+            .on_stall_report(&stalled, self.now_ns, &mut self.alerts);
+    }
+
+    /// Finalized windows still in the ring, oldest first.
+    pub fn closed_windows(&self) -> impl Iterator<Item = &WindowResult> {
+        self.closed.iter()
+    }
+
+    /// Removes and returns all finalized windows, oldest first.
+    pub fn drain_closed(&mut self) -> Vec<WindowResult> {
+        self.closed.drain(..).collect()
+    }
+
+    /// Removes and returns all pending alerts, in emission order.
+    pub fn drain_alerts(&mut self) -> Vec<Alert> {
+        std::mem::take(&mut self.alerts)
+    }
+
+    /// The current global watermark.
+    pub fn watermark_ns(&self) -> u64 {
+        self.watermark.watermark_ns()
+    }
+
+    /// Cumulative latency totals for the `(from, to)` pair, if tracked
+    /// and non-empty.
+    pub fn latency_total(&self, from: &str, to: &str) -> Option<LatencySummary> {
+        self.latency
+            .iter()
+            .find(|op| op.from == from && op.to == to)
+            .and_then(|op| op.total())
+    }
+
+    /// Cumulative throughput totals for `tracepoint`, if tracked.
+    pub fn throughput_total(&self, tracepoint: &str) -> Option<ThroughputWindow> {
+        self.throughput
+            .iter()
+            .find(|op| op.measurement == tracepoint)
+            .map(|op| op.total())
+    }
+
+    /// Cumulative loss totals for the `(upstream, downstream)` pair, if
+    /// tracked. Pairings still inside the timeout are in neither bucket.
+    pub fn loss_total(&self, upstream: &str, downstream: &str) -> Option<LossWindow> {
+        self.loss
+            .iter()
+            .find(|op| op.upstream == upstream && op.downstream == downstream)
+            .map(|op| op.total())
+    }
+
+    /// Unmatched pairings evicted for the `(upstream, downstream)`
+    /// latency pair (no sample could be produced for them).
+    pub fn latency_unmatched(&self, from: &str, to: &str) -> Option<u64> {
+        self.latency
+            .iter()
+            .find(|op| op.from == from && op.to == to)
+            .map(|op| op.unmatched)
+    }
+
+    /// Snapshot of all resident state, for bound checks and debugging.
+    pub fn state(&self) -> EngineState {
+        EngineState {
+            open_windows: self
+                .throughput
+                .iter()
+                .map(|o| o.open_count())
+                .sum::<usize>()
+                + self.latency.iter().map(|o| o.open_count()).sum::<usize>()
+                + self.loss.iter().map(|o| o.open_count()).sum::<usize>(),
+            sketch_buckets: self.latency.iter().map(|o| o.bucket_count()).sum(),
+            pending_pairs: self.latency.iter().map(|o| o.pending_len()).sum::<usize>()
+                + self.loss.iter().map(|o| o.pending_len()).sum::<usize>(),
+            closed_windows: self.closed.len(),
+            late_records: self.watermark.late_records(),
+            records_processed: self.records_processed,
+        }
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &LiveConfig {
+        &self.cfg
+    }
+}
+
+impl IngestSubscriber for LiveEngine {
+    fn on_batch(
+        &mut self,
+        node: &str,
+        _heartbeat_seq: u64,
+        batch: &RecordBatch,
+        _lost_records: u64,
+        now: SimTime,
+    ) {
+        self.ingest(batch, now.as_nanos());
+        // The collector forwards the batch-borne heartbeat right after
+        // this call; advancing here too (idempotent — frontiers only
+        // move forward) keeps the engine correct when driven directly.
+        self.heartbeat(node, now.as_nanos());
+    }
+
+    fn on_heartbeat(&mut self, node: &str, _seq: u64, now: SimTime) {
+        self.heartbeat(node, now.as_nanos());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vnet_tsdb::record::CompactRecord;
+
+    fn rec(ts: u64, trace_id: u32, pkt_len: u32) -> CompactRecord {
+        CompactRecord {
+            timestamp_ns: ts,
+            trace_id,
+            pkt_len,
+            flags: 1,
+            ..Default::default()
+        }
+    }
+
+    fn engine() -> LiveEngine {
+        let cfg = LiveConfig::new(WindowSpec::tumbling(1_000_000))
+            .track_throughput("tx")
+            .track_latency("tx", "rx")
+            .track_loss("tx", "rx");
+        let mut e = LiveEngine::new(cfg);
+        e.register_agent("n1", None);
+        e
+    }
+
+    fn feed(e: &mut LiveEngine, table: &str, recs: &[CompactRecord], now: u64) {
+        let mut b = RecordBatch::new();
+        for r in recs {
+            b.push(table, "n1", *r);
+        }
+        e.ingest(&b, now);
+        e.heartbeat("n1", now);
+    }
+
+    #[test]
+    fn windows_close_after_pair_timeout_and_report_all_metrics() {
+        let mut e = engine();
+        feed(
+            &mut e,
+            "tx",
+            &[
+                rec(100_000, 1, 100),
+                rec(200_000, 2, 100),
+                rec(300_000, 3, 100),
+            ],
+            100_000,
+        );
+        feed(
+            &mut e,
+            "rx",
+            &[rec(150_000, 1, 100), rec(260_000, 2, 100)],
+            500_000,
+        );
+        assert!(e.closed_windows().next().is_none(), "window still open");
+        // Watermark must pass end (1ms) + pair timeout (10ms).
+        e.heartbeat("n1", 12_000_000);
+        let closed = e.drain_closed();
+        assert_eq!(closed.len(), 1);
+        let w = &closed[0];
+        assert_eq!(w.start_ns, 0);
+        assert_eq!(w.throughput[0].1.count, 3);
+        let (_, lat) = &w.latency[0];
+        assert_eq!(lat.count, 2);
+        assert_eq!(lat.jitter, Some((10_000, 10_000)));
+        let (_, loss) = &w.loss[0];
+        assert_eq!(loss.seen, 3);
+        assert_eq!(loss.delivered, 2);
+        assert_eq!(loss.lost, 1, "trace 3 timed out unmatched");
+    }
+
+    #[test]
+    fn late_records_counted_not_crashing() {
+        let mut e = engine();
+        e.heartbeat("n1", 5_000_000);
+        feed(&mut e, "tx", &[rec(1_000_000, 1, 100)], 5_100_000);
+        let s = e.state();
+        assert_eq!(s.late_records, 1);
+        assert_eq!(s.records_processed, 0);
+    }
+
+    #[test]
+    fn finish_flushes_everything() {
+        let mut e = engine();
+        feed(&mut e, "tx", &[rec(100, 1, 100)], 100);
+        feed(&mut e, "rx", &[rec(150, 1, 100)], 300);
+        assert!(e.closed_windows().next().is_none());
+        e.finish();
+        let closed = e.drain_closed();
+        assert_eq!(closed.len(), 1);
+        assert_eq!(closed[0].loss[0].1.delivered, 1);
+        assert_eq!(e.state().open_windows, 0);
+        assert_eq!(e.state().pending_pairs, 0);
+    }
+
+    #[test]
+    fn closed_ring_is_bounded() {
+        let mut cfg = LiveConfig::new(WindowSpec::tumbling(1_000)).track_throughput("tx");
+        cfg.max_closed_windows = 4;
+        let mut e = LiveEngine::new(cfg);
+        e.register_agent("n1", None);
+        for k in 0..100u64 {
+            feed(
+                &mut e,
+                "tx",
+                &[rec(k * 1_000, 0, 100), rec(k * 1_000 + 500, 0, 100)],
+                k * 1_000 + 600,
+            );
+        }
+        e.finish();
+        assert_eq!(e.state().closed_windows, 4);
+        let oldest = e.closed_windows().next().unwrap().start_ns;
+        assert_eq!(oldest, 96_000, "oldest windows were dropped");
+    }
+
+    #[test]
+    fn totals_match_cumulative_stream() {
+        let mut e = engine();
+        for k in 0..10u64 {
+            let ts = k * 100_000;
+            feed(&mut e, "tx", &[rec(ts, k as u32 + 1, 100)], ts + 1_000);
+            feed(
+                &mut e,
+                "rx",
+                &[rec(ts + 5_000, k as u32 + 1, 100)],
+                ts + 6_000,
+            );
+        }
+        e.finish();
+        let t = e.throughput_total("tx").unwrap();
+        assert_eq!(t.count, 10);
+        assert_eq!(t.bytes, 10 * 96);
+        let l = e.loss_total("tx", "rx").unwrap();
+        assert_eq!((l.seen, l.delivered, l.lost), (10, 10, 0));
+        let lat = e.latency_total("tx", "rx").unwrap();
+        assert_eq!(lat.count, 10);
+        assert_eq!(lat.jitter, Some((0, 0)), "constant 5us delay");
+    }
+}

@@ -1,0 +1,676 @@
+//! Incremental per-window operators: throughput, latency, loss.
+//!
+//! Each operator maintains O(1)-per-window state updated record by
+//! record — no buffering of raw samples. Latency and loss pair records
+//! across two tracepoints by trace ID through a [`PairTracker`] whose
+//! pending set is bounded two ways: entries older than the pair timeout
+//! are evicted as the watermark passes them (an unmatched upstream
+//! becomes a loss), and a hard capacity cap force-evicts the oldest
+//! entry under overload, so state cannot grow with trace size even if
+//! the watermark stalls.
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+
+use vnet_tsdb::sketch::LogHistogram;
+use vnettracer::metrics::{JitterTracker, TRACE_ID_WIRE_BYTES};
+
+use crate::window::WindowSpec;
+
+/// One side of a trace-ID pairing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Side {
+    /// The upstream (`from`) tracepoint.
+    Up,
+    /// The downstream (`to`) tracepoint.
+    Down,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Pending {
+    up_ts: Option<u64>,
+    down_ts: Option<u64>,
+    /// Event time of the first-arriving side — the eviction key.
+    key_ts: u64,
+}
+
+/// A completed (upstream, downstream) timestamp pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PairedSample {
+    /// Upstream event timestamp (aligned).
+    pub up_ts: u64,
+    /// Downstream event timestamp (aligned).
+    pub down_ts: u64,
+}
+
+/// An entry evicted unmatched: at most one side ever arrived.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Evicted {
+    /// The upstream timestamp, if the upstream record arrived.
+    pub up_ts: Option<u64>,
+    /// The downstream timestamp, if the downstream record arrived.
+    pub down_ts: Option<u64>,
+}
+
+/// Bounded trace-ID pairing state shared by the latency and loss
+/// operators. Either side may arrive first; the first record per
+/// (id, side) wins, matching the offline join's first-record rule.
+#[derive(Debug, Default)]
+pub struct PairTracker {
+    pending: HashMap<u32, Pending>,
+    fifo: VecDeque<(u32, u64)>,
+    max_pending: usize,
+}
+
+impl PairTracker {
+    /// Creates a tracker holding at most `max_pending` unmatched entries.
+    pub fn new(max_pending: usize) -> Self {
+        PairTracker {
+            pending: HashMap::new(),
+            fifo: VecDeque::new(),
+            max_pending: max_pending.max(1),
+        }
+    }
+
+    /// Number of unmatched entries currently held.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Feeds one record; returns the completed pair when this record
+    /// matched the opposite side. `overflow` collects entries
+    /// force-evicted by the capacity cap.
+    pub fn observe(
+        &mut self,
+        trace_id: u32,
+        side: Side,
+        ts: u64,
+        overflow: &mut Vec<Evicted>,
+    ) -> Option<PairedSample> {
+        match self.pending.get_mut(&trace_id) {
+            Some(p) => {
+                match side {
+                    Side::Up if p.up_ts.is_none() => p.up_ts = Some(ts),
+                    Side::Down if p.down_ts.is_none() => p.down_ts = Some(ts),
+                    // A duplicate of an already-seen side: first wins.
+                    _ => return None,
+                }
+                if let (Some(up_ts), Some(down_ts)) = (p.up_ts, p.down_ts) {
+                    self.pending.remove(&trace_id);
+                    return Some(PairedSample { up_ts, down_ts });
+                }
+                None
+            }
+            None => {
+                let p = match side {
+                    Side::Up => Pending {
+                        up_ts: Some(ts),
+                        down_ts: None,
+                        key_ts: ts,
+                    },
+                    Side::Down => Pending {
+                        up_ts: None,
+                        down_ts: Some(ts),
+                        key_ts: ts,
+                    },
+                };
+                self.pending.insert(trace_id, p);
+                self.fifo.push_back((trace_id, ts));
+                while self.pending.len() > self.max_pending {
+                    if let Some(e) = self.pop_front_live() {
+                        overflow.push(e);
+                    } else {
+                        break;
+                    }
+                }
+                None
+            }
+        }
+    }
+
+    /// Pops the oldest still-pending entry, skipping stale fifo slots
+    /// left behind by completed pairs.
+    fn pop_front_live(&mut self) -> Option<Evicted> {
+        while let Some((id, ts)) = self.fifo.pop_front() {
+            if let Some(p) = self.pending.get(&id) {
+                if p.key_ts == ts {
+                    let p = self.pending.remove(&id).expect("just found");
+                    return Some(Evicted {
+                        up_ts: p.up_ts,
+                        down_ts: p.down_ts,
+                    });
+                }
+            }
+        }
+        None
+    }
+
+    /// Evicts every entry whose first arrival is at or below
+    /// `threshold_ts` — called as the watermark passes the pair timeout.
+    pub fn evict_older_than(&mut self, threshold_ts: u64, out: &mut Vec<Evicted>) {
+        loop {
+            match self.fifo.front() {
+                Some(&(id, ts)) if ts <= threshold_ts => {
+                    self.fifo.pop_front();
+                    if let Some(p) = self.pending.get(&id) {
+                        if p.key_ts == ts {
+                            let p = self.pending.remove(&id).expect("just found");
+                            out.push(Evicted {
+                                up_ts: p.up_ts,
+                                down_ts: p.down_ts,
+                            });
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+    }
+}
+
+/// Per-window throughput accumulator.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ThroughputWindow {
+    /// Records in the window.
+    pub count: u64,
+    /// Effective wire bytes (packet length minus the trace-ID trailer).
+    pub bytes: u64,
+    /// Earliest record timestamp.
+    pub first_ts: u64,
+    /// Latest record timestamp.
+    pub last_ts: u64,
+}
+
+impl ThroughputWindow {
+    fn push(&mut self, ts: u64, bytes: u64) {
+        if self.count == 0 {
+            self.first_ts = ts;
+            self.last_ts = ts;
+        } else {
+            self.first_ts = self.first_ts.min(ts);
+            self.last_ts = self.last_ts.max(ts);
+        }
+        self.count += 1;
+        self.bytes += bytes;
+    }
+
+    /// Throughput in bits/second over the records' own span (the
+    /// paper's `Σ(S_i − S_ID)/(T_N − T_1)` formula applied window-
+    /// locally); 0 with fewer than two records.
+    pub fn bps(&self) -> f64 {
+        if self.count < 2 || self.last_ts == self.first_ts {
+            return 0.0;
+        }
+        (self.bytes * 8) as f64 / ((self.last_ts - self.first_ts) as f64 / 1e9)
+    }
+}
+
+/// Streaming throughput at one tracepoint: per-window accumulators plus
+/// exact running totals (which reproduce the offline whole-table
+/// computation without a scan).
+#[derive(Debug)]
+pub struct ThroughputOp {
+    /// The traced tracepoint (table) name.
+    pub measurement: String,
+    windows: BTreeMap<u64, ThroughputWindow>,
+    total: ThroughputWindow,
+}
+
+impl ThroughputOp {
+    pub(crate) fn new(measurement: String) -> Self {
+        ThroughputOp {
+            measurement,
+            windows: BTreeMap::new(),
+            total: ThroughputWindow::default(),
+        }
+    }
+
+    pub(crate) fn push(&mut self, spec: &WindowSpec, ts: u64, pkt_len: u64, has_trace_id: bool) {
+        let bytes = pkt_len.saturating_sub(if has_trace_id { TRACE_ID_WIRE_BYTES } else { 0 });
+        for start in spec.windows(ts) {
+            self.windows.entry(start).or_default().push(ts, bytes);
+        }
+        self.total.push(ts, bytes);
+    }
+
+    pub(crate) fn close(&mut self, start: u64) -> Option<ThroughputWindow> {
+        self.windows.remove(&start)
+    }
+
+    pub(crate) fn open_starts(&self) -> impl Iterator<Item = u64> + '_ {
+        self.windows.keys().copied()
+    }
+
+    pub(crate) fn open_count(&self) -> usize {
+        self.windows.len()
+    }
+
+    /// Exact running totals since the engine started.
+    pub fn total(&self) -> ThroughputWindow {
+        self.total
+    }
+}
+
+/// Summary of one window's latency distribution, extracted from the
+/// window's sketch and jitter tracker at close time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencySummary {
+    /// Number of paired samples.
+    pub count: u64,
+    /// Median, within the sketch's relative error.
+    pub p50_ns: u64,
+    /// 95th percentile, within the sketch's relative error.
+    pub p95_ns: u64,
+    /// 99th percentile, within the sketch's relative error.
+    pub p99_ns: u64,
+    /// Exact mean.
+    pub mean_ns: f64,
+    /// Exact (min, max) successive-difference jitter range; `None`
+    /// before two samples.
+    pub jitter: Option<(i64, i64)>,
+    /// RFC 3550 smoothed jitter.
+    pub smoothed_jitter_ns: f64,
+}
+
+#[derive(Debug)]
+struct LatencyWindow {
+    sketch: LogHistogram,
+    jitter: JitterTracker,
+}
+
+impl LatencyWindow {
+    fn summary(&self) -> LatencySummary {
+        LatencySummary {
+            count: self.sketch.count(),
+            p50_ns: self.sketch.quantile(0.50).unwrap_or(0),
+            p95_ns: self.sketch.quantile(0.95).unwrap_or(0),
+            p99_ns: self.sketch.quantile(0.99).unwrap_or(0),
+            mean_ns: self.sketch.mean(),
+            jitter: self.jitter.range(),
+            smoothed_jitter_ns: self.jitter.smoothed_ns(),
+        }
+    }
+}
+
+/// Streaming two-tracepoint latency: trace-ID pairing feeding one
+/// log-bucketed sketch and jitter tracker per window (plus cumulative
+/// ones), assigned to the window containing the *downstream* timestamp.
+#[derive(Debug)]
+pub struct LatencyOp {
+    /// Upstream tracepoint name.
+    pub from: String,
+    /// Downstream tracepoint name.
+    pub to: String,
+    pairs: PairTracker,
+    windows: BTreeMap<u64, LatencyWindow>,
+    total_sketch: LogHistogram,
+    total_jitter: JitterTracker,
+    sketch_error: f64,
+    /// Pairs whose delta came out negative (clock inversion beyond the
+    /// skew estimate) — dropped, as offline data cleaning would.
+    pub negative_dropped: u64,
+    /// Pairs evicted unmatched (no latency sample possible).
+    pub unmatched: u64,
+}
+
+impl LatencyOp {
+    pub(crate) fn new(from: String, to: String, sketch_error: f64, max_pending: usize) -> Self {
+        LatencyOp {
+            from,
+            to,
+            pairs: PairTracker::new(max_pending),
+            windows: BTreeMap::new(),
+            total_sketch: LogHistogram::with_relative_error(sketch_error),
+            total_jitter: JitterTracker::new(),
+            sketch_error,
+            negative_dropped: 0,
+            unmatched: 0,
+        }
+    }
+
+    pub(crate) fn push(&mut self, spec: &WindowSpec, side: Side, trace_id: u32, ts: u64) {
+        let mut overflow = Vec::new();
+        if let Some(pair) = self.pairs.observe(trace_id, side, ts, &mut overflow) {
+            self.record_pair(spec, pair);
+        }
+        self.unmatched += overflow.len() as u64;
+    }
+
+    fn record_pair(&mut self, spec: &WindowSpec, pair: PairedSample) {
+        let Some(delta) = pair.down_ts.checked_sub(pair.up_ts) else {
+            self.negative_dropped += 1;
+            return;
+        };
+        let err = self.sketch_error;
+        for start in spec.windows(pair.down_ts) {
+            let w = self.windows.entry(start).or_insert_with(|| LatencyWindow {
+                sketch: LogHistogram::with_relative_error(err),
+                jitter: JitterTracker::new(),
+            });
+            w.sketch.record(delta);
+            w.jitter.push(delta);
+        }
+        self.total_sketch.record(delta);
+        self.total_jitter.push(delta);
+    }
+
+    pub(crate) fn evict(&mut self, threshold_ts: u64, scratch: &mut Vec<Evicted>) {
+        scratch.clear();
+        self.pairs.evict_older_than(threshold_ts, scratch);
+        self.unmatched += scratch.len() as u64;
+    }
+
+    pub(crate) fn close(&mut self, start: u64) -> Option<LatencySummary> {
+        self.windows.remove(&start).map(|w| w.summary())
+    }
+
+    pub(crate) fn open_starts(&self) -> impl Iterator<Item = u64> + '_ {
+        self.windows.keys().copied()
+    }
+
+    pub(crate) fn open_count(&self) -> usize {
+        self.windows.len()
+    }
+
+    pub(crate) fn pending_len(&self) -> usize {
+        self.pairs.pending_len()
+    }
+
+    pub(crate) fn bucket_count(&self) -> usize {
+        self.windows
+            .values()
+            .map(|w| w.sketch.bucket_count())
+            .sum::<usize>()
+            + self.total_sketch.bucket_count()
+    }
+
+    /// Cumulative latency summary since the engine started, within the
+    /// sketch's documented error for percentiles and exact for the
+    /// jitter range (same [`JitterTracker`] as the offline path).
+    pub fn total(&self) -> Option<LatencySummary> {
+        if self.total_sketch.count() == 0 {
+            return None;
+        }
+        Some(LatencySummary {
+            count: self.total_sketch.count(),
+            p50_ns: self.total_sketch.quantile(0.50).unwrap_or(0),
+            p95_ns: self.total_sketch.quantile(0.95).unwrap_or(0),
+            p99_ns: self.total_sketch.quantile(0.99).unwrap_or(0),
+            mean_ns: self.total_sketch.mean(),
+            jitter: self.total_jitter.range(),
+            smoothed_jitter_ns: self.total_jitter.smoothed_ns(),
+        })
+    }
+}
+
+/// Per-window loss accumulator: upstream arrivals against completed and
+/// timed-out pairings, keyed by the *upstream* timestamp's window.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LossWindow {
+    /// Upstream records seen (`N_i`, window-local).
+    pub seen: u64,
+    /// Upstream records matched downstream.
+    pub delivered: u64,
+    /// Upstream records evicted unmatched after the pair timeout.
+    pub lost: u64,
+}
+
+impl LossWindow {
+    /// `R_loss = N_loss / N_i`, 0 when nothing was seen.
+    pub fn rate(&self) -> f64 {
+        if self.seen == 0 {
+            0.0
+        } else {
+            self.lost as f64 / self.seen as f64
+        }
+    }
+}
+
+/// Streaming two-tracepoint loss: trace-ID pairing with timeout-based
+/// eviction. An upstream record that outlives the pair timeout without a
+/// downstream match is a loss; downstream-only entries evict silently.
+#[derive(Debug)]
+pub struct LossOp {
+    /// Upstream tracepoint name.
+    pub upstream: String,
+    /// Downstream tracepoint name.
+    pub downstream: String,
+    pairs: PairTracker,
+    windows: BTreeMap<u64, LossWindow>,
+    total: LossWindow,
+}
+
+impl LossOp {
+    pub(crate) fn new(upstream: String, downstream: String, max_pending: usize) -> Self {
+        LossOp {
+            upstream,
+            downstream,
+            pairs: PairTracker::new(max_pending),
+            windows: BTreeMap::new(),
+            total: LossWindow::default(),
+        }
+    }
+
+    pub(crate) fn push(&mut self, spec: &WindowSpec, side: Side, trace_id: u32, ts: u64) {
+        if side == Side::Up {
+            for start in spec.windows(ts) {
+                self.windows.entry(start).or_default().seen += 1;
+            }
+            self.total.seen += 1;
+        }
+        let mut overflow = Vec::new();
+        if let Some(pair) = self.pairs.observe(trace_id, side, ts, &mut overflow) {
+            for start in spec.windows(pair.up_ts) {
+                self.windows.entry(start).or_default().delivered += 1;
+            }
+            self.total.delivered += 1;
+        }
+        self.account_evictions(spec, &overflow);
+    }
+
+    pub(crate) fn evict(
+        &mut self,
+        spec: &WindowSpec,
+        threshold_ts: u64,
+        scratch: &mut Vec<Evicted>,
+    ) {
+        scratch.clear();
+        self.pairs.evict_older_than(threshold_ts, scratch);
+        let evicted = std::mem::take(scratch);
+        self.account_evictions(spec, &evicted);
+        *scratch = evicted;
+    }
+
+    fn account_evictions(&mut self, spec: &WindowSpec, evicted: &[Evicted]) {
+        for e in evicted {
+            // Only an unmatched *upstream* is a lost packet; an orphan
+            // downstream record has no upstream baseline to count
+            // against (the offline N_i − N_j clamps these to zero too).
+            if let (Some(up_ts), None) = (e.up_ts, e.down_ts) {
+                for start in spec.windows(up_ts) {
+                    self.windows.entry(start).or_default().lost += 1;
+                }
+                self.total.lost += 1;
+            }
+        }
+    }
+
+    pub(crate) fn close(&mut self, start: u64) -> Option<LossWindow> {
+        self.windows.remove(&start)
+    }
+
+    pub(crate) fn open_starts(&self) -> impl Iterator<Item = u64> + '_ {
+        self.windows.keys().copied()
+    }
+
+    pub(crate) fn open_count(&self) -> usize {
+        self.windows.len()
+    }
+
+    pub(crate) fn pending_len(&self) -> usize {
+        self.pairs.pending_len()
+    }
+
+    /// Cumulative loss totals since the engine started. `lost` counts
+    /// only finalized (timed-out) pairs; entries still inside the pair
+    /// timeout are neither delivered nor lost yet.
+    pub fn total(&self) -> LossWindow {
+        self.total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> WindowSpec {
+        WindowSpec::tumbling(1_000)
+    }
+
+    #[test]
+    fn pair_tracker_matches_either_order() {
+        let mut t = PairTracker::new(16);
+        let mut ov = Vec::new();
+        assert_eq!(t.observe(1, Side::Up, 100, &mut ov), None);
+        assert_eq!(
+            t.observe(1, Side::Down, 150, &mut ov),
+            Some(PairedSample {
+                up_ts: 100,
+                down_ts: 150
+            })
+        );
+        // Downstream first (cross-agent drain order).
+        assert_eq!(t.observe(2, Side::Down, 300, &mut ov), None);
+        assert_eq!(
+            t.observe(2, Side::Up, 250, &mut ov),
+            Some(PairedSample {
+                up_ts: 250,
+                down_ts: 300
+            })
+        );
+        assert_eq!(t.pending_len(), 0);
+        assert!(ov.is_empty());
+    }
+
+    #[test]
+    fn pair_tracker_first_record_wins() {
+        let mut t = PairTracker::new(16);
+        let mut ov = Vec::new();
+        t.observe(1, Side::Up, 100, &mut ov);
+        t.observe(1, Side::Up, 120, &mut ov); // duplicate upstream
+        let pair = t.observe(1, Side::Down, 150, &mut ov).unwrap();
+        assert_eq!(pair.up_ts, 100);
+    }
+
+    #[test]
+    fn timeout_eviction_reports_unmatched() {
+        let mut t = PairTracker::new(16);
+        let mut ov = Vec::new();
+        t.observe(1, Side::Up, 100, &mut ov);
+        t.observe(2, Side::Up, 500, &mut ov);
+        t.observe(1, Side::Down, 140, &mut ov); // 1 completes
+        let mut evicted = Vec::new();
+        t.evict_older_than(400, &mut evicted);
+        assert!(evicted.is_empty(), "2 is newer than the threshold");
+        t.evict_older_than(500, &mut evicted);
+        assert_eq!(
+            evicted,
+            vec![Evicted {
+                up_ts: Some(500),
+                down_ts: None
+            }]
+        );
+        assert_eq!(t.pending_len(), 0);
+    }
+
+    #[test]
+    fn capacity_cap_force_evicts_oldest() {
+        let mut t = PairTracker::new(2);
+        let mut ov = Vec::new();
+        t.observe(1, Side::Up, 100, &mut ov);
+        t.observe(2, Side::Up, 200, &mut ov);
+        t.observe(3, Side::Up, 300, &mut ov);
+        assert_eq!(t.pending_len(), 2);
+        assert_eq!(
+            ov,
+            vec![Evicted {
+                up_ts: Some(100),
+                down_ts: None
+            }]
+        );
+    }
+
+    #[test]
+    fn throughput_windows_and_totals() {
+        let mut op = ThroughputOp::new("rx".into());
+        // Two windows: [0,1000) and [1000,2000); 104-byte tagged packets.
+        for ts in [0u64, 500, 999, 1_000, 1_500] {
+            op.push(&spec(), ts, 104, true);
+        }
+        let w0 = op.close(0).unwrap();
+        assert_eq!(w0.count, 3);
+        assert_eq!(w0.bytes, 300);
+        assert_eq!(w0.first_ts, 0);
+        assert_eq!(w0.last_ts, 999);
+        let expected = (300.0 * 8.0) / (999.0 / 1e9);
+        assert!((w0.bps() - expected).abs() < 1e-6);
+        let total = op.total();
+        assert_eq!(total.count, 5);
+        assert_eq!(total.bytes, 500);
+        assert_eq!(total.first_ts, 0);
+        assert_eq!(total.last_ts, 1_500);
+    }
+
+    #[test]
+    fn latency_op_pairs_into_downstream_window() {
+        let mut op = LatencyOp::new("a".into(), "b".into(), 0.01, 1024);
+        op.push(&spec(), Side::Up, 7, 900);
+        op.push(&spec(), Side::Down, 7, 1_100); // delta 200, window 1000
+        op.push(&spec(), Side::Up, 8, 950);
+        op.push(&spec(), Side::Down, 8, 1_250); // delta 300, window 1000
+        assert!(op.close(0).is_none(), "samples land in the down window");
+        let s = op.close(1_000).unwrap();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.jitter, Some((100, 100)));
+        assert!((s.mean_ns - 250.0).abs() < 1e-9);
+        let total = op.total().unwrap();
+        assert_eq!(total.count, 2);
+    }
+
+    #[test]
+    fn latency_negative_deltas_dropped() {
+        let mut op = LatencyOp::new("a".into(), "b".into(), 0.01, 1024);
+        op.push(&spec(), Side::Up, 7, 2_000);
+        op.push(&spec(), Side::Down, 7, 1_500);
+        assert_eq!(op.negative_dropped, 1);
+        assert!(op.total().is_none());
+    }
+
+    #[test]
+    fn loss_op_counts_seen_delivered_lost() {
+        let mut op = LossOp::new("a".into(), "b".into(), 1024);
+        let s = spec();
+        op.push(&s, Side::Up, 1, 100);
+        op.push(&s, Side::Up, 2, 200);
+        op.push(&s, Side::Up, 3, 300);
+        op.push(&s, Side::Down, 1, 150);
+        let mut scratch = Vec::new();
+        op.evict(&s, 400, &mut scratch);
+        let w = op.close(0).unwrap();
+        assert_eq!(w.seen, 3);
+        assert_eq!(w.delivered, 1);
+        assert_eq!(w.lost, 2);
+        assert!((w.rate() - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(op.total().lost, 2);
+    }
+
+    #[test]
+    fn loss_orphan_downstream_is_not_a_loss() {
+        let mut op = LossOp::new("a".into(), "b".into(), 1024);
+        let s = spec();
+        op.push(&s, Side::Down, 9, 100);
+        let mut scratch = Vec::new();
+        op.evict(&s, 1_000, &mut scratch);
+        assert_eq!(op.total(), LossWindow::default());
+        assert!(op.close(0).is_none());
+    }
+}

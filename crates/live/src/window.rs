@@ -1,0 +1,294 @@
+//! Event-time windows and watermarks.
+//!
+//! Records arrive out of order: per-CPU perf rings interleave, agents
+//! drain on independent schedules, and each node stamps records on its
+//! own (skewed) clock. The window runtime assigns every record to the
+//! event-time windows covering its *aligned* timestamp, and a
+//! [`WatermarkTracker`] decides when a window's input is complete enough
+//! to finalize. The watermark is derived from per-agent heartbeats: an
+//! agent heartbeating at master time `t` has drained everything it will
+//! ever emit below `t − slack`, where the slack covers the configured
+//! allowed lateness plus the residual error of that agent's
+//! [`SkewEstimate`] alignment (Cristian's bound: at most the one-way
+//! estimate). The global watermark is the minimum frontier over all
+//! registered agents — one stalled agent holds every window open rather
+//! than letting its records be dropped as late.
+
+use std::collections::HashMap;
+
+use vnettracer::clock_sync::SkewEstimate;
+
+/// An event-time window scheme: fixed-width windows every `slide_ns`.
+/// `slide_ns == width_ns` gives tumbling windows; `slide_ns < width_ns`
+/// gives overlapping sliding windows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WindowSpec {
+    /// Window width in nanoseconds.
+    pub width_ns: u64,
+    /// Distance between consecutive window starts, in nanoseconds.
+    pub slide_ns: u64,
+}
+
+impl WindowSpec {
+    /// Non-overlapping windows of `width_ns`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width_ns` is zero.
+    pub fn tumbling(width_ns: u64) -> Self {
+        assert!(width_ns > 0, "window width must be non-zero");
+        WindowSpec {
+            width_ns,
+            slide_ns: width_ns,
+        }
+    }
+
+    /// Overlapping windows of `width_ns` starting every `slide_ns`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either parameter is zero or `slide_ns > width_ns`.
+    pub fn sliding(width_ns: u64, slide_ns: u64) -> Self {
+        assert!(
+            width_ns > 0 && slide_ns > 0,
+            "window sizes must be non-zero"
+        );
+        assert!(slide_ns <= width_ns, "slide must not exceed width");
+        WindowSpec { width_ns, slide_ns }
+    }
+
+    /// Start timestamps of every window containing event time `ts` —
+    /// at most `⌈width/slide⌉` of them, in ascending order.
+    pub fn windows(&self, ts: u64) -> impl Iterator<Item = u64> + '_ {
+        // Window [k·slide, k·slide + width) contains ts iff
+        // k ≤ ts/slide and k·slide > ts − width.
+        let last = ts / self.slide_ns;
+        let first = if ts < self.width_ns {
+            0
+        } else {
+            (ts - self.width_ns) / self.slide_ns + 1
+        };
+        (first..=last).map(move |k| k * self.slide_ns)
+    }
+
+    /// End (exclusive) of the window starting at `start_ns`.
+    pub fn end(&self, start_ns: u64) -> u64 {
+        start_ns.saturating_add(self.width_ns)
+    }
+}
+
+/// Per-agent completeness frontiers and the global watermark they imply.
+#[derive(Debug, Clone, Default)]
+pub struct WatermarkTracker {
+    /// Per-agent: (frontier_ns, slack_ns, skew, last_heartbeat_now_ns).
+    agents: HashMap<String, AgentFrontier>,
+    late_records: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct AgentFrontier {
+    frontier_ns: u64,
+    slack_ns: u64,
+    skew: Option<SkewEstimate>,
+    last_seen_ns: u64,
+}
+
+impl WatermarkTracker {
+    /// Creates a tracker with no agents (watermark pinned at 0 until the
+    /// first registration).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers an agent the watermark must wait for. `skew` aligns the
+    /// agent's record timestamps onto the master base and widens its
+    /// slack by the alignment's residual error bound (`one_way_ns`);
+    /// `allowed_lateness_ns` is the extra disorder budget.
+    pub fn register_agent(
+        &mut self,
+        node: &str,
+        skew: Option<SkewEstimate>,
+        allowed_lateness_ns: u64,
+    ) {
+        let slack = allowed_lateness_ns + skew.map_or(0, |s| s.one_way_ns);
+        self.agents.insert(
+            node.to_owned(),
+            AgentFrontier {
+                frontier_ns: 0,
+                slack_ns: slack,
+                skew,
+                last_seen_ns: 0,
+            },
+        );
+    }
+
+    /// Whether `node` was registered.
+    pub fn knows(&self, node: &str) -> bool {
+        self.agents.contains_key(node)
+    }
+
+    /// Aligns a record timestamp from `node` onto the master time base.
+    /// Timestamps from unregistered nodes pass through unaligned.
+    pub fn align(&self, node: &str, ts_ns: u64) -> u64 {
+        match self.agents.get(node).and_then(|a| a.skew) {
+            Some(skew) => skew.align_remote_ns(ts_ns),
+            None => ts_ns,
+        }
+    }
+
+    /// Advances `node`'s frontier from a heartbeat at master time
+    /// `now_ns`. Frontiers never move backwards.
+    pub fn heartbeat(&mut self, node: &str, now_ns: u64) {
+        if let Some(a) = self.agents.get_mut(node) {
+            a.last_seen_ns = a.last_seen_ns.max(now_ns);
+            let frontier = now_ns.saturating_sub(a.slack_ns);
+            a.frontier_ns = a.frontier_ns.max(frontier);
+        }
+    }
+
+    /// Forces every frontier up to `ts_ns` — used at shutdown to flush
+    /// all remaining windows once no more data can arrive.
+    pub fn advance_all(&mut self, ts_ns: u64) {
+        for a in self.agents.values_mut() {
+            a.frontier_ns = a.frontier_ns.max(ts_ns);
+        }
+    }
+
+    /// The global watermark: the minimum agent frontier (0 with no
+    /// agents). Windows ending at or below it are input-complete.
+    pub fn watermark_ns(&self) -> u64 {
+        self.agents
+            .values()
+            .map(|a| a.frontier_ns)
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// Counts (and reports) whether an aligned timestamp is late — i.e.
+    /// below the watermark, destined for windows already finalized.
+    pub fn note_if_late(&mut self, aligned_ts_ns: u64) -> bool {
+        let late = aligned_ts_ns < self.watermark_ns();
+        if late {
+            self.late_records += 1;
+        }
+        late
+    }
+
+    /// Total records that arrived below the watermark.
+    pub fn late_records(&self) -> u64 {
+        self.late_records
+    }
+
+    /// Agents whose last heartbeat is more than `stall_ns` behind the
+    /// most recent heartbeat seen from any agent, sorted by name.
+    pub fn stalled_agents(&self, stall_ns: u64) -> Vec<(String, u64)> {
+        let lead = self.agents.values().map(|a| a.last_seen_ns).max();
+        let Some(lead) = lead else {
+            return Vec::new();
+        };
+        let mut out: Vec<(String, u64)> = self
+            .agents
+            .iter()
+            .filter(|(_, a)| lead.saturating_sub(a.last_seen_ns) > stall_ns)
+            .map(|(n, a)| (n.clone(), lead.saturating_sub(a.last_seen_ns)))
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// Number of registered agents.
+    pub fn agent_count(&self) -> usize {
+        self.agents.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tumbling_assignment_is_unique() {
+        let w = WindowSpec::tumbling(1_000);
+        assert_eq!(w.windows(0).collect::<Vec<_>>(), vec![0]);
+        assert_eq!(w.windows(999).collect::<Vec<_>>(), vec![0]);
+        assert_eq!(w.windows(1_000).collect::<Vec<_>>(), vec![1_000]);
+        assert_eq!(w.windows(5_500).collect::<Vec<_>>(), vec![5_000]);
+        assert_eq!(w.end(5_000), 6_000);
+    }
+
+    #[test]
+    fn sliding_assignment_covers_overlaps() {
+        let w = WindowSpec::sliding(1_000, 250);
+        // ts=1100 is inside windows starting at 250, 500, 750, 1000.
+        assert_eq!(
+            w.windows(1_100).collect::<Vec<_>>(),
+            vec![250, 500, 750, 1_000]
+        );
+        // Early timestamps clamp at window 0.
+        assert_eq!(w.windows(100).collect::<Vec<_>>(), vec![0]);
+        // Every returned window actually contains the timestamp.
+        for ts in [0u64, 1, 249, 250, 999, 1_000, 10_137] {
+            for start in w.windows(ts) {
+                assert!(start <= ts && ts < w.end(start), "ts={ts} start={start}");
+            }
+        }
+    }
+
+    #[test]
+    fn watermark_is_minimum_frontier() {
+        let mut wm = WatermarkTracker::new();
+        assert_eq!(wm.watermark_ns(), 0);
+        wm.register_agent("a", None, 100);
+        wm.register_agent("b", None, 100);
+        wm.heartbeat("a", 1_000);
+        assert_eq!(wm.watermark_ns(), 0, "b has not reported");
+        wm.heartbeat("b", 600);
+        assert_eq!(wm.watermark_ns(), 500);
+        wm.heartbeat("a", 2_000);
+        assert_eq!(wm.watermark_ns(), 500, "still held by b");
+        wm.heartbeat("b", 2_000);
+        assert_eq!(wm.watermark_ns(), 1_900);
+        // Heartbeats never regress the frontier.
+        wm.heartbeat("b", 1_000);
+        assert_eq!(wm.watermark_ns(), 1_900);
+    }
+
+    #[test]
+    fn skew_widens_slack_and_aligns() {
+        let skew = SkewEstimate {
+            one_way_ns: 400,
+            offset_ns: 2_000,
+            skew_ns: 2_000,
+            samples: 100,
+        };
+        let mut wm = WatermarkTracker::new();
+        wm.register_agent("remote", Some(skew), 100);
+        wm.heartbeat("remote", 10_000);
+        // Slack = lateness 100 + one-way 400.
+        assert_eq!(wm.watermark_ns(), 9_500);
+        // Remote clocks lead by 2us; alignment removes the lead.
+        assert_eq!(wm.align("remote", 12_000), 10_000);
+        assert_eq!(wm.align("unknown", 12_000), 12_000);
+    }
+
+    #[test]
+    fn late_records_are_counted() {
+        let mut wm = WatermarkTracker::new();
+        wm.register_agent("a", None, 0);
+        wm.heartbeat("a", 5_000);
+        assert!(wm.note_if_late(4_999));
+        assert!(!wm.note_if_late(5_000));
+        assert_eq!(wm.late_records(), 1);
+    }
+
+    #[test]
+    fn stalled_agents_lag_the_leader() {
+        let mut wm = WatermarkTracker::new();
+        wm.register_agent("a", None, 0);
+        wm.register_agent("b", None, 0);
+        wm.heartbeat("a", 10_000);
+        wm.heartbeat("b", 2_000);
+        assert_eq!(wm.stalled_agents(5_000), vec![("b".to_owned(), 8_000)]);
+        assert!(wm.stalled_agents(10_000).is_empty());
+    }
+}

@@ -38,6 +38,7 @@ pub mod persist;
 pub mod point;
 pub mod query;
 pub mod record;
+pub mod sketch;
 pub mod store;
 pub mod symbol;
 pub mod table;
@@ -45,8 +46,9 @@ pub mod table;
 pub use batch::{BatchGroup, RecordBatch};
 pub use persist::{read_json_lines, write_json_lines, PersistError};
 pub use point::{DataPoint, FieldValue};
-pub use query::{aggregate, percentile, Aggregate, Query};
+pub use query::{aggregate, percentile, percentiles, Aggregate, Query};
 pub use record::{CompactRecord, COMPACT_RECORD_BYTES};
+pub use sketch::{LogHistogram, DEFAULT_SKETCH_ERROR};
 pub use store::TraceDb;
 pub use symbol::{Symbol, SymbolTable};
 pub use table::{Entry, RecordShard, Table, TRACE_ID_TAG};

@@ -120,8 +120,22 @@ pub fn aggregate(entries: &[Entry<'_>], field: &str) -> Aggregate {
     }
 }
 
+/// Nearest-rank selection of the `q`-quantile on an unsorted buffer via
+/// `select_nth_unstable_by` — O(n) per quantile instead of a full sort.
+fn select_quantile(values: &mut [f64], q: f64) -> f64 {
+    assert!(
+        (0.0..=1.0).contains(&q),
+        "quantile must be in 0..=1, got {q}"
+    );
+    let rank = ((q * values.len() as f64).ceil() as usize).clamp(1, values.len());
+    let (_, v, _) = values.select_nth_unstable_by(rank - 1, |a, b| {
+        a.partial_cmp(b).expect("no NaNs in trace data")
+    });
+    *v
+}
+
 /// Computes the `q`-quantile (0.0..=1.0) of `field` over `entries` using
-/// nearest-rank on the sorted values. Returns `None` when no values.
+/// nearest-rank selection (no full sort). Returns `None` when no values.
 ///
 /// # Panics
 ///
@@ -135,9 +149,28 @@ pub fn percentile(entries: &[Entry<'_>], field: &str, q: f64) -> Option<f64> {
     if values.is_empty() {
         return None;
     }
-    values.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs in trace data"));
-    let rank = ((q * values.len() as f64).ceil() as usize).clamp(1, values.len());
-    Some(values[rank - 1])
+    Some(select_quantile(&mut values, q))
+}
+
+/// Computes several quantiles of `field` over `entries` in one pass:
+/// the values are extracted once and each quantile is selected with
+/// nearest rank, so callers printing p50/p95/p99 tables don't re-extract
+/// (or re-sort) the field per quantile. Returns one value per requested
+/// quantile, or `None` when no entry carries the field.
+///
+/// # Panics
+///
+/// Panics if any quantile is outside `0.0..=1.0`.
+pub fn percentiles(entries: &[Entry<'_>], field: &str, qs: &[f64]) -> Option<Vec<f64>> {
+    let mut values: Vec<f64> = entries.iter().filter_map(|e| e.field_f64(field)).collect();
+    if values.is_empty() {
+        return None;
+    }
+    Some(
+        qs.iter()
+            .map(|&q| select_quantile(&mut values, q))
+            .collect(),
+    )
 }
 
 #[cfg(test)]
@@ -189,7 +222,7 @@ mod tests {
     }
 
     #[test]
-    fn percentiles() {
+    fn percentiles_single() {
         let db = db();
         let pts = Query::new("lat").run(&db);
         assert_eq!(percentile(&pts, "us", 0.5), Some(49.0));
@@ -197,6 +230,20 @@ mod tests {
         assert_eq!(percentile(&pts, "us", 0.0), Some(0.0));
         assert_eq!(percentile(&pts, "us", 1.0), Some(99.0));
         assert_eq!(percentile(&[], "us", 0.5), None);
+    }
+
+    #[test]
+    fn percentiles_batch_matches_single() {
+        let db = db();
+        let pts = Query::new("lat").run(&db);
+        let qs = [0.0, 0.5, 0.95, 0.999, 1.0];
+        let batch = percentiles(&pts, "us", &qs).unwrap();
+        for (&q, &got) in qs.iter().zip(batch.iter()) {
+            assert_eq!(Some(got), percentile(&pts, "us", q), "q={q}");
+        }
+        assert_eq!(percentiles(&[], "us", &qs), None);
+        assert_eq!(percentiles(&pts, "missing", &qs), None);
+        assert_eq!(percentiles(&pts, "us", &[]), Some(vec![]));
     }
 
     #[test]

@@ -1,4 +1,6 @@
-//! Cross-machine clock skew: Cristian's algorithm end-to-end.
+//! Cross-machine clock skew: Cristian's algorithm end-to-end, plus the
+//! streaming engine's watermark behaviour under skewed and stalled
+//! agent clocks.
 
 use std::collections::HashMap;
 
@@ -87,4 +89,142 @@ fn skew_free_clocks_estimate_zero() {
     let (est, raw, aligned) = measure(0);
     assert_eq!(est, 0);
     assert_eq!(raw, aligned);
+}
+
+// --- streaming watermarks under skew and stalls -------------------------
+
+use vnet_live::{AlertKind, LiveConfig, LiveEngine, WindowSpec};
+use vnet_tsdb::record::CompactRecord;
+use vnet_tsdb::RecordBatch;
+use vnettracer::clock_sync::SkewEstimate;
+
+fn tagged(ts: u64, trace_id: u32) -> CompactRecord {
+    CompactRecord {
+        timestamp_ns: ts,
+        trace_id,
+        pkt_len: 100,
+        flags: 1,
+        ..Default::default()
+    }
+}
+
+/// A remote agent whose clock leads the master by a known offset: the
+/// engine must align its record timestamps through the skew estimate
+/// (so streamed latencies match ground truth) and widen that agent's
+/// watermark slack by the estimate's residual error, so the alignment
+/// itself never makes records late.
+#[test]
+fn watermark_aligns_skewed_agent_records() {
+    const OFFSET_NS: u64 = 2_000;
+    const DELAY_NS: u64 = 500;
+    let skew = SkewEstimate {
+        one_way_ns: 400,
+        offset_ns: OFFSET_NS as i64,
+        skew_ns: OFFSET_NS,
+        samples: 100,
+    };
+    let mut engine =
+        LiveEngine::new(LiveConfig::new(WindowSpec::tumbling(1_000)).track_latency("up", "down"));
+    engine.register_agent("local", None);
+    engine.register_agent("remote", Some(skew));
+
+    let mut batch = RecordBatch::new();
+    for i in 0..50u64 {
+        let t = i * 100;
+        batch.clear();
+        batch.push("up", "local", tagged(t, i as u32 + 1));
+        // The remote tap stamps on its own (leading) clock.
+        batch.push(
+            "down",
+            "remote",
+            tagged(t + DELAY_NS + OFFSET_NS, i as u32 + 1),
+        );
+        engine.ingest(&batch, t);
+        engine.heartbeat("local", t);
+        engine.heartbeat("remote", t);
+    }
+    engine.finish();
+
+    let state = engine.state();
+    assert_eq!(state.late_records, 0, "alignment must not strand records");
+    let total = engine.latency_total("up", "down").expect("pairs completed");
+    assert_eq!(total.count, 50);
+    // Every pair has the same true delay once aligned; the sketch's
+    // relative error bound still applies to the point estimate.
+    assert_eq!(total.jitter, Some((0, 0)));
+    let p50 = total.p50_ns as f64;
+    assert!(
+        (p50 - DELAY_NS as f64).abs() <= DELAY_NS as f64 * 0.02,
+        "aligned p50 {p50} vs true delay {DELAY_NS}"
+    );
+}
+
+/// One silent agent must hold every window open (its un-heard-from
+/// frontier pins the global watermark) and raise a StalledAgent alert —
+/// and once it resumes, the held-back windows finalize with nothing
+/// having been dropped as late.
+#[test]
+fn stalled_heartbeats_hold_windows_open() {
+    let mut cfg = LiveConfig::new(WindowSpec::tumbling(1_000)).track_throughput("up");
+    cfg.pair_timeout_ns = 1_000;
+    cfg.detector.stall_timeout_ns = 5_000;
+    let mut engine = LiveEngine::new(cfg);
+    engine.register_agent("a", None);
+    engine.register_agent("b", None);
+
+    // Agent a streams 20 windows' worth of data; b never heartbeats.
+    let mut batch = RecordBatch::new();
+    for i in 0..200u64 {
+        let t = i * 100;
+        batch.clear();
+        batch.push("up", "a", tagged(t, 0));
+        engine.ingest(&batch, t);
+        engine.heartbeat("a", t);
+    }
+    assert_eq!(
+        engine.watermark_ns(),
+        0,
+        "the silent agent pins the watermark"
+    );
+    assert_eq!(
+        engine.closed_windows().count(),
+        0,
+        "no window may finalize while an agent is unaccounted for"
+    );
+    let alerts = engine.drain_alerts();
+    assert!(
+        alerts
+            .iter()
+            .any(|a| matches!(&a.kind, AlertKind::StalledAgent { node, .. } if node == "b")),
+        "stall must be surfaced: {alerts:?}"
+    );
+
+    // b comes back: the watermark jumps, held windows close, and the
+    // stall did not cost any records.
+    engine.heartbeat("b", 200 * 100);
+    assert!(engine.closed_windows().count() > 10);
+    assert_eq!(engine.state().late_records, 0);
+    let count: u64 = engine.throughput_total("up").unwrap().count;
+    assert_eq!(count, 200);
+}
+
+/// Records below the watermark are counted as late and excluded from
+/// the operators, never silently dropped.
+#[test]
+fn late_records_are_counted_and_excluded() {
+    let mut engine =
+        LiveEngine::new(LiveConfig::new(WindowSpec::tumbling(1_000)).track_throughput("up"));
+    engine.register_agent("a", None);
+    engine.heartbeat("a", 10_000);
+
+    let mut batch = RecordBatch::new();
+    batch.push("up", "a", tagged(9_999, 0)); // below the watermark
+    batch.push("up", "a", tagged(10_001, 0)); // at the frontier
+    engine.ingest(&batch, 10_000);
+    engine.finish();
+
+    let state = engine.state();
+    assert_eq!(state.late_records, 1);
+    assert_eq!(state.records_processed, 1);
+    assert_eq!(engine.throughput_total("up").unwrap().count, 1);
 }
