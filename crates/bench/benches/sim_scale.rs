@@ -1,0 +1,88 @@
+//! Scale bench for the sharded event loop: the `datacenter_rack`
+//! scenario (untraced) run end-to-end at 1, 2, 4 and 8 worker threads.
+//!
+//! The headline claim this backs: on a machine with enough cores, the
+//! conservatively synchronized sharded loop processes the rack's event
+//! stream at least 3x faster at 8 threads than single-threaded, because
+//! each host/VM island advances independently inside the 2 µs lookahead
+//! window and only synchronizes at window barriers. Throughput is
+//! reported in simulation events per second (every arm processes the
+//! bit-identical event stream, so events/iteration is a constant).
+//!
+//! Set `VNT_BENCH_FAST=1` for a smoke run (CI): the miniature rack and
+//! minimal sample count — it only proves every thread count builds,
+//! runs and agrees on the event count, with no timing claims.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use vnet_sim::time::SimDuration;
+use vnet_workloads::datacenter_rack::{RackConfig, RackScenario};
+
+fn fast() -> bool {
+    std::env::var_os("VNT_BENCH_FAST").is_some()
+}
+
+/// The rack the bench drives. The smoke config is the test-suite
+/// miniature; the full config is a mid-size rack (big enough that the
+/// per-window barrier cost is amortized, small enough for a bench
+/// iteration budget) — the million-flow default is the `vnt rack
+/// --full` CLI run, not a criterion arm.
+fn config() -> RackConfig {
+    if fast() {
+        RackConfig::small()
+    } else {
+        RackConfig {
+            seed: 42,
+            hosts: 8,
+            vms_per_host: 4,
+            apps_per_vm: 4,
+            flows_per_app: 32,
+            packets_per_app: 96,
+            send_interval: SimDuration::from_micros(20),
+            payload: 256,
+        }
+    }
+}
+
+fn sample_size() -> usize {
+    if fast() {
+        2
+    } else {
+        10
+    }
+}
+
+/// One full rack run at the given parallelism; returns events processed.
+fn run_rack(cfg: &RackConfig, threads: usize) -> u64 {
+    let mut s = RackScenario::build(cfg);
+    s.world.set_parallelism(threads);
+    s.run(cfg);
+    s.world.events_processed()
+}
+
+fn bench_sim_scale(c: &mut Criterion) {
+    let cfg = config();
+    // Every arm replays the same deterministic event stream; pin the
+    // count once so criterion reports events/sec per arm.
+    let events = run_rack(&cfg, 1);
+    let mut g = c.benchmark_group("sim_scale");
+    g.sample_size(sample_size())
+        .throughput(Throughput::Elements(events));
+    for threads in [1usize, 2, 4, 8] {
+        g.bench_function(&format!("rack_{threads}thread"), |b| {
+            b.iter(|| {
+                let processed = run_rack(black_box(&cfg), threads);
+                assert_eq!(processed, events, "event count must not drift");
+                processed
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = bench_sim_scale
+}
+criterion_main!(benches);

@@ -7,11 +7,12 @@
 //! the collected metrics.
 //!
 //! ```text
-//! vnt <scenario> [--package FILE.json] [--messages N] [--emit-package]
+//! vnt <scenario> [--package FILE.json] [--messages N] [--emit-package] [--threads N]
+//! vnt rack [--threads N] [--messages N] [--full] [--trace]
 //! vnt live [--messages N] [--window-us W] [--collect-us I]
 //! vnt verify <prog.bpf>
 //!
-//! scenarios: two-host | ovs | xen | container
+//! scenarios: two-host | ovs | xen | container | rack
 //! ```
 //!
 //! `--emit-package` prints the scenario's default control package as JSON
@@ -23,6 +24,13 @@
 //! windowed operators at ingest time, and the finalized per-window
 //! metrics (throughput, latency percentiles, jitter, loss) are printed
 //! together with any anomaly alerts — no post-hoc database scan.
+//!
+//! `vnt rack` runs the `datacenter_rack` scale scenario (hundreds of
+//! VM nodes behind a ToR, OVS/VXLAN forwarding); `--threads N` shards
+//! the event loop across N worker threads (available for every
+//! scenario, most useful here), `--full` selects the million-flow
+//! configuration instead of the small smoke size, and `--trace`
+//! deploys a record script at every bridge and VM port.
 //!
 //! `vnt verify` runs the abstract-interpretation verifier over a
 //! kernel-style program listing (one instruction per line, `#` comments
@@ -41,9 +49,13 @@ struct Args {
     scenario: String,
     package: Option<String>,
     messages: u64,
+    messages_set: bool,
     emit_package: bool,
     window_us: u64,
     collect_us: u64,
+    threads: usize,
+    full: bool,
+    trace: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -57,18 +69,26 @@ fn parse_args() -> Result<Args, String> {
             scenario,
             package: Some(file),
             messages: 0,
+            messages_set: false,
             emit_package: false,
             window_us: 0,
             collect_us: 0,
+            threads: 1,
+            full: false,
+            trace: false,
         });
     }
     let mut out = Args {
         scenario,
         package: None,
         messages: 500,
+        messages_set: false,
         emit_package: false,
         window_us: 100,
         collect_us: 50,
+        threads: 1,
+        full: false,
+        trace: false,
     };
     while let Some(flag) = args.next() {
         match flag.as_str() {
@@ -80,8 +100,21 @@ fn parse_args() -> Result<Args, String> {
                     .next()
                     .ok_or("--messages needs a number".to_owned())?
                     .parse()
-                    .map_err(|e| format!("bad --messages: {e}"))?
+                    .map_err(|e| format!("bad --messages: {e}"))?;
+                out.messages_set = true;
             }
+            "--threads" => {
+                out.threads = args
+                    .next()
+                    .ok_or("--threads needs a number".to_owned())?
+                    .parse()
+                    .map_err(|e| format!("bad --threads: {e}"))?;
+                if out.threads == 0 {
+                    return Err("--threads must be at least 1".to_owned());
+                }
+            }
+            "--full" => out.full = true,
+            "--trace" => out.trace = true,
             "--window-us" => {
                 out.window_us = args
                     .next()
@@ -107,7 +140,7 @@ fn parse_args() -> Result<Args, String> {
 }
 
 fn usage() -> String {
-    "usage: vnt <two-host|ovs|xen|container> [--package FILE.json] [--messages N] [--emit-package]\n       vnt live [--messages N] [--window-us W] [--collect-us I]\n       vnt verify <prog.bpf>"
+    "usage: vnt <two-host|ovs|xen|container> [--package FILE.json] [--messages N] [--emit-package] [--threads N]\n       vnt rack [--threads N] [--messages N] [--full] [--trace]\n       vnt live [--messages N] [--window-us W] [--collect-us I]\n       vnt verify <prog.bpf>"
         .to_owned()
 }
 
@@ -377,6 +410,7 @@ fn run(args: &Args) -> Result<(), String> {
                 ..Default::default()
             };
             let mut s = vnet_testbed::two_host::TwoHostScenario::build(&cfg);
+            s.world.set_parallelism(args.threads);
             let pkg = load_package(args, s.control_package())?;
             if args.emit_package {
                 println!("{}", pkg.to_json());
@@ -392,7 +426,7 @@ fn run(args: &Args) -> Result<(), String> {
             print_db_summary(&tracer);
             print_collector_stats(&tracer.stats(&s.world));
             print_run_stats(&tracer);
-            if let Some(summary) = s.latency.borrow().summary() {
+            if let Some(summary) = s.latency.lock().unwrap().summary() {
                 println!(
                     "sockperf: avg {:.1} us, p99.9 {:.1} us over {} messages",
                     summary.mean_us(),
@@ -409,6 +443,7 @@ fn run(args: &Args) -> Result<(), String> {
                 ..Default::default()
             };
             let mut s = vnet_testbed::ovs::OvsScenario::build(&cfg);
+            s.world.set_parallelism(args.threads);
             let pkg = load_package(args, s.control_package())?;
             if args.emit_package {
                 println!("{}", pkg.to_json());
@@ -440,6 +475,7 @@ fn run(args: &Args) -> Result<(), String> {
                 ..Default::default()
             };
             let mut s = vnet_testbed::xen::XenScenario::build(&cfg);
+            s.world.set_parallelism(args.threads);
             let pkg = load_package(args, s.control_package())?;
             if args.emit_package {
                 println!("{}", pkg.to_json());
@@ -471,6 +507,7 @@ fn run(args: &Args) -> Result<(), String> {
                 ..Default::default()
             };
             let mut s = vnet_testbed::container::ContainerScenario::build(&cfg);
+            s.world.set_parallelism(args.threads);
             let pkg = load_package(args, s.control_package())?;
             if args.emit_package {
                 println!("{}", pkg.to_json());
@@ -499,6 +536,58 @@ fn run(args: &Args) -> Result<(), String> {
             }
             println!("{t}");
             println!("goodput: {:.0} Mbps", s.goodput_mbps());
+            Ok(())
+        }
+        "rack" => {
+            let mut cfg = if args.full {
+                vnet_workloads::datacenter_rack::RackConfig::default()
+            } else {
+                vnet_workloads::datacenter_rack::RackConfig::small()
+            };
+            if args.messages_set {
+                cfg.packets_per_app = args.messages;
+            }
+            println!(
+                "rack: {} hosts, {} VM nodes, {} apps, {} concurrent flows, {} threads",
+                cfg.hosts,
+                cfg.hosts * cfg.vms_per_host,
+                cfg.apps(),
+                cfg.concurrent_flows(),
+                args.threads
+            );
+            let mut tb = vnet_testbed::rack::RackTestbed::build(&cfg);
+            tb.scenario.world.set_parallelism(args.threads);
+            let mut tracer = if args.trace {
+                let pkg = tb.control_package();
+                let mut tracer = tb.make_tracer();
+                tracer
+                    .deploy(&mut tb.scenario.world, &pkg)
+                    .map_err(|e| e.to_string())?;
+                Some(tracer)
+            } else {
+                None
+            };
+            let wall = std::time::Instant::now();
+            tb.run();
+            let elapsed = wall.elapsed();
+            let events = tb.scenario.world.events_processed();
+            println!(
+                "processed {events} events in {:.2}s ({:.0} events/sec)",
+                elapsed.as_secs_f64(),
+                events as f64 / elapsed.as_secs_f64().max(1e-9)
+            );
+            println!(
+                "delivered {} of {} packets",
+                tb.scenario.delivered_packets(),
+                cfg.total_packets()
+            );
+            if let Some(tracer) = tracer.as_mut() {
+                let n = tracer.collect(&tb.scenario.world);
+                println!(
+                    "collected {n} records, {} probe firings",
+                    tb.scenario.world.probes_fired()
+                );
+            }
             Ok(())
         }
         other => Err(format!("unknown scenario `{other}`\n{}", usage())),

@@ -7,9 +7,8 @@
 //! of this happens at runtime against a live [`World`] — no restart of
 //! the monitored network.
 
-use std::cell::RefCell;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use vnet_ebpf::context::TraceContext;
 use vnet_ebpf::jit::CompiledProgram;
@@ -95,7 +94,7 @@ enum Engine {
 /// measurements of Fig. 7.
 pub struct EbpfProbeSink {
     program: LoadedProgram,
-    maps: Rc<RefCell<MapRegistry>>,
+    maps: Arc<Mutex<MapRegistry>>,
     engine: Engine,
     stats: ScriptStats,
     prandom_state: u64,
@@ -105,7 +104,7 @@ pub struct EbpfProbeSink {
 impl EbpfProbeSink {
     fn new(
         loaded: LoadedProgram,
-        maps: Rc<RefCell<MapRegistry>>,
+        maps: Arc<Mutex<MapRegistry>>,
         tier: ExecTier,
         prandom_state: u64,
         per_match_extra_ns: u64,
@@ -183,7 +182,7 @@ impl ProbeSink for EbpfProbeSink {
             cpu: ctx.cpu,
             prandom_state: &mut self.prandom_state,
         };
-        let mut maps = self.maps.borrow_mut();
+        let mut maps = self.maps.lock().unwrap();
         // (return value, execution cost, one-time extra) per tier; both
         // tiers produce identical results and side effects — they
         // differ only in what the run costs the traced system.
@@ -242,7 +241,7 @@ struct Installed {
     probe: ProbeId,
     perf_fd: Option<i32>,
     counter_fd: Option<i32>,
-    sink: Rc<RefCell<EbpfProbeSink>>,
+    sink: Arc<Mutex<EbpfProbeSink>>,
 }
 
 /// A per-node tracing agent.
@@ -251,7 +250,7 @@ pub struct Agent {
     node: NodeId,
     node_name: String,
     num_cpus: u16,
-    maps: Rc<RefCell<MapRegistry>>,
+    maps: Arc<Mutex<MapRegistry>>,
     installed: HashMap<ScriptId, Installed>,
     next_id: ScriptId,
     heartbeat_seq: u64,
@@ -264,7 +263,7 @@ impl Agent {
             node,
             node_name: node_name.into(),
             num_cpus,
-            maps: Rc::new(RefCell::new(MapRegistry::new())),
+            maps: Arc::new(Mutex::new(MapRegistry::new())),
             installed: HashMap::new(),
             next_id: 1,
             heartbeat_seq: 0,
@@ -340,30 +339,32 @@ impl Agent {
             Action::RecordPacketInfo => {
                 let fd = self
                     .maps
-                    .borrow_mut()
+                    .lock()
+                    .unwrap()
                     .create(MapDef::perf(buffer_size), cpus)?;
                 (Some(fd), None)
             }
             Action::CountPerCpu => {
                 let fd = self
                     .maps
-                    .borrow_mut()
+                    .lock()
+                    .unwrap()
                     .create(MapDef::per_cpu_array(8, 1), cpus)?;
                 (None, Some(fd))
             }
         };
         let program = crate::compile::compile(spec, perf_fd, counter_fd)?;
         let loaded = {
-            let maps = self.maps.borrow();
+            let maps = self.maps.lock().unwrap();
             vnet_ebpf::program::load(program, &maps, &standard_helpers())?
         };
         let per_match_extra_ns = match global.mode {
             CollectionMode::Offline => 0,
             CollectionMode::Online => ONLINE_SHIP_COST_NS,
         };
-        let sink = Rc::new(RefCell::new(EbpfProbeSink::new(
+        let sink = Arc::new(Mutex::new(EbpfProbeSink::new(
             loaded,
-            Rc::clone(&self.maps),
+            Arc::clone(&self.maps),
             global.exec_tier,
             0x5eed ^ self.next_id,
             per_match_extra_ns,
@@ -401,12 +402,12 @@ impl Agent {
     ) -> Result<ScriptId> {
         let program = vnet_ebpf::Program::new(name, crate::compile::attach_type(hook), insns);
         let loaded = {
-            let maps = self.maps.borrow();
+            let maps = self.maps.lock().unwrap();
             vnet_ebpf::program::load(program, &maps, &standard_helpers())?
         };
-        let sink = Rc::new(RefCell::new(EbpfProbeSink::new(
+        let sink = Arc::new(Mutex::new(EbpfProbeSink::new(
             loaded,
-            Rc::clone(&self.maps),
+            Arc::clone(&self.maps),
             ExecTier::default(),
             0x5eed ^ self.next_id,
             0,
@@ -437,8 +438,8 @@ impl Agent {
     /// The agent's map registry, shared with its loaded programs. Create
     /// maps here before assembling a raw program that references their
     /// fds, and read results back after the run.
-    pub fn maps(&self) -> Rc<RefCell<MapRegistry>> {
-        Rc::clone(&self.maps)
+    pub fn maps(&self) -> Arc<Mutex<MapRegistry>> {
+        Arc::clone(&self.maps)
     }
 
     /// Detaches and removes a script (runtime reconfiguration).
@@ -472,7 +473,9 @@ impl Agent {
 
     /// Execution statistics for a script.
     pub fn stats(&self, id: ScriptId) -> Option<ScriptStats> {
-        self.installed.get(&id).map(|i| i.sink.borrow().stats)
+        self.installed
+            .get(&id)
+            .map(|i| i.sink.lock().unwrap().stats)
     }
 
     /// Drains all perf buffers: the periodic buffer dump of §III-C.
@@ -510,7 +513,7 @@ impl Agent {
     /// deterministic. Returns the number of records drained.
     pub fn drain_into(&mut self, batch: &mut vnet_tsdb::RecordBatch) -> usize {
         let mut drained = 0;
-        let mut maps = self.maps.borrow_mut();
+        let mut maps = self.maps.lock().unwrap();
         for id in self.script_ids() {
             let installed = &self.installed[&id];
             let Some(fd) = installed.perf_fd else {
@@ -542,7 +545,7 @@ impl Agent {
         let Some(fd) = installed.perf_fd else {
             return 0;
         };
-        let maps = self.maps.borrow();
+        let maps = self.maps.lock().unwrap();
         let Some(map) = maps.get(fd) else { return 0 };
         (0..usize::from(self.num_cpus))
             .map(|c| map.perf_lost(c))
@@ -560,7 +563,7 @@ impl Agent {
     pub fn counter_per_cpu(&self, id: ScriptId) -> Option<Vec<u64>> {
         let installed = self.installed.get(&id)?;
         let fd = installed.counter_fd?;
-        let mut maps = self.maps.borrow_mut();
+        let mut maps = self.maps.lock().unwrap();
         let map = maps.get_mut(fd)?;
         let mut out = Vec::with_capacity(usize::from(self.num_cpus));
         for cpu in 0..usize::from(self.num_cpus) {

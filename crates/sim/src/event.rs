@@ -1,8 +1,14 @@
 //! The discrete-event queue.
 //!
-//! Events at equal timestamps are delivered in insertion order (a strictly
-//! increasing sequence number breaks ties), which together with the seeded
-//! RNG makes every simulation run bit-for-bit reproducible.
+//! Every scheduled event carries a [`PushKey`] — `(push time, pushing
+//! node, per-node sequence)` — minted by the node whose handler pushed
+//! it. Events at equal timestamps are delivered in push-key order. The
+//! key is a *canonical* tie-break: a node's event stream is deterministic
+//! and handlers only touch owner-node state, so the keys a node mints do
+//! not depend on how nodes are grouped into shards. One shard or eight,
+//! the heap pops in exactly the same order, which together with the
+//! seeded per-node RNG streams makes every run bit-for-bit reproducible
+//! at any parallelism level.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -10,6 +16,34 @@ use std::collections::BinaryHeap;
 use crate::ids::{AppId, CpuId, DeviceId, NodeId};
 use crate::packet::Packet;
 use crate::time::SimTime;
+
+/// Canonical ordering stamp for a scheduled event: when it was pushed,
+/// by which node, and that node's push sequence number at the time.
+///
+/// Ordering by `(time, node, seq)` is a total order over all pushes that
+/// is independent of shard layout: within one node the sequence is the
+/// node's own deterministic push order, and across nodes the ground-truth
+/// push time (with the node id as tie-break) does not depend on which
+/// thread ran the handler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PushKey {
+    /// Simulation time at which the push happened.
+    pub time: SimTime,
+    /// Raw id of the node whose handler pushed the event.
+    pub node: u32,
+    /// The pushing node's sequence counter at push time.
+    pub seq: u64,
+}
+
+impl PushKey {
+    /// The smallest possible key (sorts before any minted key at the same
+    /// event time) — for standalone queue use outside a [`crate::world::World`].
+    pub const MIN: PushKey = PushKey {
+        time: SimTime::ZERO,
+        node: 0,
+        seq: 0,
+    };
+}
 
 /// A scheduled simulation event.
 #[derive(Debug)]
@@ -62,13 +96,13 @@ pub enum Event {
 #[derive(Debug)]
 struct Entry {
     at: SimTime,
-    seq: u64,
+    key: PushKey,
     event: Event,
 }
 
 impl PartialEq for Entry {
     fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
+        self.at == other.at && self.key == other.key
     }
 }
 impl Eq for Entry {}
@@ -79,15 +113,14 @@ impl PartialOrd for Entry {
 }
 impl Ord for Entry {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at, self.seq).cmp(&(other.at, other.seq))
+        (self.at, self.key).cmp(&(other.at, other.key))
     }
 }
 
-/// A time-ordered event queue with deterministic tie-breaking.
+/// A time-ordered event queue with canonical (push-key) tie-breaking.
 #[derive(Debug, Default)]
 pub struct EventQueue {
     heap: BinaryHeap<Reverse<Entry>>,
-    seq: u64,
 }
 
 impl EventQueue {
@@ -96,16 +129,19 @@ impl EventQueue {
         Self::default()
     }
 
-    /// Schedules `event` at time `at`.
-    pub fn push(&mut self, at: SimTime, event: Event) {
-        let seq = self.seq;
-        self.seq += 1;
-        self.heap.push(Reverse(Entry { at, seq, event }));
+    /// Schedules `event` at time `at` with the given push key.
+    pub fn push(&mut self, at: SimTime, key: PushKey, event: Event) {
+        self.heap.push(Reverse(Entry { at, key, event }));
     }
 
     /// Removes and returns the earliest event, if any.
     pub fn pop(&mut self) -> Option<(SimTime, Event)> {
         self.heap.pop().map(|Reverse(e)| (e.at, e.event))
+    }
+
+    /// Removes and returns the earliest event with its key, if any.
+    pub fn pop_entry(&mut self) -> Option<(SimTime, PushKey, Event)> {
+        self.heap.pop().map(|Reverse(e)| (e.at, e.key, e.event))
     }
 
     /// The timestamp of the earliest pending event.
@@ -132,6 +168,14 @@ mod tests {
         Event::AppTimer { app: AppId(0), tag }
     }
 
+    fn key(seq: u64) -> PushKey {
+        PushKey {
+            time: SimTime::ZERO,
+            node: 0,
+            seq,
+        }
+    }
+
     fn tag_of(e: Event) -> u64 {
         match e {
             Event::AppTimer { tag, .. } => tag,
@@ -142,9 +186,9 @@ mod tests {
     #[test]
     fn pops_in_time_order() {
         let mut q = EventQueue::new();
-        q.push(SimTime::from_nanos(30), timer(3));
-        q.push(SimTime::from_nanos(10), timer(1));
-        q.push(SimTime::from_nanos(20), timer(2));
+        q.push(SimTime::from_nanos(30), key(0), timer(3));
+        q.push(SimTime::from_nanos(10), key(1), timer(1));
+        q.push(SimTime::from_nanos(20), key(2), timer(2));
         let order: Vec<u64> = std::iter::from_fn(|| q.pop())
             .map(|(_, e)| tag_of(e))
             .collect();
@@ -152,10 +196,11 @@ mod tests {
     }
 
     #[test]
-    fn equal_times_pop_in_insertion_order() {
+    fn equal_times_pop_in_key_order() {
         let mut q = EventQueue::new();
-        for tag in 0..100 {
-            q.push(SimTime::from_nanos(5), timer(tag));
+        // Insert in scrambled order; keys define the canonical order.
+        for tag in (0..100).rev() {
+            q.push(SimTime::from_nanos(5), key(tag), timer(tag));
         }
         let order: Vec<u64> = std::iter::from_fn(|| q.pop())
             .map(|(_, e)| tag_of(e))
@@ -164,14 +209,42 @@ mod tests {
     }
 
     #[test]
+    fn equal_times_order_by_push_time_then_node() {
+        let mut q = EventQueue::new();
+        let at = SimTime::from_nanos(50);
+        let k = |t: u64, node: u32, seq: u64| PushKey {
+            time: SimTime::from_nanos(t),
+            node,
+            seq,
+        };
+        q.push(at, k(10, 2, 0), timer(2));
+        q.push(at, k(10, 1, 7), timer(1));
+        q.push(at, k(5, 9, 3), timer(0));
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|(_, e)| tag_of(e))
+            .collect();
+        assert_eq!(order, vec![0, 1, 2], "push time first, then node id");
+    }
+
+    #[test]
     fn peek_and_len() {
         let mut q = EventQueue::new();
         assert!(q.is_empty());
         assert_eq!(q.peek_time(), None);
-        q.push(SimTime::from_nanos(7), timer(0));
+        q.push(SimTime::from_nanos(7), key(0), timer(0));
         assert_eq!(q.peek_time(), Some(SimTime::from_nanos(7)));
         assert_eq!(q.len(), 1);
         q.pop();
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn pop_entry_returns_key() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_nanos(3), key(9), timer(1));
+        let (at, k, e) = q.pop_entry().unwrap();
+        assert_eq!(at, SimTime::from_nanos(3));
+        assert_eq!(k, key(9));
+        assert_eq!(tag_of(e), 1);
     }
 }

@@ -14,9 +14,8 @@
 //! `vnet-ebpf` and the SystemTap cost model in `vnet-baselines` both plug in
 //! through this one trait.
 
-use std::cell::RefCell;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use serde::{Deserialize, Serialize};
 
@@ -128,21 +127,26 @@ impl ProbeOutcome {
 ///
 /// Implementations: the eBPF program runner in `vnet-ebpf` (via
 /// `vnettracer`), and the SystemTap cost model in `vnet-baselines`.
-pub trait ProbeSink {
+///
+/// Sinks are `Send` because probe firing happens on whichever worker
+/// thread owns the node's shard when the world runs in parallel.
+pub trait ProbeSink: Send {
     /// Handles one firing of the hook and reports the CPU time consumed.
     fn handle(&mut self, event: &ProbeEvent<'_>) -> ProbeOutcome;
 }
 
 /// Shared handle to a probe sink.
 ///
-/// The simulation is single-threaded; `Rc<RefCell<_>>` lets the tracer keep
-/// a handle to its own sink (to read maps and buffers) while the registry
-/// drives it.
-pub type SharedSink = Rc<RefCell<dyn ProbeSink>>;
+/// `Arc<Mutex<_>>` lets the tracer keep a handle to its own sink (to read
+/// maps and buffers) while the registry drives it — possibly from a shard
+/// worker thread. A sink only ever fires on the one thread that owns its
+/// node, so the lock is uncontended; it exists to satisfy `Send` and to
+/// let the main thread read results between runs.
+pub type SharedSink = Arc<Mutex<dyn ProbeSink>>;
 
 /// Identifies an attached probe so it can be detached at runtime.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct ProbeId(u64);
+pub struct ProbeId(pub(crate) u64);
 
 struct Attachment {
     id: ProbeId,
@@ -172,11 +176,24 @@ impl ProbeRegistry {
     pub fn attach(&mut self, node: NodeId, hook: Hook, sink: SharedSink) -> ProbeId {
         let id = ProbeId(self.next_id);
         self.next_id += 1;
+        self.attach_with_id(id, node, hook, sink);
+        id
+    }
+
+    /// Attaches `sink` under a caller-allocated id. The world uses this to
+    /// keep probe ids unique across its per-node registries.
+    pub(crate) fn attach_with_id(
+        &mut self,
+        id: ProbeId,
+        node: NodeId,
+        hook: Hook,
+        sink: SharedSink,
+    ) {
+        self.next_id = self.next_id.max(id.0 + 1);
         self.by_hook
             .entry((node, hook))
             .or_default()
             .push(Attachment { id, sink });
-        id
     }
 
     /// Detaches a previously attached probe. Returns `true` if it was
@@ -206,10 +223,10 @@ impl ProbeRegistry {
         };
         let mut total = SimDuration::ZERO;
         // Clone the sink handles so a probe body may attach/detach probes.
-        let sinks: Vec<SharedSink> = list.iter().map(|a| Rc::clone(&a.sink)).collect();
+        let sinks: Vec<SharedSink> = list.iter().map(|a| Arc::clone(&a.sink)).collect();
         for sink in sinks {
             self.fired += 1;
-            total += sink.borrow_mut().handle(event).cost;
+            total += sink.lock().expect("sink lock poisoned").handle(event).cost;
         }
         ProbeOutcome { cost: total }
     }
@@ -266,7 +283,7 @@ mod tests {
     #[test]
     fn attach_fire_detach() {
         let mut reg = ProbeRegistry::new();
-        let sink = Rc::new(RefCell::new(Counting {
+        let sink = Arc::new(Mutex::new(Counting {
             hits: 0,
             cost: SimDuration::from_nanos(5),
         }));
@@ -275,11 +292,11 @@ mod tests {
         assert!(reg.has_probe(NodeId(0), &hook));
         let out = reg.fire(&event(&hook));
         assert_eq!(out.cost, SimDuration::from_nanos(5));
-        assert_eq!(sink.borrow().hits, 1);
+        assert_eq!(sink.lock().unwrap().hits, 1);
         assert!(reg.detach(id));
         assert!(!reg.detach(id), "double detach reports false");
         assert_eq!(reg.fire(&event(&hook)).cost, SimDuration::ZERO);
-        assert_eq!(sink.borrow().hits, 1);
+        assert_eq!(sink.lock().unwrap().hits, 1);
     }
 
     #[test]
@@ -287,7 +304,7 @@ mod tests {
         let mut reg = ProbeRegistry::new();
         let hook = Hook::device_rx("eth0");
         for _ in 0..3 {
-            let sink = Rc::new(RefCell::new(Counting {
+            let sink = Arc::new(Mutex::new(Counting {
                 hits: 0,
                 cost: SimDuration::from_nanos(10),
             }));
@@ -310,19 +327,19 @@ mod tests {
     fn probes_are_per_node() {
         let mut reg = ProbeRegistry::new();
         let hook = Hook::kprobe("tcp_recvmsg");
-        let sink = Rc::new(RefCell::new(Counting {
+        let sink = Arc::new(Mutex::new(Counting {
             hits: 0,
             cost: SimDuration::ZERO,
         }));
         reg.attach(NodeId(0), hook.clone(), sink.clone());
         reg.fire(&event_with_node(&hook, NodeId(1)));
         assert_eq!(
-            sink.borrow().hits,
+            sink.lock().unwrap().hits,
             0,
             "other node's hook must not fire this probe"
         );
         reg.fire(&event_with_node(&hook, NodeId(0)));
-        assert_eq!(sink.borrow().hits, 1);
+        assert_eq!(sink.lock().unwrap().hits, 1);
     }
 
     #[test]

@@ -1,6 +1,14 @@
 //! The simulation driver: nodes, devices, schedulers, softirq engines,
 //! applications and the event loop that ties them together.
 //!
+//! The event loop itself lives in [`crate::shard`]: the world's nodes are
+//! partitioned into shards which advance in conservative lookahead
+//! windows, on worker threads when [`World::set_parallelism`] asks for
+//! more than one. With `parallelism = 1` (the default) the single shard
+//! runs inline on the calling thread — the classic sequential loop.
+//! Both modes produce bit-for-bit identical simulations for a given
+//! seed; see the shard module docs for the determinism argument.
+//!
 //! # Example
 //!
 //! ```
@@ -19,34 +27,48 @@
 //! ```
 
 use std::collections::HashMap;
+use std::mem;
 
 use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use rand::SeedableRng;
 
-use crate::app::{App, AppAction, AppCtx};
-use crate::device::{
-    Device, DeviceConfig, DeviceCounters, Forwarding, Gate, Steering, TraceIdRole, Transform,
-};
-use crate::event::{Event, EventQueue};
-use crate::ids::{AppId, CpuId, DeviceId, NodeId};
+use crate::app::App;
+use crate::device::{Device, DeviceConfig, DeviceCounters, Forwarding, Gate};
+use crate::event::{Event, EventQueue, PushKey};
+use crate::ids::{AppId, DeviceId, NodeId};
 use crate::node::{Node, NodeClock};
-use crate::packet::{trace_id, vxlan_decapsulate, vxlan_encapsulate, IpProtocol, Packet};
-use crate::probe::{Direction, Hook, ProbeEvent, ProbeId, ProbeRegistry, SharedSink};
+use crate::packet::{Packet, PacketUid};
+use crate::probe::{Hook, ProbeId, ProbeRegistry, SharedSink};
 use crate::sched::HyperScheduler;
+use crate::shard::{owner_node, partition_world, AppSlot, DevMeta, Partition, Shard, SharedSync};
 use crate::softirq::SoftirqEngine;
 use crate::time::{SimDuration, SimTime};
 
-struct AppSlot {
-    node: NodeId,
-    tx_dev: DeviceId,
-    name: String,
-    app: Option<Box<dyn App>>,
+/// Derives the seed of a node's private RNG stream from the world seed.
+///
+/// Streams are keyed by node index (splitmix64-style finalizer), so
+/// adding a node never perturbs the draws of existing nodes — topology
+/// growth keeps per-node randomness stable.
+fn node_stream_seed(world_seed: u64, node_index: usize) -> u64 {
+    let mut z = world_seed ^ (node_index as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+enum RunMode {
+    /// Deliver pending `on_start`s without processing events.
+    StartOnly,
+    /// Process events with `at <= t`.
+    Until(SimTime),
+    /// Process until no events remain, panicking past the budget.
+    Quiesce(u64),
 }
 
 /// The simulated world.
 ///
 /// All entities live in flat tables indexed by their typed ids. The world
-/// is single-threaded and fully deterministic for a given seed.
+/// is fully deterministic for a given seed, at any parallelism level.
 pub struct World {
     now: SimTime,
     queue: EventQueue,
@@ -54,13 +76,23 @@ pub struct World {
     devices: Vec<Device>,
     device_names: HashMap<(NodeId, String), DeviceId>,
     apps: Vec<AppSlot>,
-    probes: ProbeRegistry,
+    /// One registry per node, so each shard owns its nodes' probes.
+    probes: Vec<ProbeRegistry>,
+    next_probe_id: u64,
     schedulers: HashMap<NodeId, Box<dyn HyperScheduler>>,
     softirq: HashMap<NodeId, SoftirqEngine>,
+    seed: u64,
     rng: SmallRng,
-    next_uid: u64,
+    /// Per-node RNG streams used by everything that runs *inside* the
+    /// simulation (apps, trace-id injection).
+    node_rngs: Vec<SmallRng>,
+    /// Per-node event push counters — the `seq` of minted [`PushKey`]s.
+    push_seq: Vec<u64>,
+    /// Per-node packet-uid counters.
+    uid_seq: Vec<u64>,
     events_processed: u64,
     started_apps: usize,
+    parallelism: usize,
 }
 
 impl World {
@@ -73,13 +105,18 @@ impl World {
             devices: Vec::new(),
             device_names: HashMap::new(),
             apps: Vec::new(),
-            probes: ProbeRegistry::new(),
+            probes: Vec::new(),
+            next_probe_id: 0,
             schedulers: HashMap::new(),
             softirq: HashMap::new(),
+            seed,
             rng: SmallRng::seed_from_u64(seed),
-            next_uid: 1,
+            node_rngs: Vec::new(),
+            push_seq: Vec::new(),
+            uid_seq: Vec::new(),
             events_processed: 0,
             started_apps: 0,
+            parallelism: 1,
         }
     }
 
@@ -93,16 +130,38 @@ impl World {
         self.events_processed
     }
 
+    /// Requests that runs use up to `threads` worker threads (shards).
+    ///
+    /// The effective shard count is capped by the number of independent
+    /// node groups in the topology. `1` (the default) runs the classic
+    /// sequential loop inline. Output is identical at any setting.
+    pub fn set_parallelism(&mut self, threads: usize) {
+        self.parallelism = threads.max(1);
+    }
+
+    /// The requested parallelism level.
+    pub fn parallelism(&self) -> usize {
+        self.parallelism
+    }
+
     // ------------------------------------------------------------------
     // Construction
     // ------------------------------------------------------------------
 
     /// Adds a node with `num_cpus` CPUs and the given clock; creates its
-    /// softirq engine.
+    /// softirq engine, probe registry and RNG stream.
     pub fn add_node(&mut self, name: impl Into<String>, num_cpus: u16, clock: NodeClock) -> NodeId {
         let id = NodeId(self.nodes.len() as u32);
         self.nodes.push(Node::new(id, name, num_cpus, clock));
         self.softirq.insert(id, SoftirqEngine::new(num_cpus));
+        self.probes.push(ProbeRegistry::new());
+        self.node_rngs
+            .push(SmallRng::seed_from_u64(node_stream_seed(
+                self.seed,
+                id.index(),
+            )));
+        self.push_seq.push(0);
+        self.uid_seq.push(0);
         id
     }
 
@@ -168,7 +227,9 @@ impl World {
     pub fn set_device_down(&mut self, dev: DeviceId, down: bool) {
         self.devices[dev.index()].down = down;
         if !down && !self.devices[dev.index()].busy && self.devices[dev.index()].queue_len() > 0 {
-            self.queue.push(self.now, Event::StartService { dev });
+            let node = self.devices[dev.index()].cfg.node;
+            let key = self.mint_key(node);
+            self.queue.push(self.now, key, Event::StartService { dev });
         }
     }
 
@@ -228,17 +289,20 @@ impl World {
     /// detaching. Works at any time, including mid-run — the
     /// reconfigurability vNetTracer builds on.
     pub fn attach_probe(&mut self, node: NodeId, hook: Hook, sink: SharedSink) -> ProbeId {
-        self.probes.attach(node, hook, sink)
+        let id = ProbeId(self.next_probe_id);
+        self.next_probe_id += 1;
+        self.probes[node.index()].attach_with_id(id, node, hook, sink);
+        id
     }
 
     /// Detaches a probe. Returns `true` if it was attached.
     pub fn detach_probe(&mut self, id: ProbeId) -> bool {
-        self.probes.detach(id)
+        self.probes.iter_mut().any(|reg| reg.detach(id))
     }
 
-    /// Total probe executions so far.
+    /// Total probe executions so far, across all nodes.
     pub fn probes_fired(&self) -> u64 {
-        self.probes.fired_count()
+        self.probes.iter().map(ProbeRegistry::fired_count).sum()
     }
 
     // ------------------------------------------------------------------
@@ -275,9 +339,18 @@ impl World {
         self.nodes[node.index()].clock
     }
 
-    /// The deterministic RNG (e.g. for workload setup).
+    /// The deterministic setup-time RNG (e.g. for workload construction).
+    ///
+    /// Randomness consumed *during* a run (app draws, trace-id minting)
+    /// comes from per-node streams derived from the seed, so run-time
+    /// draws neither perturb this stream nor depend on topology size.
     pub fn rng(&mut self) -> &mut SmallRng {
         &mut self.rng
+    }
+
+    /// Whether the event queue is empty.
+    pub fn queue_is_empty(&self) -> bool {
+        self.queue.is_empty()
     }
 
     // ------------------------------------------------------------------
@@ -288,27 +361,13 @@ impl World {
     /// Called automatically by the run methods, so apps added mid-run are
     /// started when the simulation next advances.
     pub fn start(&mut self) {
-        while self.started_apps < self.apps.len() {
-            let i = self.started_apps;
-            self.started_apps += 1;
-            self.dispatch_app(AppId(i as u32), |app, ctx| app.on_start(ctx));
-        }
+        self.run_core(RunMode::StartOnly);
     }
 
     /// Runs the event loop until simulated time `t` (inclusive of events
     /// at `t`); advances `now` to `t`.
     pub fn run_until(&mut self, t: SimTime) {
-        self.start();
-        while let Some(at) = self.queue.peek_time() {
-            if at > t {
-                break;
-            }
-            let (at, event) = self.queue.pop().expect("peeked event exists");
-            debug_assert!(at >= self.now, "time went backwards");
-            self.now = at;
-            self.events_processed += 1;
-            self.handle(event);
-        }
+        self.run_core(RunMode::Until(t));
         self.now = t;
     }
 
@@ -324,16 +383,214 @@ impl World {
     /// Panics if more than `max_events` events are processed, as a guard
     /// against non-quiescing workloads.
     pub fn run_to_quiescence(&mut self, max_events: u64) {
-        self.start();
-        let budget = self.events_processed + max_events;
-        while let Some((at, event)) = self.queue.pop() {
-            self.now = at;
-            self.events_processed += 1;
-            assert!(
-                self.events_processed <= budget,
-                "exceeded event budget {max_events}"
-            );
-            self.handle(event);
+        self.run_core(RunMode::Quiesce(max_events));
+    }
+
+    /// Mints the canonical push key for a world-level event push (inject,
+    /// device revival) on behalf of `node`.
+    fn mint_key(&mut self, node: NodeId) -> PushKey {
+        let c = &mut self.push_seq[node.index()];
+        let key = PushKey {
+            time: self.now,
+            node: node.0,
+            seq: *c,
+        };
+        *c += 1;
+        key
+    }
+
+    /// Builds shards around the current state, runs them to the mode's
+    /// bound, and merges the state back. One shard runs inline; more run
+    /// on scoped worker threads in conservative lookahead windows.
+    fn run_core(&mut self, mode: RunMode) {
+        let unstarted: Vec<AppId> = (self.started_apps..self.apps.len())
+            .map(|i| AppId(i as u32))
+            .collect();
+        self.started_apps = self.apps.len();
+        let (bound, budget) = match mode {
+            RunMode::StartOnly => (None, None),
+            RunMode::Until(t) => (Some(t), None),
+            RunMode::Quiesce(max) => (Some(SimTime::MAX), Some(max)),
+        };
+        if bound.is_none() && unstarted.is_empty() {
+            return;
+        }
+        let requested = if bound.is_some() {
+            self.parallelism.max(1)
+        } else {
+            1
+        };
+        let part = if requested > 1 {
+            partition_world(self.nodes.len(), &self.devices, &self.apps, requested)
+        } else {
+            Partition {
+                node_shard: vec![0; self.nodes.len()],
+                num_shards: 1,
+                lookahead: SimDuration::from_nanos(u64::MAX),
+            }
+        };
+        let num_shards = part.num_shards;
+
+        let dev_meta: Vec<DevMeta> = self.devices.iter().map(DevMeta::of).collect();
+        let app_nodes: Vec<NodeId> = self.apps.iter().map(|s| s.node).collect();
+
+        // Deal the runtime state out to the shards. Tables keep global
+        // indexing (full-length vectors of options), so ids are stable.
+        let devices = mem::take(&mut self.devices);
+        let apps = mem::take(&mut self.apps);
+        let probes = mem::take(&mut self.probes);
+        let node_rngs = mem::take(&mut self.node_rngs);
+        let schedulers = mem::take(&mut self.schedulers);
+        let softirq = mem::take(&mut self.softirq);
+        let push_seq = mem::take(&mut self.push_seq);
+        let uid_seq = mem::take(&mut self.uid_seq);
+
+        let num_devices = devices.len();
+        let num_apps = apps.len();
+        let num_nodes = self.nodes.len();
+        let nodes: &[Node] = &self.nodes;
+        let mut shards: Vec<Shard<'_>> = (0..num_shards)
+            .map(|sid| {
+                Shard::new(
+                    sid,
+                    self.now,
+                    num_shards,
+                    nodes,
+                    &dev_meta,
+                    &app_nodes,
+                    &part.node_shard,
+                    num_devices,
+                    num_apps,
+                )
+            })
+            .collect();
+        for (i, d) in devices.into_iter().enumerate() {
+            let s = part.node_shard[d.cfg.node.index()];
+            shards[s].devices[i] = Some(d);
+        }
+        for (i, a) in apps.into_iter().enumerate() {
+            let s = part.node_shard[a.node.index()];
+            shards[s].apps[i] = Some(a);
+        }
+        for (n, reg) in probes.into_iter().enumerate() {
+            shards[part.node_shard[n]].probes[n] = Some(reg);
+        }
+        for (n, rng) in node_rngs.into_iter().enumerate() {
+            shards[part.node_shard[n]].node_rngs[n] = Some(rng);
+        }
+        for (node, sched) in schedulers {
+            shards[part.node_shard[node.index()]]
+                .schedulers
+                .insert(node, sched);
+        }
+        for (node, eng) in softirq {
+            shards[part.node_shard[node.index()]]
+                .softirq
+                .insert(node, eng);
+        }
+        for sh in &mut shards {
+            sh.push_seq.copy_from_slice(&push_seq);
+            sh.uid_seq.copy_from_slice(&uid_seq);
+        }
+        while let Some((at, key, ev)) = self.queue.pop_entry() {
+            let owner = owner_node(&ev, &dev_meta, &app_nodes);
+            shards[part.node_shard[owner.index()]]
+                .queue
+                .push(at, key, ev);
+        }
+
+        // Run.
+        let mut over_budget = false;
+        if num_shards == 1 {
+            let shard = &mut shards[0];
+            shard.dispatch_starts(&unstarted);
+            if let Some(bound) = bound {
+                shard.run_sequential(bound, budget);
+            }
+        } else {
+            let bound = bound.expect("multi-shard implies a run bound");
+            let sync = SharedSync::new(num_shards);
+            let lookahead = part.lookahead;
+            shards = std::thread::scope(|scope| {
+                let sync = &sync;
+                let unstarted = &unstarted;
+                let handles: Vec<_> = shards
+                    .into_iter()
+                    .map(|sh| {
+                        scope.spawn(move || {
+                            sh.run_parallel(sync, bound, lookahead, budget, unstarted)
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("shard worker panicked"))
+                    .collect()
+            });
+            over_budget = sync.over_budget();
+        }
+
+        // Merge shard state back into the world.
+        let mut devices: Vec<Option<Device>> = (0..num_devices).map(|_| None).collect();
+        let mut apps: Vec<Option<AppSlot>> = (0..num_apps).map(|_| None).collect();
+        let mut probes: Vec<Option<ProbeRegistry>> = (0..num_nodes).map(|_| None).collect();
+        let mut node_rngs: Vec<Option<SmallRng>> = (0..num_nodes).map(|_| None).collect();
+        let mut push_seq = push_seq;
+        let mut uid_seq = uid_seq;
+        let mut max_now = self.now;
+        for mut sh in shards {
+            max_now = max_now.max(sh.now);
+            self.events_processed += sh.events_processed;
+            while let Some((at, key, ev)) = sh.queue.pop_entry() {
+                self.queue.push(at, key, ev);
+            }
+            for (i, d) in sh.devices.iter_mut().enumerate() {
+                if let Some(d) = d.take() {
+                    devices[i] = Some(d);
+                }
+            }
+            for (i, a) in sh.apps.iter_mut().enumerate() {
+                if let Some(a) = a.take() {
+                    apps[i] = Some(a);
+                }
+            }
+            for n in 0..num_nodes {
+                if part.node_shard[n] != sh.id {
+                    continue;
+                }
+                probes[n] = sh.probes[n].take();
+                node_rngs[n] = sh.node_rngs[n].take();
+                push_seq[n] = sh.push_seq[n];
+                uid_seq[n] = sh.uid_seq[n];
+            }
+            for (node, sched) in sh.schedulers.drain() {
+                self.schedulers.insert(node, sched);
+            }
+            for (node, eng) in sh.softirq.drain() {
+                self.softirq.insert(node, eng);
+            }
+        }
+        self.devices = devices
+            .into_iter()
+            .map(|d| d.expect("device returned by shard"))
+            .collect();
+        self.apps = apps
+            .into_iter()
+            .map(|a| a.expect("app returned by shard"))
+            .collect();
+        self.probes = probes
+            .into_iter()
+            .map(|p| p.expect("registry returned by shard"))
+            .collect();
+        self.node_rngs = node_rngs
+            .into_iter()
+            .map(|r| r.expect("rng returned by shard"))
+            .collect();
+        self.push_seq = push_seq;
+        self.uid_seq = uid_seq;
+        self.now = max_now;
+        if let Some(max) = budget {
+            assert!(!over_budget, "exceeded event budget {max}");
         }
     }
 
@@ -344,553 +601,16 @@ impl World {
     /// Injects `pkt` at `dev` as if it arrived from outside the modelled
     /// topology (no trace-ID handling).
     pub fn inject(&mut self, dev: DeviceId, mut pkt: Packet) {
-        pkt.set_uid(crate::packet::PacketUid(self.next_uid));
-        self.next_uid += 1;
+        let node = self.devices[dev.index()].cfg.node;
+        let c = &mut self.uid_seq[node.index()];
+        *c += 1;
+        pkt.set_uid(PacketUid(((u64::from(node.0) + 1) << 40) | *c));
+        let key = self.mint_key(node);
         self.queue.push(
             self.now,
+            key,
             Event::Arrive {
                 dev,
-                from: None,
-                pkt,
-            },
-        );
-    }
-
-    // ------------------------------------------------------------------
-    // Event handling
-    // ------------------------------------------------------------------
-
-    fn handle(&mut self, event: Event) {
-        match event {
-            Event::Arrive { dev, from, pkt } => self.handle_arrive(dev, from, pkt),
-            Event::StartService { dev } => self.handle_start(dev),
-            Event::FinishService { dev } => self.handle_finish(dev),
-            Event::SoftirqStart { node, cpu } => self.handle_softirq_start(node, cpu),
-            Event::SoftirqFinish { node, cpu, dev } => self.handle_softirq_finish(node, cpu, dev),
-            Event::AppTimer { app, tag } => {
-                self.dispatch_app(app, |a, ctx| a.on_timer(ctx, tag));
-            }
-        }
-    }
-
-    /// Fires the RX-side hooks for a packet arriving at `dev`, returning
-    /// the total probe cost. For softirq-gated devices the kernel-function
-    /// probes fire later, at softirq processing time.
-    fn fire_rx_hooks(&mut self, dev_idx: usize, pkt: &Packet, cpu: CpuId) -> SimDuration {
-        let now = self.now;
-        let dev = &self.devices[dev_idx];
-        let node_id = dev.cfg.node;
-        let mono = self.nodes[node_id.index()].clock.monotonic_ns(now);
-        let is_softirq = matches!(dev.cfg.gate, Gate::Softirq(_));
-        let mut cost = SimDuration::ZERO;
-        let dev_hook = Hook::DeviceRx(dev.cfg.name.clone());
-        let fire = |probes: &mut ProbeRegistry, hook: &Hook, dev: &Device| {
-            let ev = ProbeEvent {
-                node: node_id,
-                cpu,
-                hook,
-                device: Some(dev.id),
-                device_name: Some(&dev.cfg.name),
-                direction: Direction::Rx,
-                packet: Some(pkt),
-                monotonic_ns: mono,
-            };
-            probes.fire(&ev).cost
-        };
-        cost += fire(&mut self.probes, &dev_hook, dev);
-        if !is_softirq {
-            for f in dev.cfg.kernel_functions.rx.clone() {
-                cost += fire(&mut self.probes, &Hook::FunctionEntry(f.clone()), dev);
-                cost += fire(&mut self.probes, &Hook::FunctionReturn(f), dev);
-            }
-        }
-        cost
-    }
-
-    /// Fires the kernel-function probes of a softirq-gated device when its
-    /// packet is actually processed on `cpu`.
-    fn fire_softirq_fn_hooks(&mut self, dev_idx: usize, pkt: &Packet, cpu: CpuId) -> SimDuration {
-        let now = self.now;
-        let dev = &self.devices[dev_idx];
-        let node_id = dev.cfg.node;
-        let mono = self.nodes[node_id.index()].clock.monotonic_ns(now);
-        let mut cost = SimDuration::ZERO;
-        for f in dev.cfg.kernel_functions.rx.clone() {
-            for hook in [
-                Hook::FunctionEntry(f.clone()),
-                Hook::FunctionReturn(f.clone()),
-            ] {
-                let ev = ProbeEvent {
-                    node: node_id,
-                    cpu,
-                    hook: &hook,
-                    device: Some(dev.id),
-                    device_name: Some(&dev.cfg.name),
-                    direction: Direction::Rx,
-                    packet: Some(pkt),
-                    monotonic_ns: mono,
-                };
-                cost += self.probes.fire(&ev).cost;
-            }
-        }
-        cost
-    }
-
-    /// Fires the `kfree_skb` kprobe when a device drops a packet, so
-    /// tracers can observe and attribute drops (queue overflow, policer,
-    /// failed device, no route) exactly as on a real kernel.
-    fn fire_drop_hook(&mut self, dev_idx: usize, pkt: &Packet) {
-        let now = self.now;
-        let dev = &self.devices[dev_idx];
-        let node_id = dev.cfg.node;
-        let hook = Hook::FunctionEntry("kfree_skb".to_owned());
-        if !self.probes.has_probe(node_id, &hook) {
-            return;
-        }
-        let mono = self.nodes[node_id.index()].clock.monotonic_ns(now);
-        let ev = ProbeEvent {
-            node: node_id,
-            cpu: CpuId(0),
-            hook: &hook,
-            device: Some(dev.id),
-            device_name: Some(&dev.cfg.name),
-            direction: Direction::Rx,
-            packet: Some(pkt),
-            monotonic_ns: mono,
-        };
-        self.probes.fire(&ev);
-    }
-
-    /// Fires the TX-side hooks when `dev` finishes serving `pkt`.
-    fn fire_tx_hooks(&mut self, dev_idx: usize, pkt: &Packet, cpu: CpuId) -> SimDuration {
-        let now = self.now;
-        let dev = &self.devices[dev_idx];
-        let node_id = dev.cfg.node;
-        let mono = self.nodes[node_id.index()].clock.monotonic_ns(now);
-        let mut cost = SimDuration::ZERO;
-        let mut hooks: Vec<Hook> = Vec::with_capacity(dev.cfg.kernel_functions.tx.len() * 2 + 1);
-        for f in &dev.cfg.kernel_functions.tx {
-            hooks.push(Hook::FunctionEntry(f.clone()));
-            hooks.push(Hook::FunctionReturn(f.clone()));
-        }
-        hooks.push(Hook::DeviceTx(dev.cfg.name.clone()));
-        for hook in hooks {
-            let ev = ProbeEvent {
-                node: node_id,
-                cpu,
-                hook: &hook,
-                device: Some(dev.id),
-                device_name: Some(&dev.cfg.name),
-                direction: Direction::Tx,
-                packet: Some(pkt),
-                monotonic_ns: mono,
-            };
-            cost += self.probes.fire(&ev).cost;
-        }
-        cost
-    }
-
-    fn handle_arrive(&mut self, dev_id: DeviceId, from: Option<DeviceId>, pkt: Packet) {
-        let i = dev_id.index();
-        let irq_cpu = match self.devices[i].cfg.gate {
-            Gate::Softirq(Steering::IrqAffinity(c)) => CpuId(c),
-            _ => CpuId(0),
-        };
-        let overhead = self.fire_rx_hooks(i, &pkt, irq_cpu);
-        let now = self.now;
-        let dev = &mut self.devices[i];
-        if dev.down {
-            dev.counters.dropped_down += 1;
-            self.fire_drop_hook(i, &pkt);
-            return;
-        }
-        let dev = &mut self.devices[i];
-        // Ingress policing (OVS rate limiting, Case Study I).
-        if let Some(tb) = dev.policer.as_mut() {
-            if !tb.admit(pkt.len(), now) {
-                dev.counters.dropped_policed += 1;
-                self.fire_drop_hook(i, &pkt);
-                return;
-            }
-        }
-        let dev = &mut self.devices[i];
-        // Each HTB class has its own queue limit, as real qdisc classes
-        // do — a saturated bulk class must not starve the latency class
-        // at admission.
-        let shaped_class = dev
-            .cfg
-            .htb
-            .map(|h| pkt.len() >= h.shape_min_len)
-            .unwrap_or(false);
-        let class_depth = if shaped_class {
-            dev.shaped_queue.len()
-        } else {
-            dev.queue.len()
-        };
-        if class_depth >= dev.cfg.queue_capacity {
-            dev.counters.dropped_queue_full += 1;
-            self.fire_drop_hook(i, &pkt);
-            return;
-        }
-        let dev = &mut self.devices[i];
-        dev.counters.rx_packets += 1;
-        dev.counters.rx_bytes += pkt.len() as u64;
-        let gate = dev.cfg.gate;
-        let node_id = dev.cfg.node;
-        // For RPS steering we need the flow before the packet is queued.
-        let steer_cpu = match gate {
-            Gate::Softirq(Steering::Rps) => {
-                let ncpu = self.nodes[node_id.index()].num_cpus;
-                let cpu = pkt
-                    .parse()
-                    .map(|p| (p.flow().rps_hash() % u32::from(ncpu)) as u16)
-                    .unwrap_or(0);
-                Some(CpuId(cpu))
-            }
-            Gate::Softirq(Steering::IrqAffinity(c)) => Some(CpuId(c)),
-            _ => None,
-        };
-        let dev = &mut self.devices[i];
-        let qp = crate::device::QueuedPacket {
-            pkt,
-            overhead,
-            from,
-        };
-        if shaped_class {
-            dev.shaped_queue.push_back(qp);
-        } else {
-            dev.queue.push_back(qp);
-        }
-        match gate {
-            Gate::Softirq(_) => {
-                let cpu = steer_cpu.expect("softirq gate computed a cpu");
-                let engine = self
-                    .softirq
-                    .get_mut(&node_id)
-                    .expect("node has softirq engine");
-                if engine.raise(cpu, dev_id) {
-                    self.queue
-                        .push(now, Event::SoftirqStart { node: node_id, cpu });
-                }
-            }
-            _ => {
-                if !self.devices[i].busy {
-                    self.queue.push(now, Event::StartService { dev: dev_id });
-                }
-            }
-        }
-    }
-
-    fn handle_start(&mut self, dev_id: DeviceId) {
-        let i = dev_id.index();
-        let now = self.now;
-        if self.devices[i].busy || self.devices[i].queue_len() == 0 || self.devices[i].down {
-            return;
-        }
-        // vCPU-gated devices can only serve while their vCPU is scheduled.
-        if let Gate::Vcpu(vcpu) = self.devices[i].cfg.gate {
-            let node = self.devices[i].cfg.node;
-            let gate_at = self
-                .schedulers
-                .get_mut(&node)
-                .map(|s| s.run_gate(vcpu, now))
-                .unwrap_or(now);
-            if gate_at > now {
-                self.queue
-                    .push(gate_at, Event::StartService { dev: dev_id });
-                return;
-            }
-        }
-        let dev = &mut self.devices[i];
-        // The unshaped (latency) class is served first; the shaped class
-        // only when its token bucket permits.
-        let qp = if let Some(qp) = dev.queue.pop_front() {
-            qp
-        } else {
-            let len = dev
-                .shaped_queue
-                .front()
-                .expect("queue_len checked")
-                .pkt
-                .len();
-            let shaper = dev.shaper.as_mut().expect("shaped queue implies shaper");
-            let ready = shaper.earliest_admit(len, now);
-            if ready > now {
-                self.queue.push(ready, Event::StartService { dev: dev_id });
-                return;
-            }
-            let shaper = dev.shaper.as_mut().expect("shaped queue implies shaper");
-            shaper.admit(len, now);
-            dev.shaped_queue.pop_front().expect("checked non-empty")
-        };
-        dev.busy = true;
-        let service = dev.service_time(&qp.pkt, qp.from, now) + qp.overhead;
-        dev.in_service = Some(qp);
-        self.queue
-            .push(now + service, Event::FinishService { dev: dev_id });
-    }
-
-    fn handle_finish(&mut self, dev_id: DeviceId) {
-        let i = dev_id.index();
-        let now = self.now;
-        let mut qp = self.devices[i]
-            .in_service
-            .take()
-            .expect("finish without service");
-        self.devices[i].busy = false;
-        // Transform before the TX tap fires: what leaves a VXLAN device
-        // is the encapsulated frame.
-        qp.pkt = self.apply_transform(i, qp.pkt);
-        let tx_cost = self.fire_tx_hooks(i, &qp.pkt, CpuId(0));
-        {
-            let dev = &mut self.devices[i];
-            dev.counters.tx_packets += 1;
-            dev.counters.tx_bytes += qp.pkt.len() as u64;
-        }
-        let queue_empty = self.devices[i].queue_len() == 0;
-        if let Gate::Vcpu(vcpu) = self.devices[i].cfg.gate {
-            if queue_empty {
-                let node = self.devices[i].cfg.node;
-                if let Some(s) = self.schedulers.get_mut(&node) {
-                    s.sleep(vcpu, now);
-                }
-            }
-        }
-        if !queue_empty {
-            self.queue.push(now, Event::StartService { dev: dev_id });
-        }
-        self.complete_packet(dev_id, qp.pkt, tx_cost);
-    }
-
-    fn handle_softirq_start(&mut self, node: NodeId, cpu: CpuId) {
-        let now = self.now;
-        let Some(dev_id) = self
-            .softirq
-            .get_mut(&node)
-            .expect("engine exists")
-            .start(cpu)
-        else {
-            return;
-        };
-        let i = dev_id.index();
-        // The work item pairs with exactly one queued packet.
-        let Some(qp) = self.devices[i].queue.front() else {
-            // Defensive: work item without a packet (e.g. dropped by a
-            // policer after raise) — finish immediately.
-            if self
-                .softirq
-                .get_mut(&node)
-                .expect("engine exists")
-                .finish(cpu)
-            {
-                self.queue.push(now, Event::SoftirqStart { node, cpu });
-            }
-            return;
-        };
-        let _ = qp;
-        let qp = self.devices[i]
-            .queue
-            .pop_front()
-            .expect("checked non-empty");
-        let fn_cost = self.fire_softirq_fn_hooks(i, &qp.pkt, cpu);
-        let dev = &mut self.devices[i];
-        let service = dev.service_time(&qp.pkt, qp.from, now) + qp.overhead + fn_cost;
-        dev.in_service = Some(qp);
-        self.queue.push(
-            now + service,
-            Event::SoftirqFinish {
-                node,
-                cpu,
-                dev: dev_id,
-            },
-        );
-    }
-
-    fn handle_softirq_finish(&mut self, node: NodeId, cpu: CpuId, dev_id: DeviceId) {
-        let now = self.now;
-        let i = dev_id.index();
-        let mut qp = self.devices[i]
-            .in_service
-            .take()
-            .expect("softirq finish without service");
-        qp.pkt = self.apply_transform(i, qp.pkt);
-        let tx_cost = self.fire_tx_hooks(i, &qp.pkt, cpu);
-        {
-            let dev = &mut self.devices[i];
-            dev.counters.tx_packets += 1;
-            dev.counters.tx_bytes += qp.pkt.len() as u64;
-        }
-        if self
-            .softirq
-            .get_mut(&node)
-            .expect("engine exists")
-            .finish(cpu)
-        {
-            self.queue.push(now, Event::SoftirqStart { node, cpu });
-        }
-        self.complete_packet(dev_id, qp.pkt, tx_cost);
-    }
-
-    /// Applies a device's byte-level transform to a served packet.
-    fn apply_transform(&self, dev_idx: usize, pkt: Packet) -> Packet {
-        match &self.devices[dev_idx].cfg.transform {
-            Transform::None => pkt,
-            Transform::VxlanEncap {
-                vni,
-                src,
-                dst,
-                src_port,
-            } => vxlan_encapsulate(&pkt, *vni, *src, *dst, *src_port),
-            Transform::VxlanDecap => match vxlan_decapsulate(&pkt) {
-                Ok((_vni, inner)) => inner,
-                Err(_) => pkt,
-            },
-        }
-    }
-
-    /// Forwards or delivers a served (already transformed) packet.
-    fn complete_packet(&mut self, dev_id: DeviceId, pkt: Packet, extra_delay: SimDuration) {
-        let i = dev_id.index();
-        let now = self.now;
-        let mut pkt = pkt;
-        // Forward.
-        let decision = match &self.devices[i].cfg.forwarding {
-            Forwarding::Port(p) => Some(*p),
-            Forwarding::ByDstIp { routes, default } => match pkt.parse() {
-                Ok(parsed) => routes.get(&parsed.ipv4.dst).copied().or(*default),
-                Err(_) => *default,
-            },
-            Forwarding::Deliver => None,
-        };
-        match (&self.devices[i].cfg.forwarding, decision) {
-            (Forwarding::Deliver, _) => {
-                if self.devices[i].cfg.trace_id == TraceIdRole::StripUdpTrailer {
-                    let _ = trace_id::strip_udp_trailer(&mut pkt);
-                }
-                let dst_port = pkt.parse().ok().map(|p| p.flow().dst_port);
-                let app = dst_port.and_then(|p| self.devices[i].bindings.get(&p).copied());
-                match app {
-                    Some(app) => {
-                        self.fire_uprobe(app, &pkt);
-                        self.dispatch_app(app, |a, ctx| a.on_packet(ctx, pkt))
-                    }
-                    None => {
-                        self.devices[i].counters.dropped_no_route += 1;
-                        self.fire_drop_hook(i, &pkt);
-                    }
-                }
-            }
-            (_, Some(port_idx)) => {
-                let Some(port) = self.devices[i].ports.get(port_idx).copied() else {
-                    self.devices[i].counters.dropped_no_route += 1;
-                    self.fire_drop_hook(i, &pkt);
-                    return;
-                };
-                let mut arrive_at = now + port.latency + extra_delay;
-                // Arrival into a vCPU-gated device is deferred until the
-                // guest's vCPU is scheduled: the guest cannot see the
-                // packet before then (Case Study II).
-                if let Gate::Vcpu(vcpu) = self.devices[port.peer.index()].cfg.gate {
-                    let peer_node = self.devices[port.peer.index()].cfg.node;
-                    if let Some(s) = self.schedulers.get_mut(&peer_node) {
-                        let gate_at = s.run_gate(vcpu, arrive_at);
-                        if gate_at > arrive_at {
-                            arrive_at = gate_at;
-                        }
-                    }
-                }
-                self.queue.push(
-                    arrive_at,
-                    Event::Arrive {
-                        dev: port.peer,
-                        from: Some(dev_id),
-                        pkt,
-                    },
-                );
-            }
-            (_, None) => {
-                self.devices[i].counters.dropped_no_route += 1;
-                self.fire_drop_hook(i, &pkt);
-            }
-        }
-    }
-
-    /// Fires the application-level uprobe for a delivery to `app`.
-    /// Uprobe cost is charged nowhere: user-space probe overhead affects
-    /// the application, which in this model reacts instantaneously.
-    fn fire_uprobe(&mut self, app: AppId, pkt: &Packet) {
-        let slot = &self.apps[app.index()];
-        let node = slot.node;
-        let hook = Hook::Uprobe(slot.name.clone());
-        if !self.probes.has_probe(node, &hook) {
-            return;
-        }
-        let mono = self.nodes[node.index()].clock.monotonic_ns(self.now);
-        let ev = ProbeEvent {
-            node,
-            cpu: CpuId(0),
-            hook: &hook,
-            device: None,
-            device_name: None,
-            direction: Direction::Rx,
-            packet: Some(pkt),
-            monotonic_ns: mono,
-        };
-        self.probes.fire(&ev);
-    }
-
-    // ------------------------------------------------------------------
-    // App dispatch
-    // ------------------------------------------------------------------
-
-    fn dispatch_app<F>(&mut self, app_id: AppId, f: F)
-    where
-        F: FnOnce(&mut dyn App, &mut AppCtx<'_>),
-    {
-        let slot = &mut self.apps[app_id.index()];
-        let node = slot.node;
-        let Some(mut app) = slot.app.take() else {
-            panic!("re-entrant dispatch of {app_id}");
-        };
-        let mono = self.nodes[node.index()].clock.monotonic_ns(self.now);
-        let mut ctx = AppCtx::new(app_id, node, self.now, mono, &mut self.rng);
-        f(app.as_mut(), &mut ctx);
-        let actions = ctx.take_actions();
-        self.apps[app_id.index()].app = Some(app);
-        for action in actions {
-            match action {
-                AppAction::Send(pkt) => self.send_from_app(app_id, pkt),
-                AppAction::Timer { delay, tag } => {
-                    self.queue
-                        .push(self.now + delay, Event::AppTimer { app: app_id, tag });
-                }
-            }
-        }
-    }
-
-    /// Sends a packet from an app through its bound TX device, applying
-    /// the node's trace-ID patch if the device carries one.
-    fn send_from_app(&mut self, app_id: AppId, mut pkt: Packet) {
-        let tx = self.apps[app_id.index()].tx_dev;
-        if self.devices[tx.index()].cfg.trace_id == TraceIdRole::Inject {
-            let id: u32 = self.rng.gen();
-            let proto = pkt.parse().map(|p| p.ipv4.protocol);
-            match proto {
-                Ok(IpProtocol::Tcp) => {
-                    let _ = trace_id::inject_tcp_option(&mut pkt, id);
-                }
-                Ok(IpProtocol::Udp) => {
-                    let _ = trace_id::inject_udp_trailer(&mut pkt, id);
-                }
-                _ => {}
-            }
-        }
-        pkt.set_uid(crate::packet::PacketUid(self.next_uid));
-        self.next_uid += 1;
-        self.queue.push(
-            self.now,
-            Event::Arrive {
-                dev: tx,
                 from: None,
                 pkt,
             },
@@ -906,27 +626,23 @@ impl core::fmt::Debug for World {
             .field("devices", &self.devices.len())
             .field("apps", &self.apps.len())
             .field("events_processed", &self.events_processed)
+            .field("parallelism", &self.parallelism)
             .finish()
-    }
-}
-
-impl World {
-    /// Whether the event queue is empty.
-    pub fn queue_is_empty(&self) -> bool {
-        self.queue.is_empty()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::device::{KernelFunctions, PolicerConfig, ServiceModel};
-    use crate::ids::VcpuId;
+    use crate::app::AppCtx;
+    use crate::device::{
+        Gate, KernelFunctions, PolicerConfig, ServiceModel, Steering, TraceIdRole, Transform,
+    };
+    use crate::ids::{CpuId, VcpuId};
     use crate::packet::{FlowKey, PacketBuilder, SocketAddrV4Ext};
-    use crate::probe::{ProbeOutcome, ProbeSink};
-    use std::cell::RefCell;
+    use crate::probe::{ProbeEvent, ProbeOutcome, ProbeSink};
     use std::net::SocketAddrV4;
-    use std::rc::Rc;
+    use std::sync::{Arc, Mutex};
 
     fn flow() -> FlowKey {
         FlowKey::udp(
@@ -955,17 +671,17 @@ mod tests {
 
     /// Receiver app that counts deliveries.
     struct Counter {
-        got: Rc<RefCell<Vec<(SimTime, Packet)>>>,
+        got: Arc<Mutex<Vec<(SimTime, Packet)>>>,
     }
 
     impl App for Counter {
         fn on_packet(&mut self, ctx: &mut AppCtx<'_>, pkt: Packet) {
-            self.got.borrow_mut().push((ctx.now(), pkt));
+            self.got.lock().unwrap().push((ctx.now(), pkt));
         }
     }
 
     /// Builds a 2-device pipeline: src NIC -> dst stack (Deliver).
-    type Deliveries = Rc<RefCell<Vec<(SimTime, Packet)>>>;
+    type Deliveries = Arc<Mutex<Vec<(SimTime, Packet)>>>;
 
     fn pipeline() -> (World, DeviceId, DeviceId, Deliveries) {
         let mut w = World::new(1);
@@ -981,12 +697,12 @@ mod tests {
                 .forwarding(Forwarding::Deliver),
         );
         w.connect(tx, rx, SimDuration::from_micros(10));
-        let got = Rc::new(RefCell::new(Vec::new()));
+        let got = Arc::new(Mutex::new(Vec::new()));
         let app = w.add_app(
             n,
             tx,
             Box::new(Counter {
-                got: Rc::clone(&got),
+                got: Arc::clone(&got),
             }),
         );
         w.bind_app(rx, 2000, app);
@@ -999,7 +715,7 @@ mod tests {
         w.inject(tx, udp_packet(56));
         w.run_until(SimTime::from_millis(1));
         // 1us service + 10us link + 2us service = 13us delivery.
-        let deliveries = got.borrow();
+        let deliveries = got.lock().unwrap();
         assert_eq!(deliveries.len(), 1);
         assert_eq!(deliveries[0].0, SimTime::from_micros(13));
         assert_eq!(w.device_counters(tx).tx_packets, 1);
@@ -1012,7 +728,7 @@ mod tests {
         w.inject(tx, udp_packet(56));
         w.inject(tx, udp_packet(56));
         w.run_until(SimTime::from_millis(1));
-        let deliveries = got.borrow();
+        let deliveries = got.lock().unwrap();
         assert_eq!(deliveries.len(), 2);
         // The receive stack (2us service) is the bottleneck: the second
         // packet is delivered one RX service time after the first.
@@ -1025,7 +741,7 @@ mod tests {
     #[test]
     fn probe_cost_perturbs_service() {
         let (mut w, tx, _, got) = pipeline();
-        let sink = Rc::new(RefCell::new(Recorder {
+        let sink = Arc::new(Mutex::new(Recorder {
             seen: Vec::new(),
             cost: SimDuration::from_micros(5),
         }));
@@ -1033,14 +749,14 @@ mod tests {
         w.inject(tx, udp_packet(56));
         w.run_until(SimTime::from_millis(1));
         // Tracing added 5us to the first hop: 13 + 5 = 18us.
-        assert_eq!(got.borrow()[0].0, SimTime::from_micros(18));
-        assert_eq!(sink.borrow().seen.len(), 1);
+        assert_eq!(got.lock().unwrap()[0].0, SimTime::from_micros(18));
+        assert_eq!(sink.lock().unwrap().seen.len(), 1);
     }
 
     #[test]
     fn kernel_function_probes_fire_entry_and_return() {
         let (mut w, tx, _, _) = pipeline();
-        let sink = Rc::new(RefCell::new(Recorder {
+        let sink = Arc::new(Mutex::new(Recorder {
             seen: Vec::new(),
             cost: SimDuration::ZERO,
         }));
@@ -1048,13 +764,13 @@ mod tests {
         w.attach_probe(NodeId(0), Hook::kretprobe("dev_queue_xmit"), sink.clone());
         w.inject(tx, udp_packet(56));
         w.run_until(SimTime::from_millis(1));
-        assert_eq!(sink.borrow().seen.len(), 2);
+        assert_eq!(sink.lock().unwrap().seen.len(), 2);
     }
 
     #[test]
     fn detach_stops_firing() {
         let (mut w, tx, _, _) = pipeline();
-        let sink = Rc::new(RefCell::new(Recorder {
+        let sink = Arc::new(Mutex::new(Recorder {
             seen: Vec::new(),
             cost: SimDuration::ZERO,
         }));
@@ -1064,7 +780,11 @@ mod tests {
         assert!(w.detach_probe(id));
         w.inject(tx, udp_packet(10));
         w.run_until(SimTime::from_micros(200));
-        assert_eq!(sink.borrow().seen.len(), 1, "no firings after detach");
+        assert_eq!(
+            sink.lock().unwrap().seen.len(),
+            1,
+            "no firings after detach"
+        );
     }
 
     #[test]
@@ -1158,12 +878,12 @@ mod tests {
                 .forwarding(Forwarding::Deliver)
                 .kernel_functions(KernelFunctions::new(&["net_rx_action"], &[])),
         );
-        let got = Rc::new(RefCell::new(Vec::new()));
+        let got = Arc::new(Mutex::new(Vec::new()));
         let app = w.add_app(
             n,
             d,
             Box::new(Counter {
-                got: Rc::clone(&got),
+                got: Arc::clone(&got),
             }),
         );
         w.bind_app(d, 2000, app);
@@ -1171,7 +891,7 @@ mod tests {
             w.inject(d, udp_packet(10));
         }
         w.run_until(SimTime::from_millis(1));
-        let times: Vec<_> = got.borrow().iter().map(|(t, _)| *t).collect();
+        let times: Vec<_> = got.lock().unwrap().iter().map(|(t, _)| *t).collect();
         assert_eq!(
             times,
             vec![
@@ -1218,7 +938,7 @@ mod tests {
         w.connect(tx, rx, SimDuration::ZERO);
 
         // Tap between the stacks to observe the on-wire packet.
-        let sink = Rc::new(RefCell::new(Recorder {
+        let sink = Arc::new(Mutex::new(Recorder {
             seen: Vec::new(),
             cost: SimDuration::ZERO,
         }));
@@ -1236,21 +956,21 @@ mod tests {
             fn on_packet(&mut self, _ctx: &mut AppCtx<'_>, _pkt: Packet) {}
         }
         w.add_app(n, tx, Box::new(Sender));
-        let got = Rc::new(RefCell::new(Vec::new()));
+        let got = Arc::new(Mutex::new(Vec::new()));
         let rx_app = w.add_app(
             n,
             tx,
             Box::new(Counter {
-                got: Rc::clone(&got),
+                got: Arc::clone(&got),
             }),
         );
         w.bind_app(rx, 2000, rx_app);
         w.run_until(SimTime::from_millis(1));
 
         // On the wire: payload carries the 4-byte trailer.
-        assert_eq!(sink.borrow().seen[0].1, 14 + 20 + 8 + 56 + 4);
+        assert_eq!(sink.lock().unwrap().seen[0].1, 14 + 20 + 8 + 56 + 4);
         // At the application: trailer stripped, original 56 bytes.
-        let deliveries = got.borrow();
+        let deliveries = got.lock().unwrap();
         assert_eq!(deliveries.len(), 1);
         let parsed = deliveries[0].1.parse().unwrap();
         assert_eq!(parsed.payload.len(), 56);
@@ -1288,18 +1008,18 @@ mod tests {
                 .forwarding(Forwarding::Deliver),
         );
         w.connect(vif, eth1, SimDuration::ZERO);
-        let got = Rc::new(RefCell::new(Vec::new()));
+        let got = Arc::new(Mutex::new(Vec::new()));
         let app = w.add_app(
             host,
             vif,
             Box::new(Counter {
-                got: Rc::clone(&got),
+                got: Arc::clone(&got),
             }),
         );
         w.bind_app(eth1, 2000, app);
         w.inject(vif, udp_packet(56));
         w.run_until(SimTime::from_millis(5));
-        let t = got.borrow()[0].0;
+        let t = got.lock().unwrap()[0].0;
         // The hog holds the pCPU for the 1000us ratelimit window; delivery
         // cannot occur much before that.
         assert!(
@@ -1325,18 +1045,18 @@ mod tests {
                 .forwarding(Forwarding::Deliver),
         );
         w2.connect(vif2, eth1b, SimDuration::ZERO);
-        let got2 = Rc::new(RefCell::new(Vec::new()));
+        let got2 = Arc::new(Mutex::new(Vec::new()));
         let app2 = w2.add_app(
             host2,
             vif2,
             Box::new(Counter {
-                got: Rc::clone(&got2),
+                got: Arc::clone(&got2),
             }),
         );
         w2.bind_app(eth1b, 2000, app2);
         w2.inject(vif2, udp_packet(56));
         w2.run_until(SimTime::from_millis(5));
-        let t2 = got2.borrow()[0].0;
+        let t2 = got2.lock().unwrap()[0].0;
         assert!(
             t2 < SimTime::from_micros(20),
             "no ratelimit -> prompt delivery, got {t2}"
@@ -1370,12 +1090,12 @@ mod tests {
                 .forwarding(Forwarding::Deliver),
         );
         w.connect(encap, decap, SimDuration::ZERO);
-        let got = Rc::new(RefCell::new(Vec::new()));
+        let got = Arc::new(Mutex::new(Vec::new()));
         let app = w.add_app(
             n,
             encap,
             Box::new(Counter {
-                got: Rc::clone(&got),
+                got: Arc::clone(&got),
             }),
         );
         w.bind_app(decap, 2000, app);
@@ -1383,7 +1103,7 @@ mod tests {
         let original_bytes = original.bytes().to_vec();
         w.inject(encap, original);
         w.run_until(SimTime::from_millis(1));
-        let deliveries = got.borrow();
+        let deliveries = got.lock().unwrap();
         assert_eq!(deliveries.len(), 1);
         assert_eq!(
             deliveries[0].1.bytes(),
@@ -1405,6 +1125,59 @@ mod tests {
         let w = World::new(0);
         assert!(!format!("{w:?}").is_empty());
     }
+
+    /// Two latency-connected islands, one ping-pong pair each: the runs
+    /// at parallelism 1 and 4 must agree event for event.
+    fn echo_world(parallelism: usize) -> (World, Deliveries, Deliveries) {
+        let mut w = World::new(21);
+        w.set_parallelism(parallelism);
+        let mut mk = |i: usize| {
+            let a = w.add_node(format!("a{i}"), 2, NodeClock::perfect());
+            let b = w.add_node(format!("b{i}"), 2, NodeClock::perfect());
+            let atx = w.add_device(
+                DeviceConfig::new("tx", a)
+                    .service(ServiceModel::Fixed(SimDuration::from_micros(1))),
+            );
+            let brx = w.add_device(
+                DeviceConfig::new("rx", b)
+                    .service(ServiceModel::Fixed(SimDuration::from_micros(2)))
+                    .forwarding(Forwarding::Deliver),
+            );
+            w.connect(atx, brx, SimDuration::from_micros(25));
+            let got = Arc::new(Mutex::new(Vec::new()));
+            let app = w.add_app(
+                b,
+                brx,
+                Box::new(Counter {
+                    got: Arc::clone(&got),
+                }),
+            );
+            w.bind_app(brx, 2000, app);
+            (atx, got)
+        };
+        let (tx0, got0) = mk(0);
+        let (tx1, got1) = mk(1);
+        for _ in 0..40 {
+            w.inject(tx0, udp_packet(64));
+            w.inject(tx1, udp_packet(48));
+        }
+        (w, got0, got1)
+    }
+
+    #[test]
+    fn multi_shard_matches_single_shard() {
+        let (mut w1, a1, b1) = echo_world(1);
+        let (mut w4, a4, b4) = echo_world(4);
+        w1.run_until(SimTime::from_millis(5));
+        w4.run_until(SimTime::from_millis(5));
+        assert_eq!(w1.events_processed(), w4.events_processed());
+        let times = |d: &Deliveries| -> Vec<SimTime> {
+            d.lock().unwrap().iter().map(|(t, _)| *t).collect()
+        };
+        assert_eq!(times(&a1), times(&a4));
+        assert_eq!(times(&b1), times(&b4));
+        assert!(!times(&a1).is_empty());
+    }
 }
 
 #[cfg(test)]
@@ -1412,21 +1185,20 @@ mod htb_tests {
     use super::*;
     use crate::device::{DeviceConfig, Forwarding, HtbConfig, ServiceModel};
     use crate::packet::{FlowKey, PacketBuilder, SocketAddrV4Ext};
-    use std::cell::RefCell;
     use std::net::SocketAddrV4;
-    use std::rc::Rc;
+    use std::sync::{Arc, Mutex};
 
     struct Sink {
-        got: Rc<RefCell<Vec<(SimTime, usize)>>>,
+        got: Arc<Mutex<Vec<(SimTime, usize)>>>,
     }
 
     impl crate::app::App for Sink {
         fn on_packet(&mut self, ctx: &mut crate::app::AppCtx<'_>, pkt: Packet) {
-            self.got.borrow_mut().push((ctx.now(), pkt.len()));
+            self.got.lock().unwrap().push((ctx.now(), pkt.len()));
         }
     }
 
-    type Seen = Rc<RefCell<Vec<(SimTime, usize)>>>;
+    type Seen = Arc<Mutex<Vec<(SimTime, usize)>>>;
 
     fn shaped_world(htb: HtbConfig) -> (World, DeviceId, Seen) {
         let mut w = World::new(99);
@@ -1438,12 +1210,12 @@ mod htb_tests {
         );
         let sink = w.add_device(DeviceConfig::new("sink", n).forwarding(Forwarding::Deliver));
         w.connect(port, sink, SimDuration::ZERO);
-        let got = Rc::new(RefCell::new(Vec::new()));
+        let got = Arc::new(Mutex::new(Vec::new()));
         let app = w.add_app(
             n,
             port,
             Box::new(Sink {
-                got: Rc::clone(&got),
+                got: Arc::clone(&got),
             }),
         );
         w.bind_app(sink, 7, app);
@@ -1472,7 +1244,7 @@ mod htb_tests {
         }
         w.inject(port, pkt(20));
         w.run_until(SimTime::from_millis(10));
-        let deliveries = got.borrow();
+        let deliveries = got.lock().unwrap();
         assert_eq!(deliveries.len(), 4);
         // The small frame is served first (latency class bypasses).
         assert!(deliveries[0].1 < 100, "small frame first: {deliveries:?}");

@@ -12,9 +12,8 @@
 //! delivered packet, concentrated on CPU 0, and container throughput
 //! collapses to a fraction of the VM-to-VM number (Fig. 12b).
 
-use std::cell::RefCell;
 use std::net::Ipv4Addr;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use vnet_sim::device::{
     DeviceConfig, Forwarding, Gate, KernelFunctions, ServiceModel, Steering, TraceIdRole, Transform,
@@ -88,7 +87,7 @@ pub struct ContainerScenario {
     /// Receiver VM.
     pub vm2: NodeId,
     /// Server-side goodput recorder.
-    pub throughput: Rc<RefCell<ThroughputRecorder>>,
+    pub throughput: Arc<Mutex<ThroughputRecorder>>,
     /// The (inner, for overlay) data flow client → server.
     pub flow: FlowKey,
 }
@@ -333,7 +332,7 @@ impl ContainerScenario {
                 let server = w.add_app(
                     vm2,
                     c2_tx,
-                    Box::new(NetperfServer::new(Rc::clone(&throughput))),
+                    Box::new(NetperfServer::new(Arc::clone(&throughput))),
                 );
                 w.bind_app(server_rx, SERVER_PORT, server);
                 let client = w.add_app(
@@ -352,7 +351,7 @@ impl ContainerScenario {
                 let server = w.add_app(
                     vm2,
                     c2_tx,
-                    Box::new(IperfServer::new(Rc::clone(&throughput))),
+                    Box::new(IperfServer::new(Arc::clone(&throughput))),
                 );
                 w.bind_app(server_rx, SERVER_PORT, server);
                 // Open loop above the fastest capacity (1.5us/pkt): one
@@ -389,7 +388,7 @@ impl ContainerScenario {
 
     /// Goodput in Mbit/s.
     pub fn goodput_mbps(&self) -> f64 {
-        self.throughput.borrow().throughput_mbps()
+        self.throughput.lock().unwrap().throughput_mbps()
     }
 
     /// `net_rx_action` executions on the receiver VM, per CPU.
@@ -471,7 +470,7 @@ pub fn run_throughput(mode: NetMode, transport: Transport, count: u64) -> (f64, 
     };
     let mut s = ContainerScenario::build(&cfg);
     s.run(&cfg);
-    let delivered = s.throughput.borrow().packets().max(1);
+    let delivered = s.throughput.lock().unwrap().packets().max(1);
     let net_rx: u64 = s.vm2_net_rx_per_cpu().iter().sum();
     (
         s.goodput_mbps(),

@@ -14,6 +14,8 @@
 //!   under CPU consolidation, Sockperf and Data Caching.
 //! * [`container`] — Figs. 12–13: VM versus container-overlay (VXLAN)
 //!   networking; softirq rates, distribution and data paths.
+//! * [`rack`] — the `datacenter_rack` scale scenario with a tracing
+//!   agent on every node, driving the sharded event loop.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -21,6 +23,7 @@
 pub mod container;
 pub mod netperf_xen;
 pub mod ovs;
+pub mod rack;
 pub mod two_host;
 pub mod xen;
 

@@ -10,9 +10,8 @@
 //! A light background iPerf flow shares the OVS bridges and NICs so the
 //! Sockperf latency distribution has a realistic tail.
 
-use std::cell::RefCell;
 use std::net::{Ipv4Addr, SocketAddrV4};
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use vnet_sim::device::{DeviceConfig, Forwarding, ServiceModel, TraceIdRole};
 use vnet_sim::node::NodeClock;
@@ -61,7 +60,7 @@ pub struct TwoHostScenario {
     /// Second server (Sockperf server VM).
     pub server2: NodeId,
     /// Sockperf latency samples.
-    pub latency: Rc<RefCell<LatencyRecorder>>,
+    pub latency: Arc<Mutex<LatencyRecorder>>,
     /// The Sockperf flow (client → server).
     pub flow: FlowKey,
 }
@@ -160,7 +159,7 @@ impl TwoHostScenario {
                 vnet_workloads::sockperf::DEFAULT_MSG_SIZE,
                 cfg.interval,
                 cfg.messages,
-                Rc::clone(&latency),
+                Arc::clone(&latency),
             )),
         );
         let server = w.add_app(s2, ens3_tx_2, Box::new(SockperfServer::new()));
@@ -269,7 +268,7 @@ mod tests {
         };
         let mut s = TwoHostScenario::build(&cfg);
         s.run(&cfg);
-        let summary = s.latency.borrow().summary().unwrap();
+        let summary = s.latency.lock().unwrap().summary().unwrap();
         assert_eq!(summary.count, 200);
         // One-way ~ 36us (0.5+1.5+~1 NIC+30 wire+0.3+1.5+1).
         assert!(
@@ -295,7 +294,7 @@ mod tests {
         // Untraced run.
         let mut base = TwoHostScenario::build(&cfg);
         base.run(&cfg);
-        let base_summary = base.latency.borrow().summary().unwrap();
+        let base_summary = base.latency.lock().unwrap().summary().unwrap();
         // Traced run: 4 eBPF scripts.
         let mut traced = TwoHostScenario::build(&cfg);
         let pkg = traced.control_package();
@@ -303,7 +302,7 @@ mod tests {
         tracer.deploy(&mut traced.world, &pkg).unwrap();
         traced.run(&cfg);
         tracer.collect(&traced.world);
-        let traced_summary = traced.latency.borrow().summary().unwrap();
+        let traced_summary = traced.latency.lock().unwrap().summary().unwrap();
         let overhead = (traced_summary.mean_ns - base_summary.mean_ns) / base_summary.mean_ns;
         assert!(
             overhead.abs() < 0.01,
@@ -331,7 +330,10 @@ mod tests {
         a.run(&cfg);
         let mut b = TwoHostScenario::build(&cfg);
         b.run(&cfg);
-        assert_eq!(a.latency.borrow().samples(), b.latency.borrow().samples());
+        assert_eq!(
+            a.latency.lock().unwrap().samples(),
+            b.latency.lock().unwrap().samples()
+        );
         assert!(a.world.now() > SimTime::ZERO);
     }
 }

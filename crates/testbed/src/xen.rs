@@ -14,9 +14,8 @@
 //! and `vif1.0` in Dom0, `eth1` in the server VM and `veth684a1d9`
 //! inside the container.
 
-use std::cell::RefCell;
 use std::net::{Ipv4Addr, SocketAddrV4};
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use vnet_sim::device::{DeviceConfig, Forwarding, Gate, ServiceModel, TraceIdRole};
 use vnet_sim::node::NodeClock;
@@ -111,7 +110,7 @@ pub struct XenScenario {
     /// The Xen host.
     pub xen: NodeId,
     /// Workload latency samples (as the application reports them).
-    pub latency: Rc<RefCell<LatencyRecorder>>,
+    pub latency: Arc<Mutex<LatencyRecorder>>,
     /// The request flow (client → server).
     pub flow: FlowKey,
 }
@@ -241,7 +240,7 @@ impl XenScenario {
                         vnet_workloads::sockperf::DEFAULT_MSG_SIZE,
                         cfg.interval,
                         cfg.requests,
-                        Rc::clone(&latency),
+                        Arc::clone(&latency),
                     )),
                 );
                 let server = w.add_app(xen, guest_tx, Box::new(SockperfServer::new()));
@@ -255,7 +254,7 @@ impl XenScenario {
                         flow,
                         vnet_workloads::memcached::DEFAULT_RPS,
                         cfg.requests,
-                        Rc::clone(&latency),
+                        Arc::clone(&latency),
                     )),
                 );
                 let server = w.add_app(xen, guest_tx, Box::new(DataCachingServer::new()));
@@ -350,7 +349,8 @@ pub fn run_latency_with_ratelimit(
     s.run(&cfg);
     let summary = s
         .latency
-        .borrow()
+        .lock()
+        .unwrap()
         .summary()
         .expect("workload produced samples");
     summary
@@ -496,7 +496,7 @@ mod tests {
             };
             let mut s = XenScenario::build(&cfg);
             s.run(&cfg);
-            let summary = s.latency.borrow().summary().unwrap();
+            let summary = s.latency.lock().unwrap().summary().unwrap();
             summary
         };
         let alone = run(Consolidation::Alone, None);
@@ -520,7 +520,8 @@ mod tests {
         };
         let mut a = XenScenario::build(&cfg_alone);
         a.run(&cfg_alone);
-        let alone_range = vnettracer::metrics::jitter_range(a.latency.borrow().samples()).unwrap();
+        let alone_range =
+            vnettracer::metrics::jitter_range(a.latency.lock().unwrap().samples()).unwrap();
         let cfg_shared = XenConfig {
             consolidation: Consolidation::SharedDefaultRatelimit,
             requests: 300,
@@ -528,7 +529,8 @@ mod tests {
         };
         let mut b = XenScenario::build(&cfg_shared);
         b.run(&cfg_shared);
-        let shared_range = vnettracer::metrics::jitter_range(b.latency.borrow().samples()).unwrap();
+        let shared_range =
+            vnettracer::metrics::jitter_range(b.latency.lock().unwrap().samples()).unwrap();
         let alone_span = alone_range.1 - alone_range.0;
         let shared_span = shared_range.1 - shared_range.0;
         assert!(

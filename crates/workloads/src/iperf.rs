@@ -4,8 +4,7 @@
 //! datagrams at a configured rate regardless of loss, saturating the OVS
 //! ingress; the server counts delivered bytes.
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use vnet_sim::app::{App, AppCtx};
 use vnet_sim::packet::{FlowKey, Packet, PacketBuilder};
@@ -88,12 +87,12 @@ impl App for IperfClient {
 /// The iPerf server: a sink recording delivered bytes.
 #[derive(Debug)]
 pub struct IperfServer {
-    throughput: Rc<RefCell<ThroughputRecorder>>,
+    throughput: Arc<Mutex<ThroughputRecorder>>,
 }
 
 impl IperfServer {
     /// Creates a server reporting into `throughput`.
-    pub fn new(throughput: Rc<RefCell<ThroughputRecorder>>) -> Self {
+    pub fn new(throughput: Arc<Mutex<ThroughputRecorder>>) -> Self {
         IperfServer { throughput }
     }
 }
@@ -102,7 +101,8 @@ impl App for IperfServer {
     fn on_packet(&mut self, ctx: &mut AppCtx<'_>, pkt: Packet) {
         if let Ok(parsed) = pkt.parse() {
             self.throughput
-                .borrow_mut()
+                .lock()
+                .unwrap()
                 .record(parsed.payload.len(), ctx.monotonic_ns());
         }
     }
@@ -130,7 +130,7 @@ mod tests {
         service: SimDuration,
         count: u64,
         queue: usize,
-    ) -> (World, Rc<RefCell<ThroughputRecorder>>, vnet_sim::DeviceId) {
+    ) -> (World, Arc<Mutex<ThroughputRecorder>>, vnet_sim::DeviceId) {
         let mut w = World::new(31);
         let n = w.add_node("host", 2, NodeClock::perfect());
         let tx = w.add_device(
@@ -144,7 +144,7 @@ mod tests {
         );
         w.connect(tx, rx, SimDuration::ZERO);
         let tput = ThroughputRecorder::shared();
-        let server = w.add_app(n, tx, Box::new(IperfServer::new(Rc::clone(&tput))));
+        let server = w.add_app(n, tx, Box::new(IperfServer::new(Arc::clone(&tput))));
         w.bind_app(rx, 5201, server);
         w.add_app(
             n,
@@ -164,7 +164,7 @@ mod tests {
             512,
         );
         w.run_until(SimTime::from_millis(20));
-        let t = tput.borrow();
+        let t = tput.lock().unwrap();
         assert_eq!(t.packets(), 100);
         // 100 packets over 99 inter-arrival gaps: 1470*8*100/(99*100us).
         let mbps = t.throughput_mbps();
@@ -187,7 +187,7 @@ mod tests {
         w.run_until(SimTime::from_millis(10));
         let c = w.device_counters(rx);
         assert!(c.dropped_queue_full > 50, "bottleneck must drop, got {c:?}");
-        assert!(tput.borrow().packets() < 200);
+        assert!(tput.lock().unwrap().packets() < 200);
     }
 
     #[test]

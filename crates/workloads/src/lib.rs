@@ -12,7 +12,10 @@
 //!   does,
 //! * [`memcached`] — the CloudSuite Data Caching GET/SET mix (Fig. 10b),
 //! * [`stats`] — shared latency/throughput recorders the harness reads
-//!   after a run.
+//!   after a run,
+//! * [`datacenter_rack`] — the rack-scale scenario (hundreds of VM
+//!   nodes, thousands of container apps, ≥1M concurrent flows over an
+//!   OVS/VXLAN overlay) that exercises the sharded event loop.
 //!
 //! Every generator implements [`vnet_sim::app::App`] and plugs into any
 //! topology built on the simulator. CPU-hog "workloads" need no app: they
@@ -21,6 +24,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod datacenter_rack;
 pub mod iperf;
 pub mod memcached;
 pub mod netperf;
@@ -29,6 +33,7 @@ pub mod stats;
 pub mod tcp_stream;
 pub mod wire;
 
+pub use datacenter_rack::{FlowFanClient, RackConfig, RackScenario};
 pub use iperf::{IperfClient, IperfServer};
 pub use memcached::{DataCachingClient, DataCachingServer};
 pub use netperf::{NetperfClient, NetperfServer};

@@ -7,8 +7,7 @@
 //! 5000 rps" (§IV-D). Requests run over memcached's UDP protocol; the
 //! response latency of every request is recorded.
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use vnet_sim::app::{App, AppCtx};
 use vnet_sim::packet::{FlowKey, Packet, PacketBuilder};
@@ -37,7 +36,7 @@ pub struct DataCachingClient {
     interval: SimDuration,
     count: u64,
     sent: u64,
-    latency: Rc<RefCell<LatencyRecorder>>,
+    latency: Arc<Mutex<LatencyRecorder>>,
 }
 
 impl DataCachingClient {
@@ -47,7 +46,7 @@ impl DataCachingClient {
     /// # Panics
     ///
     /// Panics if `rps` is zero.
-    pub fn new(flow: FlowKey, rps: u64, count: u64, latency: Rc<RefCell<LatencyRecorder>>) -> Self {
+    pub fn new(flow: FlowKey, rps: u64, count: u64, latency: Arc<Mutex<LatencyRecorder>>) -> Self {
         assert!(rps > 0, "request rate must be positive");
         DataCachingClient {
             flow,
@@ -93,7 +92,8 @@ impl App for DataCachingClient {
             return;
         };
         self.latency
-            .borrow_mut()
+            .lock()
+            .unwrap()
             .record(ctx.monotonic_ns().saturating_sub(t_send));
     }
 }
@@ -183,7 +183,7 @@ mod tests {
                 flow,
                 DEFAULT_RPS,
                 100,
-                Rc::clone(&latency),
+                Arc::clone(&latency),
             )),
         );
         let server_app = DataCachingServer::new();
@@ -191,7 +191,7 @@ mod tests {
         w.bind_app(s_rx, 11211, server);
         w.bind_app(c_rx, 30000, client);
         w.run_until(SimTime::from_millis(100));
-        let s = latency.borrow().summary().unwrap();
+        let s = latency.lock().unwrap().summary().unwrap();
         assert_eq!(s.count, 100);
         // RTT through four 3us devices = 12us.
         assert_eq!(s.p50_ns, 12_000);

@@ -9,9 +9,8 @@
 //!
 //! Pairs with [`crate::NetperfServer`], which acks every data segment.
 
-use std::cell::RefCell;
 use std::collections::BTreeMap;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use vnet_sim::app::{App, AppCtx};
 use vnet_sim::packet::{FlowKey, Packet, PacketBuilder, TcpFlags, TransportHeader};
@@ -43,7 +42,7 @@ pub struct TcpStreamClient {
     ssthresh: f64,
     next_seq: u64,
     inflight: BTreeMap<u64, u32>, // seq -> send epoch (stale-timer guard)
-    stats: Rc<RefCell<TcpStreamStats>>,
+    stats: Arc<Mutex<TcpStreamStats>>,
     epoch: u32,
 }
 
@@ -69,7 +68,7 @@ impl TcpStreamClient {
         mss: usize,
         total_segments: u64,
         rto: SimDuration,
-        stats: Rc<RefCell<TcpStreamStats>>,
+        stats: Arc<Mutex<TcpStreamStats>>,
     ) -> Self {
         assert!(total_segments > 0, "stream needs at least one segment");
         TcpStreamClient {
@@ -118,7 +117,7 @@ impl TcpStreamClient {
         if self.inflight.remove(&acked_seq).is_none() {
             return; // duplicate or late ack
         }
-        self.stats.borrow_mut().acked += 1;
+        self.stats.lock().unwrap().acked += 1;
         if self.cwnd < self.ssthresh {
             self.cwnd += 1.0; // slow start
         } else {
@@ -165,7 +164,7 @@ impl App for TcpStreamClient {
         }
         // Loss: multiplicative decrease and retransmit.
         {
-            let mut st = self.stats.borrow_mut();
+            let mut st = self.stats.lock().unwrap();
             st.retransmits += 1;
             st.md_events += 1;
         }
@@ -201,8 +200,8 @@ mod tests {
         segments: u64,
     ) -> (
         World,
-        Rc<RefCell<TcpStreamStats>>,
-        Rc<RefCell<ThroughputRecorder>>,
+        Arc<Mutex<TcpStreamStats>>,
+        Arc<Mutex<ThroughputRecorder>>,
     ) {
         let mut w = World::new(71);
         let n = w.add_node("host", 2, NodeClock::perfect());
@@ -225,9 +224,9 @@ mod tests {
         );
         w.connect(bottleneck, stack, SimDuration::from_micros(20));
         let tput = ThroughputRecorder::shared();
-        let server = w.add_app(n, ack_path, Box::new(NetperfServer::new(Rc::clone(&tput))));
+        let server = w.add_app(n, ack_path, Box::new(NetperfServer::new(Arc::clone(&tput))));
         w.bind_app(stack, 5201, server);
-        let stats = Rc::new(RefCell::new(TcpStreamStats::default()));
+        let stats = Arc::new(Mutex::new(TcpStreamStats::default()));
         let client = w.add_app(
             n,
             bottleneck,
@@ -236,7 +235,7 @@ mod tests {
                 1448,
                 segments,
                 SimDuration::from_millis(2),
-                Rc::clone(&stats),
+                Arc::clone(&stats),
             )),
         );
         w.bind_app(ack_path, 40000, client);
@@ -247,17 +246,17 @@ mod tests {
     fn lossless_stream_completes_and_grows_cwnd() {
         let (mut w, stats, tput) = build(4096, 500);
         w.run_until(SimTime::from_millis(200));
-        let st = stats.borrow();
+        let st = stats.lock().unwrap();
         assert_eq!(st.acked, 500, "all segments acknowledged");
         assert_eq!(st.retransmits, 0, "no loss on a deep queue");
-        assert_eq!(tput.borrow().packets(), 500);
+        assert_eq!(tput.lock().unwrap().packets(), 500);
     }
 
     #[test]
     fn small_queue_forces_aimd_oscillation() {
         let (mut w, stats, _) = build(8, 2_000);
         w.run_until(SimTime::from_secs(2));
-        let st = stats.borrow();
+        let st = stats.lock().unwrap();
         assert_eq!(st.acked, 2_000, "stream still completes despite drops");
         assert!(st.md_events > 3, "AIMD must back off repeatedly: {st:?}");
         assert!(st.retransmits > 3);
@@ -268,7 +267,7 @@ mod tests {
         // 10us per segment = 1158 Mbps payload ceiling.
         let (mut w, _, tput) = build(64, 2_000);
         w.run_until(SimTime::from_secs(1));
-        let mbps = tput.borrow().throughput_mbps();
+        let mbps = tput.lock().unwrap().throughput_mbps();
         assert!(
             (900.0..1_200.0).contains(&mbps),
             "AIMD should keep the bottleneck busy: {mbps}"
@@ -283,7 +282,7 @@ mod tests {
             1448,
             0,
             SimDuration::from_millis(1),
-            Rc::new(RefCell::new(TcpStreamStats::default())),
+            Arc::new(Mutex::new(TcpStreamStats::default())),
         );
     }
 }

@@ -59,7 +59,8 @@ fn custom_histogram_program_counts_packet_sizes() {
     // reads it back after the run.
     let hist_fd = agent
         .maps()
-        .borrow_mut()
+        .lock()
+        .unwrap()
         .create(MapDef::array(8, 8), 4)
         .unwrap();
     let id = agent
@@ -93,7 +94,7 @@ fn custom_histogram_program_counts_packet_sizes() {
     assert_eq!(stats.errors, 0);
 
     let maps = agent.maps();
-    let mut maps = maps.borrow_mut();
+    let mut maps = maps.lock().unwrap();
     let map = maps.get_mut(hist_fd).unwrap();
     let bucket = |map: &mut vnet_ebpf::map::Map, i: u32| -> u64 {
         u64::from_le_bytes(map.lookup(&i.to_le_bytes(), 0).unwrap().try_into().unwrap())

@@ -1,0 +1,61 @@
+//! Determinism across parallelism levels and repeated runs.
+//!
+//! The sharded event loop's contract: for a fixed seed, the simulation —
+//! including everything the tracer observes and records — is
+//! bit-for-bit identical whether it runs on one thread or eight, and
+//! across repeated runs. The canonical push-key event ordering and the
+//! per-node RNG streams are what make this hold; this test is the
+//! tripwire if either regresses.
+
+use vnet_testbed::rack::RackTestbed;
+use vnet_tsdb::persist::write_json_lines;
+use vnet_workloads::datacenter_rack::RackConfig;
+
+/// One traced rack run at the given thread count, reduced to a
+/// comparable fingerprint: serialized trace DB bytes, probe firings,
+/// events processed, and the workload's own delivery counts.
+fn traced_run(threads: usize) -> (Vec<u8>, u64, u64, Vec<(u64, u64)>) {
+    let cfg = RackConfig::small();
+    let mut tb = RackTestbed::build(&cfg);
+    tb.scenario.world.set_parallelism(threads);
+    let pkg = tb.control_package();
+    let mut tracer = tb.make_tracer();
+    tracer.deploy(&mut tb.scenario.world, &pkg).unwrap();
+    tb.run();
+    tracer.collect(&tb.scenario.world);
+    let mut db = Vec::new();
+    write_json_lines(tracer.db(), &mut db).unwrap();
+    (
+        db,
+        tb.scenario.world.probes_fired(),
+        tb.scenario.world.events_processed(),
+        tb.scenario.delivery_fingerprint(),
+    )
+}
+
+#[test]
+fn same_seed_identical_output_across_thread_counts() {
+    let (db1, fired1, events1, delivery1) = traced_run(1);
+    assert!(!db1.is_empty(), "the trace DB must not be empty");
+    assert!(fired1 > 0, "probes must fire");
+    for threads in [2, 4, 8] {
+        let (db, fired, events, delivery) = traced_run(threads);
+        assert_eq!(fired, fired1, "probes_fired at {threads} threads");
+        assert_eq!(events, events1, "events_processed at {threads} threads");
+        assert_eq!(delivery, delivery1, "deliveries at {threads} threads");
+        assert_eq!(
+            db, db1,
+            "trace DB must be byte-identical at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn same_seed_identical_output_across_repeated_runs() {
+    let (db_a, fired_a, events_a, delivery_a) = traced_run(2);
+    let (db_b, fired_b, events_b, delivery_b) = traced_run(2);
+    assert_eq!(fired_a, fired_b);
+    assert_eq!(events_a, events_b);
+    assert_eq!(delivery_a, delivery_b);
+    assert_eq!(db_a, db_b, "repeated runs must be byte-identical");
+}
