@@ -8,6 +8,11 @@
 //!   actually had, because on a one-core box the parallel arms pay
 //!   barrier and channel cost with nothing to overlap and the honest
 //!   speedup is below 1.
+//! - `emulated_rack`: the same rack with a trace-driven link profile
+//!   (LEO-handover delay steps) attached to every host uplink, versus
+//!   the plain rack — the event-loop cost of the emulation layer
+//!   (per-crossing segment lookup, wire-serialization bookkeeping and
+//!   scheduled segment transitions).
 //! - `ingest_1m`: one million trace records into `TraceDb`, batched
 //!   versus one `DataPoint` at a time (records/sec).
 //! - `jit_vs_interp`: the hot match-and-record trace program on the
@@ -26,6 +31,7 @@ use vnet_ebpf::map::{MapDef, MapRegistry};
 use vnet_ebpf::program::load;
 use vnet_ebpf::vm::{standard_helpers, FixedEnv, Vm};
 use vnet_sim::packet::{trace_id, FlowKey, PacketBuilder};
+use vnet_sim::profile::leo_handover;
 use vnet_sim::time::SimDuration;
 use vnet_tsdb::{RecordBatch, TraceDb};
 use vnet_workloads::datacenter_rack::{RackConfig, RackScenario};
@@ -69,6 +75,44 @@ fn time_rack(cfg: &RackConfig, threads: usize, reps: usize) -> (f64, u64) {
         }
     }
     (best, events)
+}
+
+/// Best-of-N rack run with a LEO-handover link profile on every host
+/// uplink versus the unprofiled baseline; returns
+/// `((baseline_secs, baseline_events), (profiled_secs, profiled_events))`.
+fn time_emulated_rack(cfg: &RackConfig, reps: usize) -> ((f64, u64), (f64, u64)) {
+    let run = |profiled: bool| {
+        let mut best = f64::INFINITY;
+        let mut events = 0;
+        for _ in 0..reps {
+            let mut s = RackScenario::build(cfg);
+            if profiled {
+                let span =
+                    SimDuration::from_nanos(cfg.send_interval.as_nanos() * cfg.packets_per_app);
+                let (profile, _episodes) = leo_handover(
+                    SimDuration::from_micros(5),
+                    SimDuration::from_micros(300),
+                    SimDuration::from_micros(200),
+                    SimDuration::from_micros(500),
+                    SimDuration::from_micros(100),
+                    span,
+                );
+                for h in 0..cfg.hosts {
+                    let uplink = s.world.find_device(s.host_nodes[h], "eth0-tx").unwrap();
+                    s.world.attach_link_profile(uplink, 0, profile.clone());
+                }
+            }
+            let start = Instant::now();
+            s.run(cfg);
+            let secs = start.elapsed().as_secs_f64();
+            events = s.world.events_processed();
+            if secs < best {
+                best = secs;
+            }
+        }
+        (best, events)
+    };
+    (run(false), run(true))
 }
 
 /// Best-of-N for the 1M-record ingest, batched and single-record paths.
@@ -213,6 +257,14 @@ fn main() {
         ]));
     }
 
+    let ((base_secs_e, base_events_e), (prof_secs, prof_events)) = time_emulated_rack(&cfg, reps);
+    eprintln!(
+        "  emulated_rack: baseline {:.0} events/sec, profiled {:.0} events/sec ({:.1}% overhead)",
+        base_events_e as f64 / base_secs_e,
+        prof_events as f64 / prof_secs,
+        (prof_secs / base_secs_e - 1.0) * 100.0
+    );
+
     let (batched, single, records) = time_ingest(reps);
     eprintln!(
         "  ingest_1m: batched {:.0} rec/s, single {:.0} rec/s",
@@ -249,6 +301,29 @@ fn main() {
                     ),
                 ),
                 ("runs", Value::Array(scale)),
+            ]),
+        ),
+        (
+            "emulated_rack",
+            object([
+                (
+                    "profile",
+                    Value::String("leo-handover on every host uplink".into()),
+                ),
+                ("baseline_events", Value::UInt(base_events_e)),
+                (
+                    "baseline_events_per_sec",
+                    Value::Float(base_events_e as f64 / base_secs_e),
+                ),
+                ("profiled_events", Value::UInt(prof_events)),
+                (
+                    "profiled_events_per_sec",
+                    Value::Float(prof_events as f64 / prof_secs),
+                ),
+                (
+                    "overhead_pct",
+                    Value::Float((prof_secs / base_secs_e - 1.0) * 100.0),
+                ),
             ]),
         ),
         (

@@ -10,6 +10,7 @@
 //! vnt <scenario> [--package FILE.json] [--messages N] [--emit-package] [--threads N]
 //! vnt rack [--threads N] [--messages N] [--full] [--trace]
 //! vnt live [--messages N] [--window-us W] [--collect-us I]
+//! vnt emulate [--profile NAME|all] [--rack] [--seed N] [--messages N] [--threads N]
 //! vnt verify <prog.bpf>
 //!
 //! scenarios: two-host | ovs | xen | container | rack
@@ -31,6 +32,14 @@
 //! scenario, most useful here), `--full` selects the million-flow
 //! configuration instead of the small smoke size, and `--trace`
 //! deploys a record script at every bridge and VM port.
+//!
+//! `vnt emulate` replays a trace-driven adversarial link condition
+//! (LEO-handover delay steps, congested-WAN rate dips, flapping links,
+//! asymmetric-route skew, Gilbert–Elliott burst loss — or `all`)
+//! against the two-host testbed (or the rack with `--rack`) with the
+//! `vnet-live` anomaly detector attached, and prints each condition's
+//! precision/recall against the generator's ground-truth episode
+//! windows.
 //!
 //! `vnt verify` runs the abstract-interpretation verifier over a
 //! kernel-style program listing (one instruction per line, `#` comments
@@ -56,6 +65,9 @@ struct Args {
     threads: usize,
     full: bool,
     trace: bool,
+    profile: Option<String>,
+    rack: bool,
+    seed: Option<u64>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -76,6 +88,9 @@ fn parse_args() -> Result<Args, String> {
             threads: 1,
             full: false,
             trace: false,
+            profile: None,
+            rack: false,
+            seed: None,
         });
     }
     let mut out = Args {
@@ -89,6 +104,9 @@ fn parse_args() -> Result<Args, String> {
         threads: 1,
         full: false,
         trace: false,
+        profile: None,
+        rack: false,
+        seed: None,
     };
     while let Some(flag) = args.next() {
         match flag.as_str() {
@@ -115,6 +133,18 @@ fn parse_args() -> Result<Args, String> {
             }
             "--full" => out.full = true,
             "--trace" => out.trace = true,
+            "--rack" => out.rack = true,
+            "--profile" => {
+                out.profile = Some(args.next().ok_or("--profile needs a name".to_owned())?)
+            }
+            "--seed" => {
+                out.seed = Some(
+                    args.next()
+                        .ok_or("--seed needs a number".to_owned())?
+                        .parse()
+                        .map_err(|e| format!("bad --seed: {e}"))?,
+                )
+            }
             "--window-us" => {
                 out.window_us = args
                     .next()
@@ -140,7 +170,7 @@ fn parse_args() -> Result<Args, String> {
 }
 
 fn usage() -> String {
-    "usage: vnt <two-host|ovs|xen|container> [--package FILE.json] [--messages N] [--emit-package] [--threads N]\n       vnt rack [--threads N] [--messages N] [--full] [--trace]\n       vnt live [--messages N] [--window-us W] [--collect-us I]\n       vnt verify <prog.bpf>"
+    "usage: vnt <two-host|ovs|xen|container> [--package FILE.json] [--messages N] [--emit-package] [--threads N]\n       vnt rack [--threads N] [--messages N] [--full] [--trace]\n       vnt live [--messages N] [--window-us W] [--collect-us I]\n       vnt emulate [--profile NAME|all] [--rack] [--seed N] [--messages N] [--threads N]\n       vnt verify <prog.bpf>"
         .to_owned()
 }
 
@@ -400,10 +430,74 @@ fn run_live(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// `vnt emulate`: replay adversarial link conditions against a testbed
+/// with the `vnet-live` detector attached, and score its alerts against
+/// the generators' ground-truth episode windows.
+fn run_emulate(args: &Args) -> Result<(), String> {
+    use vnet_testbed::emulate::{run_rack, run_two_host, AdversarialProfile, EmulationConfig};
+
+    let profiles: Vec<AdversarialProfile> = match args.profile.as_deref() {
+        None | Some("all") => AdversarialProfile::all().to_vec(),
+        Some(name) => vec![name.parse()?],
+    };
+    let mut cfg = EmulationConfig {
+        threads: args.threads,
+        ..Default::default()
+    };
+    if args.messages_set {
+        cfg.messages = args.messages;
+    }
+    if let Some(seed) = args.seed {
+        cfg.seed = seed;
+    }
+    println!(
+        "emulate: {} scenario, seed {}, {} messages, {} thread(s)",
+        if args.rack { "rack" } else { "two-host" },
+        cfg.seed,
+        cfg.messages,
+        cfg.threads
+    );
+    let mut t = Table::new(
+        "detector validation",
+        &[
+            "profile",
+            "episodes",
+            "detected",
+            "alerts",
+            "matched",
+            "other",
+            "precision",
+            "recall",
+            "events",
+        ],
+    );
+    for p in profiles {
+        let r = if args.rack {
+            run_rack(p, &cfg)
+        } else {
+            run_two_host(p, &cfg)
+        };
+        t.row(&[
+            p.name().into(),
+            r.episodes.len().to_string(),
+            r.detected_episodes.to_string(),
+            r.expected_alerts.len().to_string(),
+            r.matched_alerts.to_string(),
+            r.other_alerts.len().to_string(),
+            format!("{:.3}", r.precision()),
+            format!("{:.3}", r.recall()),
+            r.events_processed.to_string(),
+        ]);
+    }
+    println!("{t}");
+    Ok(())
+}
+
 fn run(args: &Args) -> Result<(), String> {
     match args.scenario.as_str() {
         "verify" => verify_file(args.package.as_deref().expect("checked in parse_args")),
         "live" => run_live(args),
+        "emulate" => run_emulate(args),
         "two-host" => {
             let cfg = vnet_testbed::two_host::TwoHostConfig {
                 messages: args.messages,

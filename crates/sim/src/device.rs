@@ -271,6 +271,8 @@ pub enum DropReason {
     Down,
     /// The packet could not be routed (no matching port).
     NoRoute,
+    /// The packet was lost on the wire by a link profile's loss model.
+    Link,
 }
 
 /// Per-device counters.
@@ -293,12 +295,19 @@ pub struct DeviceCounters {
     /// Packets dropped because the device was administratively down or
     /// had failed.
     pub dropped_down: u64,
+    /// Packets lost on the wire by a link profile's loss model
+    /// (counted at the transmitting device).
+    pub dropped_link: u64,
 }
 
 impl DeviceCounters {
     /// Total packets dropped for any reason.
     pub fn dropped_total(&self) -> u64 {
-        self.dropped_queue_full + self.dropped_policed + self.dropped_no_route + self.dropped_down
+        self.dropped_queue_full
+            + self.dropped_policed
+            + self.dropped_no_route
+            + self.dropped_down
+            + self.dropped_link
     }
 }
 
@@ -408,8 +417,27 @@ impl DeviceConfig {
 pub struct Port {
     /// Device at the other end.
     pub peer: DeviceId,
-    /// One-way propagation latency.
+    /// One-way propagation latency (the base latency; replaced by the
+    /// active segment's delay when a link profile is attached).
     pub latency: SimDuration,
+    /// Index into the world's link-profile table, if a time-varying
+    /// [`crate::profile::LinkProfile`] drives this link.
+    pub profile: Option<u32>,
+    /// When the wire finishes serializing the last frame sent through a
+    /// rate-limited profile segment; later frames queue behind it.
+    pub wire_busy_until: SimTime,
+}
+
+impl Port {
+    /// A port toward `peer` with the given base latency and no profile.
+    pub fn new(peer: DeviceId, latency: SimDuration) -> Port {
+        Port {
+            peer,
+            latency,
+            profile: None,
+            wire_busy_until: SimTime::ZERO,
+        }
+    }
 }
 
 /// A packet waiting in or being served by a device, with the probe

@@ -91,6 +91,18 @@ pub enum Event {
         /// Caller-chosen tag distinguishing timers.
         tag: u64,
     },
+    /// A scheduled administrative state change: fail or restore a device
+    /// mid-run (the flapping-link condition generator). Processed by the
+    /// owning shard, so it is safe — and deterministic — at any
+    /// parallelism level, unlike calling
+    /// [`crate::world::World::set_device_down`] which only works between
+    /// runs.
+    SetDeviceDown {
+        /// The device.
+        dev: DeviceId,
+        /// `true` to fail the device, `false` to restore it.
+        down: bool,
+    },
 }
 
 #[derive(Debug)]

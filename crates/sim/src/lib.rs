@@ -59,6 +59,7 @@ pub mod ids;
 pub mod node;
 pub mod packet;
 pub mod probe;
+pub mod profile;
 pub mod sched;
 pub(crate) mod shard;
 pub mod softirq;

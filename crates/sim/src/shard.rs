@@ -44,6 +44,7 @@ use crate::packet::{
     trace_id, vxlan_decapsulate, vxlan_encapsulate, IpProtocol, Packet, PacketUid,
 };
 use crate::probe::{Direction, Hook, ProbeEvent, ProbeRegistry};
+use crate::profile::LinkProfile;
 use crate::sched::HyperScheduler;
 use crate::softirq::SoftirqEngine;
 use crate::time::{SimDuration, SimTime};
@@ -86,9 +87,10 @@ pub(crate) struct RemoteEvent {
 /// The node whose shard must process `event`.
 pub(crate) fn owner_node(event: &Event, dev_meta: &[DevMeta], app_nodes: &[NodeId]) -> NodeId {
     match event {
-        Event::Arrive { dev, .. } | Event::StartService { dev } | Event::FinishService { dev } => {
-            dev_meta[dev.index()].node
-        }
+        Event::Arrive { dev, .. }
+        | Event::StartService { dev }
+        | Event::FinishService { dev }
+        | Event::SetDeviceDown { dev, .. } => dev_meta[dev.index()].node,
         Event::SoftirqStart { node, .. } | Event::SoftirqFinish { node, .. } => *node,
         Event::AppTimer { app, .. } => app_nodes[app.index()],
     }
@@ -150,16 +152,27 @@ impl UnionFind {
 /// Nodes are merged when separating them could let one shard touch the
 /// other's state mid-window: zero-latency links (no lookahead), an app
 /// and its TX device, and a delivering device and its bound apps.
+///
+/// For a link driven by a [`LinkProfile`] the effective latency bound is
+/// the *minimum delay across every scheduled segment*, never the port's
+/// base latency: a profile may shrink the link's delay mid-run, and a
+/// lookahead derived from the initial latency would let a cross-shard
+/// packet arrive inside an already-closed window.
 pub(crate) fn partition_world(
     num_nodes: usize,
     devices: &[Device],
     apps: &[AppSlot],
     max_shards: usize,
+    profiles: &[LinkProfile],
 ) -> Partition {
+    let min_latency = |port: &crate::device::Port| match port.profile {
+        Some(pid) => profiles[pid as usize].min_delay(),
+        None => port.latency,
+    };
     let mut uf = UnionFind::new(num_nodes);
     for dev in devices {
         for port in &dev.ports {
-            if port.latency == SimDuration::ZERO {
+            if min_latency(port) == SimDuration::ZERO {
                 uf.union(
                     dev.cfg.node.index(),
                     devices[port.peer.index()].cfg.node.index(),
@@ -220,8 +233,9 @@ pub(crate) fn partition_world(
         for port in &dev.ports {
             let a = uf.find(dev.cfg.node.index());
             let b = uf.find(devices[port.peer.index()].cfg.node.index());
-            if a != b && port.latency < lookahead {
-                lookahead = port.latency;
+            let lat = min_latency(port);
+            if a != b && lat < lookahead {
+                lookahead = lat;
             }
         }
     }
@@ -252,6 +266,7 @@ pub(crate) struct Shard<'w> {
     pub(crate) dev_meta: &'w [DevMeta],
     pub(crate) app_nodes: &'w [NodeId],
     pub(crate) node_shard: &'w [usize],
+    pub(crate) link_profiles: &'w [LinkProfile],
     pub(crate) devices: Vec<Option<Device>>,
     pub(crate) apps: Vec<Option<AppSlot>>,
     pub(crate) probes: Vec<Option<ProbeRegistry>>,
@@ -273,6 +288,7 @@ impl<'w> Shard<'w> {
         dev_meta: &'w [DevMeta],
         app_nodes: &'w [NodeId],
         node_shard: &'w [usize],
+        link_profiles: &'w [LinkProfile],
         num_devices: usize,
         num_apps: usize,
     ) -> Self {
@@ -285,6 +301,7 @@ impl<'w> Shard<'w> {
             dev_meta,
             app_nodes,
             node_shard,
+            link_profiles,
             devices: (0..num_devices).map(|_| None).collect(),
             apps: (0..num_apps).map(|_| None).collect(),
             probes: (0..nodes.len()).map(|_| None).collect(),
@@ -353,6 +370,21 @@ impl<'w> Shard<'w> {
             Event::AppTimer { app, tag } => {
                 self.dispatch_app(app, |a, ctx| a.on_timer(ctx, tag));
             }
+            Event::SetDeviceDown { dev, down } => self.handle_set_down(dev, down),
+        }
+    }
+
+    /// Applies a scheduled administrative up/down flip to a device this
+    /// shard owns — the event-loop form of
+    /// [`crate::world::World::set_device_down`], identical in behaviour:
+    /// a revived device with queued packets resumes service.
+    fn handle_set_down(&mut self, dev_id: DeviceId, down: bool) {
+        let i = dev_id.index();
+        let now = self.now;
+        self.dev_mut(i).down = down;
+        if !down && !self.dev(i).busy && self.dev(i).queue_len() > 0 {
+            let node = self.dev(i).cfg.node;
+            self.route(node, now, Event::StartService { dev: dev_id });
         }
     }
 
@@ -797,7 +829,42 @@ impl<'w> Shard<'w> {
                     self.fire_drop_hook(i, &pkt);
                     return;
                 };
-                let mut arrive_at = now + port.latency + extra_delay;
+                // A link profile overrides the wire's behaviour with the
+                // segment active *now* (when the frame enters the wire):
+                // its delay replaces the base latency, its loss model may
+                // drop the frame, and its rate serializes frames through
+                // the shared wire, queueing them behind each other.
+                let mut link_delay = port.latency;
+                if let Some(pid) = port.profile {
+                    let seg = *self.link_profiles[pid as usize].segment_at(now);
+                    if seg.loss_rate > 0.0 {
+                        // loss_rate = 1.0 drops unconditionally — no draw,
+                        // so a certain loss never perturbs the RNG stream.
+                        let lost = seg.loss_rate >= 1.0 || {
+                            let rng = self.node_rngs[node.index()]
+                                .as_mut()
+                                .expect("rng owned by shard");
+                            rng.gen_bool(seg.loss_rate)
+                        };
+                        if lost {
+                            self.dev_mut(i).counters.dropped_link += 1;
+                            self.fire_drop_hook(i, &pkt);
+                            return;
+                        }
+                    }
+                    link_delay = seg.delay;
+                    if let Some(rate) = seg.rate_bps {
+                        let ser = SimDuration::from_nanos(
+                            (pkt.len() as u128 * 8 * 1_000_000_000 / rate as u128) as u64,
+                        );
+                        let wire = &mut self.dev_mut(i).ports[port_idx];
+                        let start = wire.wire_busy_until.max(now);
+                        let done = start + ser;
+                        wire.wire_busy_until = done;
+                        link_delay = (done - now) + seg.delay;
+                    }
+                }
+                let mut arrive_at = now + link_delay + extra_delay;
                 // Arrival into a vCPU-gated device on the *same node* is
                 // deferred until the guest's vCPU is scheduled: the guest
                 // cannot see the packet before then (Case Study II). For
@@ -1098,10 +1165,10 @@ mod tests {
     }
 
     fn link(devices: &mut [Device], from: usize, to: u32, latency_ns: u64) {
-        devices[from].ports.push(crate::device::Port {
-            peer: DeviceId(to),
-            latency: SimDuration::from_nanos(latency_ns),
-        });
+        devices[from].ports.push(crate::device::Port::new(
+            DeviceId(to),
+            SimDuration::from_nanos(latency_ns),
+        ));
     }
 
     #[test]
@@ -1109,7 +1176,7 @@ mod tests {
         let mut devices = vec![dev(0, 0), dev(1, 1), dev(2, 2)];
         link(&mut devices, 0, 1, 0); // node0 -- node1, zero latency
         link(&mut devices, 1, 2, 5_000); // node1 -- node2, 5us
-        let p = partition_world(3, &devices, &[], 8);
+        let p = partition_world(3, &devices, &[], 8, &[]);
         assert_eq!(p.node_shard[0], p.node_shard[1], "zero link merges");
         assert_ne!(p.node_shard[0], p.node_shard[2], "latency link splits");
         assert_eq!(p.num_shards, 2);
@@ -1122,15 +1189,71 @@ mod tests {
         link(&mut devices, 0, 1, 30_000);
         link(&mut devices, 1, 2, 2_000);
         link(&mut devices, 2, 0, 7_000);
-        let p = partition_world(3, &devices, &[], 8);
+        let p = partition_world(3, &devices, &[], 8, &[]);
         assert_eq!(p.num_shards, 3);
         assert_eq!(p.lookahead, SimDuration::from_micros(2));
     }
 
     #[test]
+    fn lookahead_uses_min_profile_delay_not_base_latency() {
+        use crate::profile::{LinkProfile, LinkSegment};
+        // Base latency 30us, but the profile schedules a later segment
+        // that shrinks the delay to 1us: lookahead must use 1us.
+        let mut devices = vec![dev(0, 0), dev(1, 1)];
+        link(&mut devices, 0, 1, 30_000);
+        devices[0].ports[0].profile = Some(0);
+        let profile = LinkProfile::new(vec![
+            LinkSegment {
+                start: SimTime::ZERO,
+                delay: SimDuration::from_micros(30),
+                loss_rate: 0.0,
+                rate_bps: None,
+            },
+            LinkSegment {
+                start: SimTime::from_millis(1),
+                delay: SimDuration::from_micros(1),
+                loss_rate: 0.0,
+                rate_bps: None,
+            },
+        ])
+        .unwrap();
+        let p = partition_world(2, &devices, &[], 8, std::slice::from_ref(&profile));
+        assert_eq!(p.num_shards, 2);
+        assert_eq!(p.lookahead, SimDuration::from_micros(1));
+    }
+
+    #[test]
+    fn profile_with_zero_min_delay_merges_nodes() {
+        use crate::profile::{LinkProfile, LinkSegment};
+        let mut devices = vec![dev(0, 0), dev(1, 1)];
+        link(&mut devices, 0, 1, 30_000);
+        devices[0].ports[0].profile = Some(0);
+        let profile = LinkProfile::new(vec![
+            LinkSegment {
+                start: SimTime::ZERO,
+                delay: SimDuration::from_micros(30),
+                loss_rate: 0.0,
+                rate_bps: None,
+            },
+            LinkSegment {
+                start: SimTime::from_millis(1),
+                delay: SimDuration::ZERO,
+                loss_rate: 0.0,
+                rate_bps: None,
+            },
+        ])
+        .unwrap();
+        let p = partition_world(2, &devices, &[], 8, std::slice::from_ref(&profile));
+        assert_eq!(
+            p.node_shard[0], p.node_shard[1],
+            "a link that can hit zero delay gives no lookahead — merge"
+        );
+    }
+
+    #[test]
     fn parallelism_caps_shard_count() {
         let devices: Vec<Device> = (0..10).map(|i| dev(i, i)).collect();
-        let p = partition_world(10, &devices, &[], 4);
+        let p = partition_world(10, &devices, &[], 4, &[]);
         assert_eq!(p.num_shards, 4);
         // Balanced: 10 singleton groups over 4 shards -> loads 3/3/2/2.
         let mut loads = vec![0usize; 4];
@@ -1150,7 +1273,7 @@ mod tests {
             name: "a".into(),
             app: None,
         }];
-        let p = partition_world(2, &devices, &apps, 8);
+        let p = partition_world(2, &devices, &apps, 8, &[]);
         assert_eq!(
             p.node_shard[0], p.node_shard[1],
             "app and its tx device share a shard"

@@ -39,6 +39,7 @@ use crate::ids::{AppId, DeviceId, NodeId};
 use crate::node::{Node, NodeClock};
 use crate::packet::{Packet, PacketUid};
 use crate::probe::{Hook, ProbeId, ProbeRegistry, SharedSink};
+use crate::profile::LinkProfile;
 use crate::sched::HyperScheduler;
 use crate::shard::{owner_node, partition_world, AppSlot, DevMeta, Partition, Shard, SharedSync};
 use crate::softirq::SoftirqEngine;
@@ -75,6 +76,8 @@ pub struct World {
     nodes: Vec<Node>,
     devices: Vec<Device>,
     device_names: HashMap<(NodeId, String), DeviceId>,
+    /// Trace-driven link models, referenced by index from device ports.
+    link_profiles: Vec<LinkProfile>,
     apps: Vec<AppSlot>,
     /// One registry per node, so each shard owns its nodes' probes.
     probes: Vec<ProbeRegistry>,
@@ -104,6 +107,7 @@ impl World {
             nodes: Vec::new(),
             devices: Vec::new(),
             device_names: HashMap::new(),
+            link_profiles: Vec::new(),
             apps: Vec::new(),
             probes: Vec::new(),
             next_probe_id: 0,
@@ -207,10 +211,61 @@ impl World {
     /// Wires an output port on `from` toward `to` with the given one-way
     /// latency. Returns the port index on `from`.
     pub fn connect(&mut self, from: DeviceId, to: DeviceId, latency: SimDuration) -> usize {
-        let port = crate::device::Port { peer: to, latency };
         let dev = &mut self.devices[from.index()];
-        dev.ports.push(port);
+        dev.ports.push(crate::device::Port::new(to, latency));
         dev.ports.len() - 1
+    }
+
+    /// Registers a trace-driven link model in the world's profile table;
+    /// returns its id for [`World::set_port_profile`].
+    pub fn add_link_profile(&mut self, profile: LinkProfile) -> u32 {
+        self.link_profiles.push(profile);
+        (self.link_profiles.len() - 1) as u32
+    }
+
+    /// Drives the given output port of `dev` with a registered link
+    /// profile: the active segment's delay replaces the port's base
+    /// latency, its loss model may drop frames on the wire, and its rate
+    /// serializes frames through the link.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the port or profile id does not exist.
+    pub fn set_port_profile(&mut self, dev: DeviceId, port_idx: usize, profile_id: u32) {
+        assert!(
+            (profile_id as usize) < self.link_profiles.len(),
+            "unknown link profile {profile_id}"
+        );
+        self.devices[dev.index()].ports[port_idx].profile = Some(profile_id);
+    }
+
+    /// Registers `profile` and attaches it to the given port in one
+    /// step; returns the profile id.
+    pub fn attach_link_profile(
+        &mut self,
+        dev: DeviceId,
+        port_idx: usize,
+        profile: LinkProfile,
+    ) -> u32 {
+        let id = self.add_link_profile(profile);
+        self.set_port_profile(dev, port_idx, id);
+        id
+    }
+
+    /// A registered link profile.
+    pub fn link_profile(&self, id: u32) -> &LinkProfile {
+        &self.link_profiles[id as usize]
+    }
+
+    /// Schedules an administrative up/down flip of `dev` at simulated
+    /// time `at` (the flapping-link condition generator). Unlike
+    /// [`World::set_device_down`], the flip executes *inside* the event
+    /// loop on the owning shard, so it is deterministic and safe at any
+    /// parallelism level.
+    pub fn schedule_device_down(&mut self, dev: DeviceId, at: SimTime, down: bool) {
+        let node = self.devices[dev.index()].cfg.node;
+        let key = self.mint_key(node);
+        self.queue.push(at, key, Event::SetDeviceDown { dev, down });
     }
 
     /// Replaces a device's forwarding decision — used by topology
@@ -421,7 +476,13 @@ impl World {
             1
         };
         let part = if requested > 1 {
-            partition_world(self.nodes.len(), &self.devices, &self.apps, requested)
+            partition_world(
+                self.nodes.len(),
+                &self.devices,
+                &self.apps,
+                requested,
+                &self.link_profiles,
+            )
         } else {
             Partition {
                 node_shard: vec![0; self.nodes.len()],
@@ -449,6 +510,7 @@ impl World {
         let num_apps = apps.len();
         let num_nodes = self.nodes.len();
         let nodes: &[Node] = &self.nodes;
+        let link_profiles: &[LinkProfile] = &self.link_profiles;
         let mut shards: Vec<Shard<'_>> = (0..num_shards)
             .map(|sid| {
                 Shard::new(
@@ -459,6 +521,7 @@ impl World {
                     &dev_meta,
                     &app_nodes,
                     &part.node_shard,
+                    link_profiles,
                     num_devices,
                     num_apps,
                 )

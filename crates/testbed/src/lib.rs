@@ -16,11 +16,16 @@
 //!   networking; softirq rates, distribution and data paths.
 //! * [`rack`] — the `datacenter_rack` scale scenario with a tracing
 //!   agent on every node, driving the sharded event loop.
+//! * [`emulate`] — trace-driven adversarial link conditions (LEO
+//!   handover, congested WAN, flapping, asymmetric skew, bursty loss)
+//!   replayed against the two-host and rack testbeds, with the
+//!   `vnet-live` anomaly detector scored against ground truth.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod container;
+pub mod emulate;
 pub mod netperf_xen;
 pub mod ovs;
 pub mod rack;

@@ -69,8 +69,10 @@ pub struct TwoHostScenario {
 pub const VM1_IP: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1);
 /// VM2 (server) address.
 pub const VM2_IP: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 2);
-const SOCKPERF_CLIENT_PORT: u16 = 40000;
-const SOCKPERF_SERVER_PORT: u16 = 11111;
+/// Sockperf client UDP source port (the request flow's `src_port`).
+pub const SOCKPERF_CLIENT_PORT: u16 = 40000;
+/// Sockperf server UDP destination port.
+pub const SOCKPERF_SERVER_PORT: u16 = 11111;
 const IPERF_CLIENT_PORT: u16 = 50000;
 const IPERF_SERVER_PORT: u16 = 5201;
 

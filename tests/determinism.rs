@@ -59,3 +59,323 @@ fn same_seed_identical_output_across_repeated_runs() {
     assert_eq!(delivery_a, delivery_b);
     assert_eq!(db_a, db_b, "repeated runs must be byte-identical");
 }
+
+/// Determinism and exactness of trace-driven link profiles.
+///
+/// Random `LinkProfile` schedules must never violate the simulator's
+/// invariants: a packet experiences exactly the delay of the segment
+/// active when it enters the wire (so "reordering" can only come from
+/// the schedule itself), `loss_rate = 1.0` drops every frame,
+/// `loss_rate = 0.0` drops none, and the whole thing is byte-identical
+/// at parallelism 1, 2 and 4.
+mod profiled_links {
+    use std::net::SocketAddrV4;
+    use std::sync::{Arc, Mutex};
+
+    use proptest::prelude::*;
+    use vnet_sim::app::{App, AppCtx};
+    use vnet_sim::device::{DeviceConfig, Forwarding, ServiceModel};
+    use vnet_sim::node::NodeClock;
+    use vnet_sim::packet::{FlowKey, Packet, PacketBuilder, SocketAddrV4Ext};
+    use vnet_sim::profile::{LinkProfile, LinkSegment};
+    use vnet_sim::time::{SimDuration, SimTime};
+    use vnet_sim::world::World;
+    use vnet_sim::DeviceId;
+
+    /// Base port latency the profile replaces.
+    const BASE_LATENCY: SimDuration = SimDuration::from_micros(25);
+    /// Send spacing.
+    const INTERVAL: SimDuration = SimDuration::from_micros(50);
+    /// Packets per sender.
+    const PACKETS: u64 = 40;
+
+    /// Sends `count` sequence-stamped UDP packets at [`INTERVAL`],
+    /// starting at t = 0.
+    struct SeqSender {
+        flow: FlowKey,
+        next: u64,
+        count: u64,
+    }
+
+    impl SeqSender {
+        fn tick(&mut self, ctx: &mut AppCtx<'_>) {
+            if self.next == self.count {
+                return;
+            }
+            let payload = self.next.to_le_bytes().to_vec();
+            ctx.send(PacketBuilder::udp(self.flow, payload).build());
+            self.next += 1;
+            if self.next < self.count {
+                ctx.set_timer(INTERVAL, 0);
+            }
+        }
+    }
+
+    impl App for SeqSender {
+        fn on_start(&mut self, ctx: &mut AppCtx<'_>) {
+            self.tick(ctx);
+        }
+
+        fn on_timer(&mut self, ctx: &mut AppCtx<'_>, _tag: u64) {
+            self.tick(ctx);
+        }
+
+        fn on_packet(&mut self, _ctx: &mut AppCtx<'_>, _pkt: Packet) {}
+    }
+
+    /// A shared `(seq, arrival_ns)` delivery log.
+    type DeliveryLog = Arc<Mutex<Vec<(u64, u64)>>>;
+
+    /// Records `(seq, arrival_ns)` for every delivered packet.
+    struct Recorder {
+        log: DeliveryLog,
+    }
+
+    impl App for Recorder {
+        fn on_packet(&mut self, ctx: &mut AppCtx<'_>, pkt: Packet) {
+            let parsed = pkt.parse().expect("well-formed test packet");
+            let seq = u64::from_le_bytes(parsed.payload[..8].try_into().unwrap());
+            self.log.lock().unwrap().push((seq, ctx.now().as_nanos()));
+        }
+    }
+
+    /// `pairs` sender/receiver node pairs, each joined by one profiled
+    /// wire. Zero-cost devices on both ends, so a packet's send time is
+    /// its wire-entry time and its delivery time is its wire-exit time:
+    /// the recorder observes the link model and nothing else.
+    fn profiled_world(
+        profile: &LinkProfile,
+        pairs: usize,
+        seed: u64,
+    ) -> (World, Vec<DeliveryLog>, Vec<DeviceId>) {
+        let mut w = World::new(seed);
+        let mut logs = Vec::new();
+        let mut tx_devs = Vec::new();
+        for i in 0..pairs {
+            let s = w.add_node(format!("s{i}"), 1, NodeClock::perfect());
+            let r = w.add_node(format!("r{i}"), 1, NodeClock::perfect());
+            let tx = w.add_device(
+                DeviceConfig::new("tx", s)
+                    .service(ServiceModel::Fixed(SimDuration::ZERO))
+                    .forwarding(Forwarding::Port(0)),
+            );
+            let rx = w.add_device(
+                DeviceConfig::new("rx", r)
+                    .service(ServiceModel::Fixed(SimDuration::ZERO))
+                    .forwarding(Forwarding::Deliver),
+            );
+            let port = w.connect(tx, rx, BASE_LATENCY);
+            w.attach_link_profile(tx, port, profile.clone());
+            let flow = FlowKey::udp(
+                SocketAddrV4::sock(&format!("10.{i}.0.1"), 1000),
+                SocketAddrV4::sock(&format!("10.{i}.0.2"), 2000),
+            );
+            w.add_app(
+                s,
+                tx,
+                Box::new(SeqSender {
+                    flow,
+                    next: 0,
+                    count: PACKETS,
+                }),
+            );
+            let log = Arc::new(Mutex::new(Vec::new()));
+            let rcv = w.add_app(r, rx, Box::new(Recorder { log: log.clone() }));
+            w.bind_app(rx, 2000, rcv);
+            logs.push(log);
+            tx_devs.push(tx);
+        }
+        (w, logs, tx_devs)
+    }
+
+    fn drain(logs: &[DeliveryLog]) -> Vec<Vec<(u64, u64)>> {
+        logs.iter().map(|l| l.lock().unwrap().clone()).collect()
+    }
+
+    /// The arrival times the link model promises: send time plus the
+    /// delay of the segment active at wire entry.
+    fn expected_arrivals(profile: &LinkProfile) -> Vec<(u64, u64)> {
+        (0..PACKETS)
+            .map(|k| {
+                let sent = SimTime::from_nanos(k * INTERVAL.as_nanos());
+                let seg = profile.segment_at(sent);
+                (k, sent.as_nanos() + seg.delay.as_nanos())
+            })
+            .collect()
+    }
+
+    prop_compose! {
+        /// A random delay-only schedule: 1–5 segments with strictly
+        /// increasing starts, delays 1–400us over a span comparable to
+        /// the 2ms send phase.
+        fn arb_delay_profile()(
+            delays in proptest::collection::vec(1u64..400, 1..6),
+            gaps in proptest::collection::vec(50u64..600, 5),
+        ) -> LinkProfile {
+            let mut t = 0u64;
+            let segments = delays
+                .iter()
+                .enumerate()
+                .map(|(i, d)| {
+                    let seg = LinkSegment {
+                        start: SimTime::from_micros(t),
+                        delay: SimDuration::from_micros(*d),
+                        loss_rate: 0.0,
+                        rate_bps: None,
+                    };
+                    t += gaps[i];
+                    seg
+                })
+                .collect();
+            LinkProfile::new(segments).expect("generated schedule is valid")
+        }
+    }
+
+    prop_compose! {
+        /// A random adversarial schedule mixing delay changes, partial
+        /// loss and (sometimes) a serialization rate.
+        fn arb_adverse_profile()(
+            delays in proptest::collection::vec(1u64..400, 1..6),
+            gaps in proptest::collection::vec(50u64..600, 5),
+            loss_pct in proptest::collection::vec(0u32..60, 5),
+            rates in proptest::collection::vec(
+                proptest::option::of(1u64..100), 5),
+        ) -> LinkProfile {
+            let mut t = 0u64;
+            let segments = delays
+                .iter()
+                .enumerate()
+                .map(|(i, d)| {
+                    let seg = LinkSegment {
+                        start: SimTime::from_micros(t),
+                        delay: SimDuration::from_micros(*d),
+                        loss_rate: f64::from(loss_pct[i]) / 100.0,
+                        rate_bps: rates[i].map(|mbps| mbps * 1_000_000),
+                    };
+                    t += gaps[i];
+                    seg
+                })
+                .collect();
+            LinkProfile::new(segments).expect("generated schedule is valid")
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// Lossless, rate-free schedules deliver every packet at exactly
+        /// `send + segment_at(send).delay` — no extra queueing, no
+        /// reordering beyond what the schedule itself implies.
+        #[test]
+        fn random_delay_profiles_deliver_exactly_on_schedule(
+            profile in arb_delay_profile(),
+            seed in 1u64..1_000,
+        ) {
+            let (mut w, logs, txs) = profiled_world(&profile, 2, seed);
+            w.run_until(SimTime::from_millis(20));
+            let mut expected = expected_arrivals(&profile);
+            expected.sort_unstable();
+            for log in drain(&logs) {
+                let mut got = log;
+                got.sort_unstable();
+                prop_assert_eq!(&got, &expected);
+            }
+            for tx in txs {
+                prop_assert_eq!(w.device_counters(tx).dropped_link, 0);
+            }
+        }
+
+        /// `loss_rate = 1.0` drops every frame at the wire — nothing is
+        /// delivered, and the drop counter accounts for all of it.
+        #[test]
+        fn full_loss_drops_everything(
+            delay_us in 1u64..400,
+            seed in 1u64..1_000,
+        ) {
+            let profile = LinkProfile::new(vec![LinkSegment {
+                start: SimTime::ZERO,
+                delay: SimDuration::from_micros(delay_us),
+                loss_rate: 1.0,
+                rate_bps: None,
+            }])
+            .unwrap();
+            let (mut w, logs, txs) = profiled_world(&profile, 2, seed);
+            w.run_until(SimTime::from_millis(20));
+            for log in drain(&logs) {
+                prop_assert!(log.is_empty(), "delivered through a 100%-loss link: {log:?}");
+            }
+            for tx in txs {
+                prop_assert_eq!(w.device_counters(tx).dropped_link, PACKETS);
+            }
+        }
+
+        /// Any schedule — delay steps, partial loss, serialization rates
+        /// — produces the identical delivery log and event count at
+        /// parallelism 1, 2 and 4.
+        #[test]
+        fn random_profiles_identical_across_parallelism(
+            profile in arb_adverse_profile(),
+            seed in 1u64..1_000,
+        ) {
+            let run = |threads: usize| {
+                let (mut w, logs, txs) = profiled_world(&profile, 4, seed);
+                w.set_parallelism(threads);
+                w.run_until(SimTime::from_millis(20));
+                let drops: Vec<u64> = txs
+                    .iter()
+                    .map(|&tx| w.device_counters(tx).dropped_link)
+                    .collect();
+                (drain(&logs), drops, w.events_processed())
+            };
+            let base = run(1);
+            for threads in [2usize, 4] {
+                let got = run(threads);
+                prop_assert_eq!(&got, &base, "diverged at {} threads", threads);
+            }
+        }
+    }
+
+    /// The lookahead hazard from the issue: a profile that *shrinks* the
+    /// link delay mid-run (25us -> 2us at t = 1ms). If the sharded loop
+    /// derived its lookahead from the delay active at partition time,
+    /// post-shrink crossings would arrive inside an already-closed
+    /// window on another shard; the lookahead must come from the
+    /// profile's minimum delay across *all* segments.
+    #[test]
+    fn delay_shrink_mid_run_is_sound_at_parallelism_4() {
+        let profile = LinkProfile::new(vec![
+            LinkSegment {
+                start: SimTime::ZERO,
+                delay: SimDuration::from_micros(25),
+                loss_rate: 0.0,
+                rate_bps: None,
+            },
+            LinkSegment {
+                start: SimTime::from_millis(1),
+                delay: SimDuration::from_micros(2),
+                loss_rate: 0.0,
+                rate_bps: None,
+            },
+        ])
+        .unwrap();
+        let run = |threads: usize| {
+            let (mut w, logs, _) = profiled_world(&profile, 4, 11);
+            w.set_parallelism(threads);
+            w.run_until(SimTime::from_millis(20));
+            (drain(&logs), w.events_processed())
+        };
+        let serial = run(1);
+        // Every packet still arrives exactly on the schedule's terms...
+        let mut expected = expected_arrivals(&profile);
+        expected.sort_unstable();
+        for log in &serial.0 {
+            let mut got = log.clone();
+            got.sort_unstable();
+            assert_eq!(got, expected, "serial run deviates from the schedule");
+        }
+        // ...and the sharded runs replay the serial one bit-for-bit.
+        for threads in [2usize, 4] {
+            assert_eq!(run(threads), serial, "diverged at {threads} threads");
+        }
+    }
+}
