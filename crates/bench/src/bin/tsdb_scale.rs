@@ -1,0 +1,281 @@
+//! Writes `BENCH_TSDB.json`: the segment-store scale trajectory.
+//!
+//! For each tier (1M / 10M / 100M records; `--fast` runs 100k / 1M) the
+//! harness re-executes itself as two subprocesses against one database
+//! directory so the numbers are honest per phase:
+//!
+//! - **ingest**: batched records through the WAL + seal + background
+//!   compaction path into a fresh directory — records/sec, on-disk
+//!   bytes/record after flush, and the child's peak RSS (`VmHWM`)
+//!   against the raw 32-byte dataset size. The acceptance bar is peak
+//!   RSS under 25% of raw at the top tier: the hot tail is bounded by
+//!   the seal threshold, so memory must not scale with the dataset.
+//! - **query**: a cold process reopens the directory and answers a
+//!   time-range + tag-filter query through the vectorized scan —
+//!   latency, segments pruned vs scanned, and encoded bytes actually
+//!   read from disk (a fraction of the store, never a full decode).
+//!
+//! WAL fsync is disabled for the bench (the frames are still written
+//! and replayed; only durability-against-power-loss is traded) so the
+//! tiers measure the encode/merge path, not the disk's flush latency.
+//!
+//! Usage: `tsdb_scale [--fast] [--out PATH]`. The `--one`/`--phase`
+//! flags are internal (the subprocess protocol).
+
+use std::net::Ipv4Addr;
+use std::process::Command;
+use std::time::Instant;
+
+use serde_json::{object, Value};
+use vnet_tsdb::{CompactRecord, Query, RecordBatch, StoreOptions, TraceDb, COMPACT_RECORD_BYTES};
+
+/// Records per ingest batch — the collector drains on this order of
+/// magnitude per cycle at scale.
+const BATCH: u64 = 65_536;
+
+/// Nodes the synthetic records rotate through.
+const NODES: [&str; 4] = ["vm1", "vm2", "vm3", "vm4"];
+
+fn bench_options() -> StoreOptions {
+    StoreOptions {
+        fsync: false,
+        ..StoreOptions::default()
+    }
+}
+
+/// Peak resident set of this process in bytes (`VmHWM` from
+/// `/proc/self/status`); 0 where procfs is unavailable.
+fn peak_rss_bytes() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kib: u64 = rest
+                .trim()
+                .trim_end_matches("kB")
+                .trim()
+                .parse()
+                .unwrap_or(0);
+            return kib * 1024;
+        }
+    }
+    0
+}
+
+/// The synthetic record stream: timestamps advance 1us per record, four
+/// nodes round-robin, every 16th record carries a trace ID.
+fn fill_batch(batch: &mut RecordBatch, start: u64, n: u64) {
+    batch.clear();
+    for i in start..start + n {
+        let node = NODES[(i % NODES.len() as u64) as usize];
+        batch.push(
+            "tp0",
+            node,
+            CompactRecord {
+                timestamp_ns: i * 1_000,
+                trace_id: (i % 16 == 0) as u32 * (i as u32 | 1),
+                pkt_len: 64 + (i % 1400) as u32,
+                saddr: u32::from(Ipv4Addr::new(10, 0, 0, 1)),
+                daddr: u32::from(Ipv4Addr::new(10, 0, (i % 8) as u8, 2)),
+                sport: 9_000 + (i % 64) as u16,
+                dport: 7,
+                cpu: (i % 8) as u16,
+                direction: (i % 2) as u8,
+                flags: (i % 16 == 0) as u8,
+            },
+        );
+    }
+}
+
+/// Child, phase `ingest`: write `records` into a fresh `dir`, flush,
+/// and print the ingest-side JSON on stdout.
+fn phase_ingest(dir: &str, records: u64) {
+    let mut db = TraceDb::open_with(dir, bench_options()).expect("open fresh bench dir");
+    let mut batch = RecordBatch::new();
+    let start = Instant::now();
+    let mut written = 0u64;
+    while written < records {
+        let n = BATCH.min(records - written);
+        fill_batch(&mut batch, written, n);
+        db.insert_batch(&batch);
+        written += n;
+    }
+    db.flush().expect("flush bench db");
+    let secs = start.elapsed().as_secs_f64();
+    let stats = db.storage_stats().expect("disk-backed");
+    drop(db);
+    let doc = object([
+        ("records", Value::UInt(records)),
+        ("ingest_secs", Value::Float(secs)),
+        ("records_per_sec", Value::Float(records as f64 / secs)),
+        ("segments", Value::UInt(stats.segments)),
+        ("encoded_bytes", Value::UInt(stats.encoded_bytes)),
+        (
+            "bytes_per_record",
+            Value::Float(stats.encoded_bytes as f64 / records as f64),
+        ),
+        ("compression_ratio", Value::Float(stats.compression_ratio())),
+        ("compactions", Value::UInt(stats.compactions)),
+        ("segments_merged", Value::UInt(stats.segments_merged)),
+        ("peak_rss_bytes", Value::UInt(peak_rss_bytes())),
+        ("raw_bytes", Value::UInt(records * COMPACT_RECORD_BYTES)),
+    ]);
+    println!("{}", serde_json::to_string(&doc).unwrap());
+}
+
+/// Child, phase `query`: reopen `dir` cold and answer a time-range +
+/// tag-filter query through the vectorized scan; print the query-side
+/// JSON on stdout.
+fn phase_query(dir: &str, records: u64) {
+    let open_start = Instant::now();
+    let db = TraceDb::open_with(dir, bench_options()).expect("reopen bench dir");
+    let open_secs = open_start.elapsed().as_secs_f64();
+    // The middle 10% of the time axis, one node out of four.
+    let lo = records / 2 * 1_000;
+    let hi = (records / 2 + records / 10) * 1_000;
+    let start = Instant::now();
+    let scan = Query::new("tp0")
+        .time_range(lo, hi)
+        .tag_eq("node", "vm2")
+        .scan(&db)
+        .expect("scan bench db");
+    let secs = start.elapsed().as_secs_f64();
+    let s = scan.stats();
+    let doc = object([
+        ("open_secs", Value::Float(open_secs)),
+        ("query_secs", Value::Float(secs)),
+        ("rows_matched", Value::UInt(s.rows_matched)),
+        ("hot_entries", Value::UInt(s.hot_entries)),
+        ("segments_total", Value::UInt(s.segments_total)),
+        ("segments_pruned", Value::UInt(s.segments_pruned)),
+        ("segments_scanned", Value::UInt(s.segments_scanned)),
+        ("bytes_read", Value::UInt(s.bytes_read)),
+        ("peak_rss_bytes", Value::UInt(peak_rss_bytes())),
+    ]);
+    println!("{}", serde_json::to_string(&doc).unwrap());
+}
+
+/// Parent: run one tier's two phases as subprocesses, merge their JSON.
+fn run_tier(records: u64) -> Value {
+    let exe = std::env::current_exe().expect("own path");
+    let dir = std::env::temp_dir().join(format!("vnt-tsdb-scale-{records}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut tier = vec![("records", Value::UInt(records))];
+    for phase in ["ingest", "query"] {
+        let out = Command::new(&exe)
+            .args([
+                "--one",
+                &records.to_string(),
+                "--phase",
+                phase,
+                "--dir",
+                dir.to_str().expect("utf-8 temp dir"),
+            ])
+            .output()
+            .expect("spawn tier subprocess");
+        assert!(
+            out.status.success(),
+            "tier {records} phase {phase} failed:\n{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let text = String::from_utf8(out.stdout).expect("phase output is JSON");
+        let parsed: Value = serde_json::from_str(text.trim()).expect("phase output parses");
+        tier.push((if phase == "ingest" { "ingest" } else { "query" }, parsed));
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    object(tier)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let get = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    if let Some(records) = get("--one") {
+        let records: u64 = records.parse().expect("--one takes a record count");
+        let dir = get("--dir").expect("--one requires --dir");
+        match get("--phase").as_deref() {
+            Some("ingest") => phase_ingest(&dir, records),
+            Some("query") => phase_query(&dir, records),
+            other => panic!("--one requires --phase ingest|query, got {other:?}"),
+        }
+        return;
+    }
+
+    let fast = std::env::var_os("VNT_BENCH_FAST").is_some() || args.iter().any(|a| a == "--fast");
+    let out = get("--out").unwrap_or_else(|| "BENCH_TSDB.json".to_string());
+    let tiers: &[u64] = if fast {
+        &[100_000, 1_000_000]
+    } else {
+        &[1_000_000, 10_000_000, 100_000_000]
+    };
+
+    let mut rows = Vec::new();
+    for &records in tiers {
+        eprintln!("tsdb_scale: tier {records} records ...");
+        let tier = run_tier(records);
+        let ingest = tier.get("ingest").expect("ingest result");
+        let query = tier.get("query").expect("query result");
+        let rss = ingest
+            .get("peak_rss_bytes")
+            .and_then(Value::as_u64)
+            .unwrap_or(0);
+        let raw = records * COMPACT_RECORD_BYTES;
+        eprintln!(
+            "  ingest {:.0} rec/s, {:.2} B/rec on disk, peak RSS {} MiB ({:.1}% of raw {} MiB)",
+            ingest
+                .get("records_per_sec")
+                .and_then(Value::as_f64)
+                .unwrap_or(0.0),
+            ingest
+                .get("bytes_per_record")
+                .and_then(Value::as_f64)
+                .unwrap_or(0.0),
+            rss / (1 << 20),
+            rss as f64 / raw as f64 * 100.0,
+            raw / (1 << 20),
+        );
+        eprintln!(
+            "  cold query {:.1} ms ({} of {} segments scanned, {} KiB read, {} rows)",
+            query
+                .get("query_secs")
+                .and_then(Value::as_f64)
+                .unwrap_or(0.0)
+                * 1e3,
+            query
+                .get("segments_scanned")
+                .and_then(Value::as_u64)
+                .unwrap_or(0),
+            query
+                .get("segments_total")
+                .and_then(Value::as_u64)
+                .unwrap_or(0),
+            query.get("bytes_read").and_then(Value::as_u64).unwrap_or(0) / 1024,
+            query
+                .get("rows_matched")
+                .and_then(Value::as_u64)
+                .unwrap_or(0),
+        );
+        rows.push(tier);
+    }
+
+    let doc = object([
+        ("fast_mode", Value::Bool(fast)),
+        (
+            "note",
+            Value::String(
+                "per-tier subprocesses: ingest writes a fresh store (WAL + seal + \
+                 compaction, fsync off), query reopens it cold; peak_rss_bytes is \
+                 VmHWM of each child, raw_bytes the 32-byte wire size of the \
+                 dataset."
+                    .into(),
+            ),
+        ),
+        ("tiers", Value::Array(rows)),
+    ]);
+    std::fs::write(&out, serde_json::to_string_pretty(&doc).unwrap() + "\n").unwrap();
+    eprintln!("wrote {out}");
+}

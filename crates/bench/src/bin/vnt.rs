@@ -12,6 +12,9 @@
 //! vnt live [--messages N] [--window-us W] [--collect-us I]
 //! vnt emulate [--profile NAME|all] [--rack] [--seed N] [--messages N] [--threads N]
 //! vnt verify <prog.bpf>
+//! vnt db stats <dir>
+//! vnt db export <dir> [FILE.jsonl]
+//! vnt db import <dir> <FILE.jsonl>
 //!
 //! scenarios: two-host | ovs | xen | container | rack
 //! ```
@@ -41,6 +44,13 @@
 //! precision/recall against the generator's ground-truth episode
 //! windows.
 //!
+//! `vnt db` inspects and moves trace databases stored in the columnar
+//! segment format: `stats` prints the per-measurement segment/WAL
+//! breakdown of a database directory, `export` dumps every record as
+//! JSON lines (to a file or stdout), and `import` loads a JSON-lines
+//! dump into a database directory, journaled and sealed like live
+//! ingest.
+//!
 //! `vnt verify` runs the abstract-interpretation verifier over a
 //! kernel-style program listing (one instruction per line, `#` comments
 //! and `;` annotations ignored) and prints the annotated listing with
@@ -68,11 +78,30 @@ struct Args {
     profile: Option<String>,
     rack: bool,
     seed: Option<u64>,
+    rest: Vec<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut args = std::env::args().skip(1);
     let scenario = args.next().ok_or_else(usage)?;
+    if scenario == "db" {
+        return Ok(Args {
+            scenario,
+            package: None,
+            messages: 0,
+            messages_set: false,
+            emit_package: false,
+            window_us: 0,
+            collect_us: 0,
+            threads: 1,
+            full: false,
+            trace: false,
+            profile: None,
+            rack: false,
+            seed: None,
+            rest: args.collect(),
+        });
+    }
     if scenario == "verify" {
         let file = args
             .next()
@@ -91,6 +120,7 @@ fn parse_args() -> Result<Args, String> {
             profile: None,
             rack: false,
             seed: None,
+            rest: Vec::new(),
         });
     }
     let mut out = Args {
@@ -107,6 +137,7 @@ fn parse_args() -> Result<Args, String> {
         profile: None,
         rack: false,
         seed: None,
+        rest: Vec::new(),
     };
     while let Some(flag) = args.next() {
         match flag.as_str() {
@@ -170,7 +201,7 @@ fn parse_args() -> Result<Args, String> {
 }
 
 fn usage() -> String {
-    "usage: vnt <two-host|ovs|xen|container> [--package FILE.json] [--messages N] [--emit-package] [--threads N]\n       vnt rack [--threads N] [--messages N] [--full] [--trace]\n       vnt live [--messages N] [--window-us W] [--collect-us I]\n       vnt emulate [--profile NAME|all] [--rack] [--seed N] [--messages N] [--threads N]\n       vnt verify <prog.bpf>"
+    "usage: vnt <two-host|ovs|xen|container> [--package FILE.json] [--messages N] [--emit-package] [--threads N]\n       vnt rack [--threads N] [--messages N] [--full] [--trace]\n       vnt live [--messages N] [--window-us W] [--collect-us I]\n       vnt emulate [--profile NAME|all] [--rack] [--seed N] [--messages N] [--threads N]\n       vnt verify <prog.bpf>\n       vnt db <stats|export|import> <dir> [FILE.jsonl]"
         .to_owned()
 }
 
@@ -192,6 +223,136 @@ fn verify_file(path: &str) -> Result<(), String> {
             "{path}: rejected with {} diagnostic(s)",
             analysis.diagnostics().len()
         ))
+    }
+}
+
+/// `vnt db <stats|export|import> <dir> [file]`: inspect, dump or load a
+/// columnar trace database directory.
+fn run_db(rest: &[String]) -> Result<(), String> {
+    const DB_USAGE: &str = "usage: vnt db stats <dir>\n       vnt db export <dir> [FILE.jsonl]\n       vnt db import <dir> <FILE.jsonl>";
+    let action = rest
+        .first()
+        .map(String::as_str)
+        .ok_or_else(|| DB_USAGE.to_owned())?;
+    let dir = rest
+        .get(1)
+        .ok_or_else(|| format!("db {action} needs a database directory\n{DB_USAGE}"))?;
+    match action {
+        "stats" => {
+            let db =
+                vnet_tsdb::TraceDb::open(dir).map_err(|e| format!("cannot open {dir}: {e}"))?;
+            let s = db.storage_stats().expect("open databases are disk-backed");
+            let mut t = Table::new(
+                "segment store",
+                &[
+                    "measurement",
+                    "segments",
+                    "sealed",
+                    "hot",
+                    "encoded (B)",
+                    "raw (B)",
+                    "ratio",
+                ],
+            );
+            for m in db.measurement_storage() {
+                t.row(&[
+                    m.measurement.clone(),
+                    m.segments.to_string(),
+                    m.sealed_records.to_string(),
+                    m.hot_records.to_string(),
+                    m.encoded_bytes.to_string(),
+                    m.raw_bytes.to_string(),
+                    format!("{:.3}", m.compression_ratio()),
+                ]);
+            }
+            t.row(&[
+                "total".into(),
+                s.segments.to_string(),
+                s.sealed_records.to_string(),
+                s.wal_records.to_string(),
+                s.encoded_bytes.to_string(),
+                s.raw_bytes.to_string(),
+                format!("{:.3}", s.compression_ratio()),
+            ]);
+            println!("{t}");
+            println!(
+                "wal backlog: {} bytes, {} batches, {} records (replayed into the hot tail on open)",
+                s.wal_bytes, s.wal_batches, s.wal_records
+            );
+            println!(
+                "compaction: {} merges ({} segments in, {} bytes reclaimed), {} seals this process{}",
+                s.compactions,
+                s.segments_merged,
+                s.bytes_reclaimed,
+                s.seals,
+                if s.compaction_inflight {
+                    ", merge in flight"
+                } else {
+                    ""
+                }
+            );
+            Ok(())
+        }
+        "export" => {
+            let db =
+                vnet_tsdb::TraceDb::open(dir).map_err(|e| format!("cannot open {dir}: {e}"))?;
+            let written = match rest.get(2) {
+                Some(path) => {
+                    let f = std::fs::File::create(path)
+                        .map_err(|e| format!("cannot create {path}: {e}"))?;
+                    let mut w = std::io::BufWriter::new(f);
+                    let n = vnet_tsdb::write_json_lines(&db, &mut w)
+                        .map_err(|e| format!("export failed: {e}"))?;
+                    std::io::Write::flush(&mut w)
+                        .map_err(|e| format!("cannot write {path}: {e}"))?;
+                    n
+                }
+                None => vnet_tsdb::write_json_lines(&db, std::io::stdout().lock())
+                    .map_err(|e| format!("export failed: {e}"))?,
+            };
+            eprintln!("exported {written} records from {dir}");
+            Ok(())
+        }
+        "import" => {
+            use std::io::BufRead;
+            let path = rest
+                .get(2)
+                .ok_or_else(|| format!("db import needs a JSON-lines file\n{DB_USAGE}"))?;
+            let mut db =
+                vnet_tsdb::TraceDb::open(dir).map_err(|e| format!("cannot open {dir}: {e}"))?;
+            let f = std::fs::File::open(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            let mut batch = vnet_tsdb::RecordBatch::new();
+            let mut total = 0u64;
+            for (i, line) in std::io::BufReader::new(f).lines().enumerate() {
+                let line = line.map_err(|e| format!("cannot read {path}: {e}"))?;
+                if line.trim().is_empty() {
+                    continue;
+                }
+                let point: vnet_tsdb::DataPoint = serde_json::from_str(&line)
+                    .map_err(|e| format!("{path}:{}: bad record: {e}", i + 1))?;
+                let (node, record) =
+                    vnet_tsdb::CompactRecord::from_point(&point).ok_or_else(|| {
+                        format!(
+                            "{path}:{}: point is not in compact record form; only \
+                             record-form dumps (as written by `vnt db export`) can \
+                             be imported into a disk-backed store",
+                            i + 1
+                        )
+                    })?;
+                batch.push(&point.measurement, &node, record);
+                if batch.len() >= 8192 {
+                    total += db.insert_batch(&batch);
+                    batch.clear();
+                }
+            }
+            if !batch.is_empty() {
+                total += db.insert_batch(&batch);
+            }
+            db.flush().map_err(|e| format!("flush failed: {e}"))?;
+            println!("imported {total} records into {dir}");
+            Ok(())
+        }
+        other => Err(format!("unknown db action `{other}`\n{DB_USAGE}")),
     }
 }
 
@@ -496,6 +657,7 @@ fn run_emulate(args: &Args) -> Result<(), String> {
 fn run(args: &Args) -> Result<(), String> {
     match args.scenario.as_str() {
         "verify" => verify_file(args.package.as_deref().expect("checked in parse_args")),
+        "db" => run_db(&args.rest),
         "live" => run_live(args),
         "emulate" => run_emulate(args),
         "two-host" => {

@@ -18,7 +18,7 @@ use std::fmt;
 use std::rc::Rc;
 
 use vnet_sim::time::{SimDuration, SimTime};
-use vnet_tsdb::{RecordBatch, TraceDb, COMPACT_RECORD_BYTES};
+use vnet_tsdb::{RecordBatch, StorageStats, TraceDb, COMPACT_RECORD_BYTES};
 
 use crate::record::TraceRecord;
 
@@ -103,6 +103,10 @@ pub struct CollectorStats {
     pub lost_records: u64,
     /// Per-agent status rows, sorted by node name.
     pub agents: Vec<AgentStatus>,
+    /// Segment-store state when the trace database is disk-backed
+    /// (`None` for the in-memory store): segments, WAL backlog, seal
+    /// and compaction counters.
+    pub storage: Option<StorageStats>,
 }
 
 /// The collector: ingests agent batches into the trace database and
@@ -116,9 +120,19 @@ pub struct Collector {
 }
 
 impl Collector {
-    /// Creates an empty collector.
+    /// Creates an empty collector over an in-memory database.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates a collector over an existing database — e.g. one opened
+    /// on a directory with [`TraceDb::open`], so every ingested batch is
+    /// journaled and sealed to disk.
+    pub fn with_db(db: TraceDb) -> Self {
+        Collector {
+            db,
+            ..Self::default()
+        }
     }
 
     /// Registers an online subscriber; every subsequent batch and
@@ -242,12 +256,19 @@ impl Collector {
             totals,
             lost_records,
             agents,
+            storage: self.db.storage_stats(),
         }
     }
 
     /// The trace database.
     pub fn db(&self) -> &TraceDb {
         &self.db
+    }
+
+    /// Mutably borrows the trace database — e.g. to
+    /// [`flush`](TraceDb::flush) a disk-backed store before shutdown.
+    pub fn db_mut(&mut self) -> &mut TraceDb {
+        &mut self.db
     }
 
     /// Consumes the collector, returning the database.

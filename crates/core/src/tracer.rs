@@ -57,6 +57,17 @@ impl VNetTracer {
         Self::default()
     }
 
+    /// Creates a tracer whose collector writes into an existing database
+    /// — typically a disk-backed one from [`TraceDb::open`], so every
+    /// collected batch is journaled to the write-ahead log and sealed
+    /// into columnar segments as it grows.
+    pub fn with_db(db: TraceDb) -> Self {
+        VNetTracer {
+            collector: Collector::with_db(db),
+            ..Self::default()
+        }
+    }
+
     /// Registers an agent for its node. Replaces any previous agent with
     /// the same node name.
     pub fn add_agent(&mut self, agent: Agent) {
@@ -214,6 +225,17 @@ impl VNetTracer {
     /// The collector (heartbeat status, ingest counters).
     pub fn collector(&self) -> &Collector {
         &self.collector
+    }
+
+    /// Flushes the underlying database: seals the hot tail into a
+    /// columnar segment, finishes any in-flight compaction and syncs the
+    /// write-ahead log. A no-op for in-memory databases.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`vnet_tsdb::StoreError`] if sealing or syncing fails.
+    pub fn flush_db(&mut self) -> std::result::Result<(), vnet_tsdb::StoreError> {
+        self.collector.db_mut().flush()
     }
 
     /// Convenience: per-packet latency samples between two deployed

@@ -243,7 +243,14 @@ impl TwoHostScenario {
 
     /// Creates a tracer with agents registered for both servers.
     pub fn make_tracer(&self) -> VNetTracer {
-        let mut tracer = VNetTracer::new();
+        self.make_tracer_with_db(vnet_tsdb::TraceDb::new())
+    }
+
+    /// Like [`TwoHostScenario::make_tracer`], but collecting into an
+    /// existing database — e.g. a disk-backed one from
+    /// [`vnet_tsdb::TraceDb::open`].
+    pub fn make_tracer_with_db(&self, db: vnet_tsdb::TraceDb) -> VNetTracer {
+        let mut tracer = VNetTracer::with_db(db);
         tracer.add_agent(Agent::new(self.server1, "server1", 20));
         tracer.add_agent(Agent::new(self.server2, "server2", 20));
         tracer

@@ -1,0 +1,340 @@
+//! Column codecs for the on-disk segment format.
+//!
+//! Every column of a sealed segment is encoded independently with one of
+//! three integer codecs, all operating on `u64` lanes:
+//!
+//! * **varint** — LEB128, one byte per 7 bits. The general-purpose
+//!   codec for scalars (packet lengths, ports, addresses, dictionary
+//!   indices) whose values are small most of the time.
+//! * **zigzag varint** — signed values mapped to unsigned
+//!   (`0,-1,1,-2,…` → `0,1,2,3,…`) before LEB128, so small negative
+//!   deltas stay short.
+//! * **delta-of-delta** — for near-monotonic sequences (timestamps,
+//!   insertion sequence numbers): the first value is stored raw, then
+//!   each second difference is zigzag-varint encoded. A steady packet
+//!   rate encodes to ~1 byte per timestamp; all arithmetic wraps, so
+//!   duplicate and out-of-order inputs round-trip exactly.
+//!
+//! Decoders never panic on malformed input — every read is
+//! bounds-checked and returns [`CodecError`] — because segment files and
+//! WAL tails are untrusted after a crash. Block integrity is verified
+//! separately with [`crc32`] (IEEE 802.3, the polynomial used by
+//! Ethernet and zlib).
+
+/// Errors surfaced by the bounds-checked decoders.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The buffer ended inside a value.
+    Truncated,
+    /// A varint ran past 10 bytes (more than 64 bits of payload).
+    Overlong,
+    /// A declared count or length is inconsistent with the data.
+    BadLength {
+        /// What the caller asked to decode.
+        expected: usize,
+        /// How many values the buffer actually held.
+        actual: usize,
+    },
+}
+
+impl core::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            CodecError::Truncated => write!(f, "buffer truncated inside a value"),
+            CodecError::Overlong => write!(f, "varint longer than 10 bytes"),
+            CodecError::BadLength { expected, actual } => {
+                write!(f, "expected {expected} values, buffer held {actual}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Appends `v` to `buf` as a LEB128 varint (1–10 bytes).
+pub fn put_uvarint(buf: &mut Vec<u8>, mut v: u64) {
+    while v >= 0x80 {
+        buf.push((v as u8) | 0x80);
+        v >>= 7;
+    }
+    buf.push(v as u8);
+}
+
+/// Reads a LEB128 varint from `buf` at `*pos`, advancing `*pos`.
+///
+/// # Errors
+///
+/// [`CodecError::Truncated`] if the buffer ends mid-value,
+/// [`CodecError::Overlong`] if the encoding exceeds 10 bytes.
+pub fn get_uvarint(buf: &[u8], pos: &mut usize) -> Result<u64, CodecError> {
+    let mut v: u64 = 0;
+    let mut shift = 0u32;
+    loop {
+        let &b = buf.get(*pos).ok_or(CodecError::Truncated)?;
+        *pos += 1;
+        if shift >= 64 {
+            return Err(CodecError::Overlong);
+        }
+        // The 10th byte may only contribute the top bit of a u64.
+        if shift == 63 && b > 1 {
+            return Err(CodecError::Overlong);
+        }
+        v |= u64::from(b & 0x7f) << shift;
+        if b & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+    }
+}
+
+/// Maps a signed value to unsigned with the zigzag transform.
+pub fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverts [`zigzag`].
+pub fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// Encodes a column as plain varints, one per value.
+pub fn encode_varint_col(values: &[u64]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(values.len() * 2);
+    for &v in values {
+        put_uvarint(&mut buf, v);
+    }
+    buf
+}
+
+/// Decodes a plain-varint column of exactly `n` values.
+///
+/// # Errors
+///
+/// Any [`CodecError`]; [`CodecError::BadLength`] if the buffer holds a
+/// different number of values than declared.
+pub fn decode_varint_col(buf: &[u8], n: usize) -> Result<Vec<u64>, CodecError> {
+    let mut out = Vec::with_capacity(n);
+    let mut pos = 0;
+    for _ in 0..n {
+        out.push(get_uvarint(buf, &mut pos)?);
+    }
+    if pos != buf.len() {
+        return Err(CodecError::BadLength {
+            expected: n,
+            actual: n + 1, // trailing bytes imply at least one extra value
+        });
+    }
+    Ok(out)
+}
+
+/// Encodes a near-monotonic column with delta-of-delta: raw first value,
+/// then zigzag-varint second differences. All arithmetic wraps, so the
+/// codec is total over arbitrary `u64` inputs (including duplicates and
+/// out-of-order values) — compression, not correctness, is what
+/// monotonicity buys.
+pub fn encode_dod(values: &[u64]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(values.len() + 9);
+    let Some(&first) = values.first() else {
+        return buf;
+    };
+    put_uvarint(&mut buf, first);
+    let mut prev = first;
+    let mut prev_delta: i64 = 0;
+    for &v in &values[1..] {
+        let delta = v.wrapping_sub(prev) as i64;
+        let dod = delta.wrapping_sub(prev_delta);
+        put_uvarint(&mut buf, zigzag(dod));
+        prev = v;
+        prev_delta = delta;
+    }
+    buf
+}
+
+/// Decodes a delta-of-delta column of exactly `n` values.
+///
+/// # Errors
+///
+/// Any [`CodecError`]; [`CodecError::BadLength`] on trailing bytes.
+pub fn decode_dod(buf: &[u8], n: usize) -> Result<Vec<u64>, CodecError> {
+    let mut out = Vec::with_capacity(n);
+    if n == 0 {
+        if buf.is_empty() {
+            return Ok(out);
+        }
+        return Err(CodecError::BadLength {
+            expected: 0,
+            actual: 1,
+        });
+    }
+    let mut pos = 0;
+    let first = get_uvarint(buf, &mut pos)?;
+    out.push(first);
+    let mut prev = first;
+    let mut prev_delta: i64 = 0;
+    for _ in 1..n {
+        let dod = unzigzag(get_uvarint(buf, &mut pos)?);
+        let delta = prev_delta.wrapping_add(dod);
+        let v = prev.wrapping_add(delta as u64);
+        out.push(v);
+        prev = v;
+        prev_delta = delta;
+    }
+    if pos != buf.len() {
+        return Err(CodecError::BadLength {
+            expected: n,
+            actual: n + 1,
+        });
+    }
+    Ok(out)
+}
+
+/// Appends a length-prefixed string (varint length + UTF-8 bytes).
+pub fn put_str(buf: &mut Vec<u8>, s: &str) {
+    put_uvarint(buf, s.len() as u64);
+    buf.extend_from_slice(s.as_bytes());
+}
+
+/// Reads a length-prefixed string written by [`put_str`].
+///
+/// # Errors
+///
+/// [`CodecError::Truncated`] on a short buffer or invalid UTF-8.
+pub fn get_str(buf: &[u8], pos: &mut usize) -> Result<String, CodecError> {
+    let len = get_uvarint(buf, pos)? as usize;
+    let end = pos.checked_add(len).ok_or(CodecError::Truncated)?;
+    let bytes = buf.get(*pos..end).ok_or(CodecError::Truncated)?;
+    let s = std::str::from_utf8(bytes).map_err(|_| CodecError::Truncated)?;
+    *pos = end;
+    Ok(s.to_owned())
+}
+
+/// CRC-32 (IEEE 802.3 / zlib polynomial, reflected), table-driven.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    static TABLE: std::sync::OnceLock<[u32; 256]> = std::sync::OnceLock::new();
+    let table = TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (i, e) in t.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 {
+                    0xedb8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
+            }
+            *e = c;
+        }
+        t
+    });
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc = table[usize::from((crc as u8) ^ b)] ^ (crc >> 8);
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varint_round_trip_extremes() {
+        let values = [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX];
+        let buf = encode_varint_col(&values);
+        assert_eq!(decode_varint_col(&buf, values.len()).unwrap(), values);
+        // u64::MAX takes the full 10 bytes.
+        let mut one = Vec::new();
+        put_uvarint(&mut one, u64::MAX);
+        assert_eq!(one.len(), 10);
+    }
+
+    #[test]
+    fn varint_rejects_truncation_and_overlong() {
+        let mut buf = Vec::new();
+        put_uvarint(&mut buf, 1 << 40);
+        let mut pos = 0;
+        assert_eq!(
+            get_uvarint(&buf[..buf.len() - 1], &mut pos),
+            Err(CodecError::Truncated)
+        );
+        // 11 continuation bytes can never terminate inside 64 bits.
+        let overlong = [0x80u8; 11];
+        let mut pos = 0;
+        assert_eq!(get_uvarint(&overlong, &mut pos), Err(CodecError::Overlong));
+        // A 10-byte varint whose last byte carries more than one bit
+        // would overflow 64 bits.
+        let mut wide = [0x80u8; 10];
+        wide[9] = 0x02;
+        let mut pos = 0;
+        assert_eq!(get_uvarint(&wide, &mut pos), Err(CodecError::Overlong));
+    }
+
+    #[test]
+    fn zigzag_round_trip() {
+        for v in [0i64, 1, -1, 63, -64, i64::MAX, i64::MIN] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+        assert_eq!(zigzag(0), 0);
+        assert_eq!(zigzag(-1), 1);
+        assert_eq!(zigzag(1), 2);
+    }
+
+    #[test]
+    fn dod_round_trip_monotonic_and_hostile() {
+        let steady: Vec<u64> = (0..100).map(|i| 1_000 + i * 50).collect();
+        let buf = encode_dod(&steady);
+        assert_eq!(decode_dod(&buf, steady.len()).unwrap(), steady);
+        // Steady cadence: first value plus ~1 byte per later value.
+        assert!(buf.len() < 110, "steady cadence should stay ~1 B/value");
+
+        let hostile = vec![u64::MAX, 0, 5, 5, 3, u64::MAX / 2, 0];
+        let buf = encode_dod(&hostile);
+        assert_eq!(decode_dod(&buf, hostile.len()).unwrap(), hostile);
+
+        assert!(encode_dod(&[]).is_empty());
+        assert_eq!(decode_dod(&[], 0).unwrap(), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn decoders_detect_length_mismatch() {
+        let buf = encode_varint_col(&[1, 2, 3]);
+        assert!(matches!(
+            decode_varint_col(&buf, 2),
+            Err(CodecError::BadLength { .. })
+        ));
+        assert!(matches!(
+            decode_varint_col(&buf, 4),
+            Err(CodecError::Truncated)
+        ));
+        let buf = encode_dod(&[1, 2, 3]);
+        assert!(matches!(
+            decode_dod(&buf, 2),
+            Err(CodecError::BadLength { .. })
+        ));
+        assert!(matches!(decode_dod(&buf, 4), Err(CodecError::Truncated)));
+        assert!(matches!(
+            decode_dod(&[1], 0),
+            Err(CodecError::BadLength { .. })
+        ));
+    }
+
+    #[test]
+    fn strings_round_trip() {
+        let mut buf = Vec::new();
+        put_str(&mut buf, "flannel.1");
+        put_str(&mut buf, "");
+        let mut pos = 0;
+        assert_eq!(get_str(&buf, &mut pos).unwrap(), "flannel.1");
+        assert_eq!(get_str(&buf, &mut pos).unwrap(), "");
+        assert_eq!(pos, buf.len());
+        assert_eq!(get_str(&buf, &mut pos), Err(CodecError::Truncated));
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // IEEE CRC-32 of "123456789" is the classic check value.
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_ne!(crc32(b"a"), crc32(b"b"));
+    }
+}

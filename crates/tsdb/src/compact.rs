@@ -1,0 +1,323 @@
+//! Background compaction: merging small time-adjacent segments.
+//!
+//! Sealing produces one segment per measurement per seal, so a long
+//! trace run accumulates many small files; queries then pay one footer
+//! and per-column read per segment. The compactor merges runs of
+//! seq-adjacent segments of one measurement into a single larger file,
+//! re-encoding columns (delta chains restart once instead of per
+//! segment) and unioning the node dictionaries.
+//!
+//! ## Invariants
+//!
+//! * Input segments are immutable and stay readable until the merged
+//!   output is **committed** by a manifest swap — a crash mid-merge
+//!   leaves only an unreferenced `*.tmp` file, garbage-collected at the
+//!   next open, and the old segments win.
+//! * Inputs for one job cover disjoint, adjacent sequence ranges of one
+//!   measurement; the merge is a concatenation in `min_seq` order, so
+//!   row order (and therefore query results) is unchanged.
+//! * The merge is column-at-a-time: at most one decoded column lane of
+//!   the combined row count is resident, keeping compaction memory a
+//!   small multiple of the output row count rather than the full
+//!   decoded table.
+//!
+//! The merge itself runs on a worker thread ([`Compactor::spawn`])
+//! touching only immutable input files; the store polls for completion
+//! from its ingest path and performs the commit on the caller's thread
+//! (see [`crate::store`]). Tests and the CLI can force a synchronous
+//! pass with [`Compactor::run_inline`].
+
+use std::path::PathBuf;
+use std::thread::JoinHandle;
+
+use crate::segment::{ColumnId, Segment, SegmentError, SegmentMeta, SegmentWriter};
+
+/// One planned merge: which files go in, where the output goes.
+#[derive(Debug, Clone)]
+pub struct CompactionJob {
+    /// The measurement being compacted.
+    pub measurement: String,
+    /// Input segment file names (manifest-relative), in `min_seq` order.
+    pub input_files: Vec<String>,
+    /// Absolute input paths, parallel to `input_files`.
+    pub inputs: Vec<PathBuf>,
+    /// Output file name the segment will commit as.
+    pub output_file: String,
+    /// Absolute path of the temporary output (`<output_file>.tmp`).
+    pub output_tmp: PathBuf,
+    /// Whether to fsync the output before reporting completion.
+    pub fsync: bool,
+}
+
+/// A finished merge, ready to commit (or to discard on error).
+#[derive(Debug)]
+pub struct FinishedCompaction {
+    /// The job that ran.
+    pub job: CompactionJob,
+    /// The merged segment's metadata, or the failure.
+    pub result: Result<SegmentMeta, SegmentError>,
+}
+
+/// Merges `job.inputs` into `job.output_tmp`, column by column.
+///
+/// # Errors
+///
+/// Any [`SegmentError`] from reading inputs or writing the output; on
+/// error the temporary file is removed.
+pub fn merge_segments(job: &CompactionJob) -> Result<SegmentMeta, SegmentError> {
+    let run = || -> Result<SegmentMeta, SegmentError> {
+        let inputs: Vec<Segment> = job
+            .inputs
+            .iter()
+            .map(Segment::open)
+            .collect::<Result<_, _>>()?;
+        if inputs.is_empty() {
+            return Err(SegmentError::Corrupt("merge of zero segments".into()));
+        }
+        for pair in inputs.windows(2) {
+            if pair[0].meta().max_seq >= pair[1].meta().min_seq {
+                return Err(SegmentError::Corrupt(
+                    "merge inputs out of sequence order".into(),
+                ));
+            }
+        }
+        for s in &inputs {
+            if s.meta().measurement != job.measurement {
+                return Err(SegmentError::Corrupt(format!(
+                    "segment {} belongs to measurement {}, job wants {}",
+                    s.path().display(),
+                    s.meta().measurement,
+                    job.measurement
+                )));
+            }
+        }
+        // Union the node dictionaries (first-seen order across inputs)
+        // and build one index-remap table per input.
+        let mut nodes: Vec<String> = Vec::new();
+        let mut remaps: Vec<Vec<u64>> = Vec::with_capacity(inputs.len());
+        for s in &inputs {
+            let remap = s
+                .meta()
+                .nodes
+                .iter()
+                .map(|name| {
+                    if let Some(i) = nodes.iter().position(|n| n == name) {
+                        i as u64
+                    } else {
+                        nodes.push(name.clone());
+                        (nodes.len() - 1) as u64
+                    }
+                })
+                .collect();
+            remaps.push(remap);
+        }
+        let mut w = SegmentWriter::create(&job.output_tmp)?;
+        for id in ColumnId::ALL {
+            let total: usize = inputs.iter().map(|s| s.meta().records as usize).sum();
+            let mut lane: Vec<u64> = Vec::with_capacity(total);
+            for (s, remap) in inputs.iter().zip(&remaps) {
+                let mut col = s.read_column(id)?;
+                if id == ColumnId::Node {
+                    for v in &mut col {
+                        *v = *remap.get(*v as usize).ok_or_else(|| {
+                            SegmentError::Corrupt("node index outside dictionary".into())
+                        })?;
+                    }
+                }
+                lane.append(&mut col);
+            }
+            w.push_column(id, &lane)?;
+        }
+        w.finish(&job.measurement, &nodes, job.fsync)
+    };
+    let result = run();
+    if result.is_err() {
+        let _ = std::fs::remove_file(&job.output_tmp);
+    }
+    result
+}
+
+/// Runs at most one merge at a time, on a worker thread or inline.
+#[derive(Debug, Default)]
+pub struct Compactor {
+    inflight: Option<(CompactionJob, JoinHandle<Result<SegmentMeta, SegmentError>>)>,
+}
+
+impl Compactor {
+    /// Creates an idle compactor.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether no merge is in flight.
+    pub fn is_idle(&self) -> bool {
+        self.inflight.is_none()
+    }
+
+    /// Starts `job` on a worker thread. The job touches only the
+    /// immutable input files and its own temporary output, so the store
+    /// keeps serving reads and ingest concurrently.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a job is already in flight (the store schedules one at
+    /// a time).
+    pub fn spawn(&mut self, job: CompactionJob) {
+        assert!(self.inflight.is_none(), "one compaction at a time");
+        let worker_job = job.clone();
+        let handle = std::thread::spawn(move || merge_segments(&worker_job));
+        self.inflight = Some((job, handle));
+    }
+
+    /// Runs `job` synchronously and returns it finished.
+    pub fn run_inline(&mut self, job: CompactionJob) -> FinishedCompaction {
+        let result = merge_segments(&job);
+        FinishedCompaction { job, result }
+    }
+
+    /// Returns the finished merge if the worker is done, without
+    /// blocking; `None` while it is still running (or idle).
+    pub fn poll(&mut self) -> Option<FinishedCompaction> {
+        if self.inflight.as_ref()?.1.is_finished() {
+            return self.wait();
+        }
+        None
+    }
+
+    /// Blocks until the in-flight merge (if any) finishes.
+    pub fn wait(&mut self) -> Option<FinishedCompaction> {
+        let (job, handle) = self.inflight.take()?;
+        let result = match handle.join() {
+            Ok(r) => r,
+            Err(_) => Err(SegmentError::Corrupt("compaction worker panicked".into())),
+        };
+        Some(FinishedCompaction { job, result })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::CompactRecord;
+    use crate::segment::ColumnData;
+    use std::path::Path;
+
+    fn rows(base_seq: u64, n: u64, node: u32) -> Vec<(u64, u32, CompactRecord)> {
+        (0..n)
+            .map(|i| {
+                (
+                    base_seq + i,
+                    node,
+                    CompactRecord {
+                        timestamp_ns: (base_seq + i) * 100,
+                        trace_id: (base_seq + i) as u32,
+                        pkt_len: 60,
+                        flags: 1,
+                        ..Default::default()
+                    },
+                )
+            })
+            .collect()
+    }
+
+    fn dir(name: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("vnt_compact_{}_{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn job_for(d: &Path, inputs: &[&str]) -> CompactionJob {
+        CompactionJob {
+            measurement: "m".into(),
+            input_files: inputs.iter().map(|s| (*s).to_owned()).collect(),
+            inputs: inputs.iter().map(|s| d.join(s)).collect(),
+            output_file: "out.col".into(),
+            output_tmp: d.join("out.col.tmp"),
+            fsync: false,
+        }
+    }
+
+    #[test]
+    fn merge_concatenates_and_unions_dictionaries() {
+        let d = dir("merge");
+        ColumnData::from_rows(vec!["a".into(), "b".into()], &{
+            let mut r = rows(0, 50, 0);
+            r.extend(rows(50, 50, 1));
+            r
+        })
+        .write(d.join("s1.col"), "m", false)
+        .unwrap();
+        ColumnData::from_rows(vec!["b".into(), "c".into()], &{
+            let mut r = rows(100, 50, 0);
+            r.extend(rows(150, 50, 1));
+            r
+        })
+        .write(d.join("s2.col"), "m", false)
+        .unwrap();
+
+        let job = job_for(&d, &["s1.col", "s2.col"]);
+        let meta = merge_segments(&job).unwrap();
+        assert_eq!(meta.records, 200);
+        assert_eq!(meta.nodes, vec!["a", "b", "c"]);
+        assert_eq!(meta.min_seq, 0);
+        assert_eq!(meta.max_seq, 199);
+
+        let merged = Segment::open(&job.output_tmp).unwrap();
+        let seqs = merged.read_column(ColumnId::Seq).unwrap();
+        assert!(seqs.windows(2).all(|w| w[0] < w[1]), "seq order preserved");
+        let nodes_col = merged.read_column(ColumnId::Node).unwrap();
+        // s2's node 0 was "b", which remaps to merged index 1.
+        assert_eq!(nodes_col[100], 1);
+        assert_eq!(nodes_col[150], 2);
+        let _ = std::fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn merge_rejects_disorder_and_cleans_up_tmp() {
+        let d = dir("disorder");
+        ColumnData::from_rows(vec!["a".into()], &rows(100, 10, 0))
+            .write(d.join("s1.col"), "m", false)
+            .unwrap();
+        ColumnData::from_rows(vec!["a".into()], &rows(0, 10, 0))
+            .write(d.join("s2.col"), "m", false)
+            .unwrap();
+        let job = job_for(&d, &["s1.col", "s2.col"]);
+        assert!(merge_segments(&job).is_err());
+        assert!(!job.output_tmp.exists(), "tmp removed on failure");
+        let _ = std::fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn background_worker_matches_inline() {
+        let d = dir("bg");
+        for (i, base) in [0u64, 1000, 2000].iter().enumerate() {
+            ColumnData::from_rows(vec!["n".into()], &rows(*base, 100, 0))
+                .write(d.join(format!("s{i}.col")), "m", false)
+                .unwrap();
+        }
+        let job = job_for(&d, &["s0.col", "s1.col", "s2.col"]);
+
+        let mut c = Compactor::new();
+        let inline = c.run_inline(CompactionJob {
+            output_file: "inline.col".into(),
+            output_tmp: d.join("inline.col.tmp"),
+            ..job.clone()
+        });
+        let inline_meta = inline.result.unwrap();
+
+        c.spawn(job);
+        let finished = c.wait().expect("job was in flight");
+        assert!(c.is_idle());
+        let bg_meta = finished.result.unwrap();
+        assert_eq!(bg_meta.records, inline_meta.records);
+        assert_eq!(bg_meta.min_seq, inline_meta.min_seq);
+        assert_eq!(bg_meta.max_seq, inline_meta.max_seq);
+        // Byte-identical outputs: the merge is deterministic.
+        assert_eq!(
+            std::fs::read(d.join("inline.col.tmp")).unwrap(),
+            std::fs::read(finished.job.output_tmp).unwrap()
+        );
+        let _ = std::fs::remove_dir_all(&d);
+    }
+}

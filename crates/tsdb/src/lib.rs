@@ -34,21 +34,26 @@
 #![warn(missing_debug_implementations)]
 
 pub mod batch;
+pub mod codec;
+pub mod compact;
 pub mod persist;
 pub mod point;
 pub mod query;
 pub mod record;
+pub mod segment;
 pub mod sketch;
 pub mod store;
 pub mod symbol;
 pub mod table;
+pub mod wal;
 
 pub use batch::{BatchGroup, RecordBatch};
 pub use persist::{read_json_lines, write_json_lines, PersistError};
 pub use point::{DataPoint, FieldValue};
-pub use query::{aggregate, percentile, percentiles, Aggregate, Query};
+pub use query::{aggregate, percentile, percentiles, Aggregate, Query, ScanResult, ScanStats};
 pub use record::{CompactRecord, COMPACT_RECORD_BYTES};
+pub use segment::{Segment, SegmentMeta};
 pub use sketch::{LogHistogram, DEFAULT_SKETCH_ERROR};
-pub use store::TraceDb;
+pub use store::{MeasurementStorage, StorageStats, StoreError, StoreOptions, TraceDb};
 pub use symbol::{Symbol, SymbolTable};
 pub use table::{Entry, RecordShard, Table, TRACE_ID_TAG};

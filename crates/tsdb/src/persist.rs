@@ -1,14 +1,17 @@
-//! Persistence: JSON-lines dump and load of a trace database.
+//! Persistence: JSON-lines export and import of a trace database.
 //!
 //! Mirrors the paper's §III-C pipeline step where raw tracing data "is
-//! stored locally and then gathered to the database on the master node":
-//! an agent can spill its records to a file and the collector can ingest
-//! the file later.
+//! stored locally and then gathered to the database on the master node".
+//! With the columnar segment store (see [`crate::store`]) carrying the
+//! durable hot path, this module is the explicit interchange tool behind
+//! `vnt db export` / `vnt db import`: a portable, human-greppable dump,
+//! not the storage engine.
 
 use std::io::{BufRead, Write};
 
 use crate::point::DataPoint;
-use crate::store::TraceDb;
+use crate::query::Query;
+use crate::store::{StoreError, TraceDb};
 
 /// Errors from persistence operations.
 #[derive(Debug)]
@@ -22,6 +25,8 @@ pub enum PersistError {
         /// Serde's error text.
         message: String,
     },
+    /// A disk-backed database failed to read its sealed segments.
+    Storage(StoreError),
 }
 
 impl core::fmt::Display for PersistError {
@@ -31,6 +36,7 @@ impl core::fmt::Display for PersistError {
             PersistError::Parse { line, message } => {
                 write!(f, "bad record on line {line}: {message}")
             }
+            PersistError::Storage(e) => write!(f, "storage error: {e}"),
         }
     }
 }
@@ -40,6 +46,7 @@ impl std::error::Error for PersistError {
         match self {
             PersistError::Io(e) => Some(e),
             PersistError::Parse { .. } => None,
+            PersistError::Storage(e) => Some(e),
         }
     }
 }
@@ -50,20 +57,29 @@ impl From<std::io::Error> for PersistError {
     }
 }
 
-/// Writes every entry of `db` as one JSON object per line. Record-backed
-/// entries are materialized to the point form on the way out, so a file
-/// written from a batch-ingested database reads back identically.
+impl From<StoreError> for PersistError {
+    fn from(e: StoreError) -> Self {
+        PersistError::Storage(e)
+    }
+}
+
+/// Writes every entry of `db` as one JSON object per line: measurements
+/// in sorted order, entries in insertion order. Record-backed entries
+/// (hot or sealed on disk) are materialized to the point form on the
+/// way out, so the export of a disk-backed database is byte-identical
+/// to the export of the equivalent in-memory one.
 ///
 /// # Errors
 ///
-/// Returns [`PersistError::Io`] on write failure.
+/// Returns [`PersistError::Io`] on write failure, or
+/// [`PersistError::Storage`] if sealed segments cannot be read.
 pub fn write_json_lines(db: &TraceDb, mut w: impl Write) -> Result<usize, PersistError> {
     let mut written = 0;
-    let mut measurements: Vec<&str> = db.measurements().collect();
+    let mut measurements: Vec<String> = db.measurements().map(str::to_owned).collect();
     measurements.sort_unstable();
     for m in measurements {
-        let table = db.table(m).expect("listed measurement exists");
-        for e in table.entries() {
+        let scan = Query::new(&m).scan(db)?;
+        for e in scan.entries() {
             let line = serde_json::to_string(&e.to_point()).expect("points always serialize");
             w.write_all(line.as_bytes())?;
             w.write_all(b"\n")?;

@@ -6,7 +6,11 @@
 //! over [`Entry`] views, so point-backed and record-backed data answer
 //! identically.
 
-use crate::table::{Entry, Table};
+use crate::point::DataPoint;
+use crate::record::CompactRecord;
+use crate::segment::{ColumnId, Segment, SegmentError};
+use crate::store::{StoreError, TraceDb};
+use crate::table::{Entry, Table, TRACE_ID_TAG};
 
 /// A query over one measurement.
 ///
@@ -70,7 +74,10 @@ impl Query {
     }
 
     /// Runs the query, returning matching entries in insertion order.
-    pub fn run<'a>(&self, db: &'a crate::store::TraceDb) -> Vec<Entry<'a>> {
+    ///
+    /// On a disk-backed database this covers only the in-memory hot
+    /// tail; use [`Query::scan`] to include sealed segments.
+    pub fn run<'a>(&self, db: &'a TraceDb) -> Vec<Entry<'a>> {
         match db.table(&self.measurement) {
             Some(t) => self.run_table(t),
             None => Vec::new(),
@@ -84,6 +91,345 @@ impl Query {
             .into_iter()
             .filter(|e| self.matches(e))
             .collect()
+    }
+
+    /// Runs the query over the *whole* database — sealed segments and
+    /// the in-memory hot tail — returning an owned result set.
+    ///
+    /// This is the vectorized path: tag filters are compiled to integer
+    /// predicates once, segments are pruned by footer time range and
+    /// node dictionary without touching their data, and only the
+    /// predicate columns of surviving segments are decoded before
+    /// materializing matches. On an in-memory database it is equivalent
+    /// to [`Query::run`].
+    ///
+    /// # Errors
+    ///
+    /// Any [`StoreError`] from reading sealed segments.
+    pub fn scan(&self, db: &TraceDb) -> Result<ScanResult, StoreError> {
+        let preds: Vec<TagPred> = self
+            .tag_filters
+            .iter()
+            .map(|(k, v)| TagPred::compile(k, v))
+            .collect();
+        // A predicate no compact record can satisfy (unknown tag key,
+        // malformed value) rules out every sealed row up front — but
+        // not hot points, which carry arbitrary tags.
+        let record_possible = !preds.iter().any(|p| matches!(p, TagPred::Never));
+        let needs_ts = self.time_start.is_some() || self.time_end.is_some();
+
+        let mut nodes: Vec<String> = Vec::new();
+        let mut rows: Vec<(u64, u32, CompactRecord)> = Vec::new();
+        let mut points: Vec<(u64, DataPoint)> = Vec::new();
+        let mut stats = ScanStats::default();
+
+        'segments: for seg in db.sealed_segments_for(&self.measurement) {
+            stats.segments_total += 1;
+            let meta = seg.meta();
+            let time_pruned = !record_possible
+                || self.time_start.is_some_and(|s| meta.max_ts < s)
+                || self.time_end.is_some_and(|e| meta.min_ts > e);
+            if time_pruned {
+                stats.segments_pruned += 1;
+                continue;
+            }
+            // Resolve node-equality predicates against this segment's
+            // dictionary; a miss prunes the whole segment.
+            let mut node_idx: Vec<u64> = Vec::new();
+            for p in &preds {
+                if let TagPred::Node(name) = p {
+                    match meta.nodes.iter().position(|n| n == name) {
+                        Some(i) => node_idx.push(i as u64),
+                        None => {
+                            stats.segments_pruned += 1;
+                            continue 'segments;
+                        }
+                    }
+                }
+            }
+            stats.segments_scanned += 1;
+            stats.sealed_rows_total += meta.records;
+            let n = meta.records as usize;
+
+            // Phase 1: decode only the columns the predicates touch.
+            let mut want = [false; ColumnId::ALL.len()];
+            want[ColumnId::Ts as usize] = needs_ts;
+            want[ColumnId::Node as usize] = !node_idx.is_empty();
+            for p in &preds {
+                match p {
+                    TagPred::Node(_) | TagPred::Never => {}
+                    TagPred::DirectionRx | TagPred::DirectionTx => {
+                        want[ColumnId::Direction as usize] = true;
+                    }
+                    TagPred::TraceId(_) => {
+                        want[ColumnId::TraceId as usize] = true;
+                        want[ColumnId::Flags as usize] = true;
+                    }
+                    TagPred::Flow { .. } => {
+                        want[ColumnId::Saddr as usize] = true;
+                        want[ColumnId::Daddr as usize] = true;
+                        want[ColumnId::Sport as usize] = true;
+                        want[ColumnId::Dport as usize] = true;
+                    }
+                }
+            }
+            let mut cols: Vec<Option<Vec<u64>>> = (0..ColumnId::ALL.len()).map(|_| None).collect();
+            for id in ColumnId::ALL {
+                if want[id as usize] {
+                    cols[id as usize] = Some(seg.read_column(id)?);
+                    stats.bytes_read += meta.columns[id as usize].len;
+                }
+            }
+            let matched: Vec<usize> = {
+                let col = |id: ColumnId| cols[id as usize].as_deref().expect("loaded in phase 1");
+                (0..n)
+                    .filter(|&i| {
+                        if needs_ts {
+                            let t = col(ColumnId::Ts)[i];
+                            if self.time_start.is_some_and(|s| t < s)
+                                || self.time_end.is_some_and(|e| t > e)
+                            {
+                                return false;
+                            }
+                        }
+                        node_idx.iter().all(|&w| col(ColumnId::Node)[i] == w)
+                            && preds.iter().all(|p| match p {
+                                TagPred::Node(_) => true,
+                                TagPred::Never => false,
+                                TagPred::DirectionRx => col(ColumnId::Direction)[i] == 0,
+                                TagPred::DirectionTx => col(ColumnId::Direction)[i] != 0,
+                                TagPred::TraceId(id) => {
+                                    col(ColumnId::Flags)[i] & 1 != 0
+                                        && col(ColumnId::TraceId)[i] == u64::from(*id)
+                                }
+                                TagPred::Flow {
+                                    saddr,
+                                    daddr,
+                                    sport,
+                                    dport,
+                                } => {
+                                    col(ColumnId::Saddr)[i] == *saddr
+                                        && col(ColumnId::Daddr)[i] == *daddr
+                                        && col(ColumnId::Sport)[i] == *sport
+                                        && col(ColumnId::Dport)[i] == *dport
+                                }
+                            })
+                    })
+                    .collect()
+            };
+            if matched.is_empty() {
+                continue;
+            }
+            stats.rows_matched += matched.len() as u64;
+
+            // Phase 2: decode the remaining columns and materialize the
+            // matched rows.
+            for id in ColumnId::ALL {
+                if cols[id as usize].is_none() {
+                    cols[id as usize] = Some(seg.read_column(id)?);
+                    stats.bytes_read += meta.columns[id as usize].len;
+                }
+            }
+            let full: Vec<Vec<u64>> = cols
+                .into_iter()
+                .map(|c| c.expect("all columns loaded"))
+                .collect();
+            let remap: Vec<u32> = meta
+                .nodes
+                .iter()
+                .map(|name| dict_index(&mut nodes, name))
+                .collect();
+            for &i in &matched {
+                let dict = full[ColumnId::Node as usize][i] as usize;
+                let node = *remap.get(dict).ok_or_else(|| {
+                    StoreError::Segment(SegmentError::Corrupt(format!(
+                        "node index {dict} outside dictionary of {}",
+                        seg.path().display()
+                    )))
+                })?;
+                rows.push((
+                    full[ColumnId::Seq as usize][i],
+                    node,
+                    Segment::record_from_cols(&full, i),
+                ));
+            }
+        }
+
+        // The hot tail: points and not-yet-sealed shard records.
+        if let Some(table) = db.table(&self.measurement) {
+            for (seq, e) in table.seq_entries() {
+                if !self.matches(&e) {
+                    continue;
+                }
+                stats.hot_entries += 1;
+                match e {
+                    Entry::Point(p) => points.push((seq, p.clone())),
+                    Entry::Record { node, record, .. } => {
+                        let idx = dict_index(&mut nodes, node);
+                        rows.push((seq, idx, *record));
+                    }
+                }
+            }
+        }
+
+        Ok(ScanResult {
+            measurement: self.measurement.clone(),
+            nodes,
+            rows,
+            points,
+            stats,
+        })
+    }
+}
+
+/// Interns `name` in a scan-local node dictionary.
+fn dict_index(nodes: &mut Vec<String>, name: &str) -> u32 {
+    match nodes.iter().position(|n| n == name) {
+        Some(i) => i as u32,
+        None => {
+            nodes.push(name.to_owned());
+            (nodes.len() - 1) as u32
+        }
+    }
+}
+
+/// A tag filter compiled against the compact record form: what
+/// [`Entry::tag`] derives lazily per row, evaluated as a plain integer
+/// comparison on decoded columns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum TagPred {
+    /// `node == name`, resolved to a dictionary index per segment.
+    Node(String),
+    /// `direction == "rx"` (stored 0).
+    DirectionRx,
+    /// `direction == "tx"` (stored non-zero).
+    DirectionTx,
+    /// `trace_id == id`, requires the trace-ID flag bit.
+    TraceId(u32),
+    /// `flow == "src:sport->dst:dport"`, all four components equal.
+    Flow {
+        /// Source address.
+        saddr: u64,
+        /// Destination address.
+        daddr: u64,
+        /// Source port.
+        sport: u64,
+        /// Destination port.
+        dport: u64,
+    },
+    /// No compact record can satisfy this filter (unknown key or a
+    /// value the derived tag can never take).
+    Never,
+}
+
+impl TagPred {
+    fn compile(key: &str, value: &str) -> TagPred {
+        match key {
+            "node" => TagPred::Node(value.to_owned()),
+            "direction" => match value {
+                "rx" => TagPred::DirectionRx,
+                "tx" => TagPred::DirectionTx,
+                _ => TagPred::Never,
+            },
+            TRACE_ID_TAG => {
+                // The derived tag is always 8 lower-hex digits; only a
+                // value in exactly that form can match.
+                if value.len() == 8 {
+                    if let Ok(id) = u32::from_str_radix(value, 16) {
+                        if format!("{id:08x}") == value {
+                            return TagPred::TraceId(id);
+                        }
+                    }
+                }
+                TagPred::Never
+            }
+            "flow" => match CompactRecord::parse_flow(value) {
+                Some((saddr, daddr, sport, dport)) => TagPred::Flow {
+                    saddr: u64::from(saddr),
+                    daddr: u64::from(daddr),
+                    sport: u64::from(sport),
+                    dport: u64::from(dport),
+                },
+                None => TagPred::Never,
+            },
+            _ => TagPred::Never,
+        }
+    }
+}
+
+/// Counters describing what a [`Query::scan`] touched — how much
+/// pruning saved and how many bytes actually left the disk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ScanStats {
+    /// Sealed segments belonging to the queried measurement.
+    pub segments_total: u64,
+    /// Segments skipped on footer metadata alone (time range, node
+    /// dictionary, impossible predicate).
+    pub segments_pruned: u64,
+    /// Segments whose columns were (partially) decoded.
+    pub segments_scanned: u64,
+    /// Rows in the scanned segments.
+    pub sealed_rows_total: u64,
+    /// Sealed rows matching the query.
+    pub rows_matched: u64,
+    /// Hot-tail entries (points + shard records) matching the query.
+    pub hot_entries: u64,
+    /// Encoded bytes read from disk (column blocks, not footers).
+    pub bytes_read: u64,
+}
+
+/// An owned result set from [`Query::scan`]: matched sealed rows plus
+/// matched hot-tail entries, viewable as [`Entry`] values in insertion
+/// order.
+#[derive(Debug, Clone, Default)]
+pub struct ScanResult {
+    measurement: String,
+    nodes: Vec<String>,
+    rows: Vec<(u64, u32, CompactRecord)>,
+    points: Vec<(u64, DataPoint)>,
+    stats: ScanStats,
+}
+
+impl ScanResult {
+    /// The measurement scanned.
+    pub fn measurement(&self) -> &str {
+        &self.measurement
+    }
+
+    /// What the scan touched and skipped.
+    pub fn stats(&self) -> &ScanStats {
+        &self.stats
+    }
+
+    /// Number of matched entries.
+    pub fn len(&self) -> usize {
+        self.rows.len() + self.points.len()
+    }
+
+    /// Whether nothing matched.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The matched entries in insertion order — the same view
+    /// [`Query::run`] yields, but owned by the scan.
+    pub fn entries(&self) -> Vec<Entry<'_>> {
+        let mut out: Vec<(u64, Entry<'_>)> = Vec::with_capacity(self.len());
+        for (seq, p) in &self.points {
+            out.push((*seq, Entry::Point(p)));
+        }
+        for (seq, node, record) in &self.rows {
+            out.push((
+                *seq,
+                Entry::Record {
+                    measurement: &self.measurement,
+                    node: &self.nodes[*node as usize],
+                    record,
+                },
+            ));
+        }
+        out.sort_by_key(|(seq, _)| *seq);
+        out.into_iter().map(|(_, e)| e).collect()
     }
 }
 
@@ -250,6 +596,70 @@ mod tests {
     #[should_panic(expected = "quantile")]
     fn percentile_rejects_bad_quantile() {
         let _ = percentile(&[], "us", 1.5);
+    }
+
+    fn record_db() -> TraceDb {
+        let mut db = TraceDb::new();
+        let mut batch = RecordBatch::new();
+        for i in 0..40u32 {
+            batch.push(
+                "rx",
+                if i % 2 == 0 { "n0" } else { "n1" },
+                CompactRecord {
+                    timestamp_ns: u64::from(i) * 100,
+                    trace_id: i / 4,
+                    pkt_len: 60 + i,
+                    direction: (i % 3 == 0) as u8,
+                    flags: u8::from(i % 5 != 0),
+                    sport: 1000,
+                    dport: 2000,
+                    ..Default::default()
+                },
+            );
+        }
+        db.insert_batch(&batch);
+        db.insert(
+            DataPoint::new("rx", 150)
+                .tag("node", "n0")
+                .field("pkt_len", 99u64),
+        );
+        db
+    }
+
+    #[test]
+    fn scan_matches_run_on_memory_db() {
+        let db = record_db();
+        let queries = [
+            Query::new("rx"),
+            Query::new("rx").tag_eq("node", "n0"),
+            Query::new("rx").tag_eq("direction", "tx"),
+            Query::new("rx")
+                .tag_eq("direction", "rx")
+                .time_range(500, 2500),
+            Query::new("rx").tag_eq(TRACE_ID_TAG, "00000003"),
+            Query::new("rx").tag_eq("flow", "0.0.0.0:1000->0.0.0.0:2000"),
+            Query::new("rx").tag_eq("unknown_tag", "x"),
+            Query::new("rx").tag_eq(TRACE_ID_TAG, "not-hex!"),
+            Query::new("absent"),
+        ];
+        for q in queries {
+            let run: Vec<_> = q.run(&db).iter().map(|e| e.to_point()).collect();
+            let scan = q.scan(&db).unwrap();
+            let scanned: Vec<_> = scan.entries().iter().map(|e| e.to_point()).collect();
+            assert_eq!(scanned, run, "{q:?}");
+            assert_eq!(scan.len(), run.len());
+            assert_eq!(scan.stats().segments_total, 0, "memory db has no segments");
+        }
+    }
+
+    #[test]
+    fn scan_hot_points_survive_impossible_record_predicates() {
+        // A tag no record derives can still match a hand-built point.
+        let mut db = TraceDb::new();
+        db.insert(DataPoint::new("m", 5).tag("custom", "yes"));
+        let scan = Query::new("m").tag_eq("custom", "yes").scan(&db).unwrap();
+        assert_eq!(scan.len(), 1);
+        assert_eq!(scan.stats().hot_entries, 1);
     }
 
     #[test]

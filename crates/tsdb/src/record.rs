@@ -69,6 +69,63 @@ impl CompactRecord {
         }
     }
 
+    /// Parses a canonical `flow` tag value (`src:sport->dst:dport`, as
+    /// produced by [`CompactRecord::flow`]) back into its four numeric
+    /// components. Returns `None` for anything non-canonical — a value
+    /// this rejects can never equal a record's derived `flow` tag.
+    pub(crate) fn parse_flow(value: &str) -> Option<(u32, u32, u16, u16)> {
+        let (src, dst) = value.split_once("->")?;
+        let parse_side = |side: &str| -> Option<(u32, u16)> {
+            let (ip, port) = side.rsplit_once(':')?;
+            let addr: std::net::Ipv4Addr = ip.parse().ok()?;
+            Some((u32::from(addr), port.parse().ok()?))
+        };
+        let (saddr, sport) = parse_side(src)?;
+        let (daddr, dport) = parse_side(dst)?;
+        let canonical = format!(
+            "{}:{sport}->{}:{dport}",
+            std::net::Ipv4Addr::from(saddr),
+            std::net::Ipv4Addr::from(daddr)
+        );
+        (canonical == value).then_some((saddr, daddr, sport, dport))
+    }
+
+    /// The inverse of [`CompactRecord::to_point`]: reconstructs the
+    /// compact form (and the node name) from a materialized point.
+    ///
+    /// Returns `None` unless the point is *exactly* what `to_point`
+    /// would produce for the result — the round trip is verified, so an
+    /// import through this function is lossless by construction. Points
+    /// with extra tags or fields, non-canonical tag values, or values
+    /// out of range are rejected.
+    pub fn from_point(point: &DataPoint) -> Option<(String, CompactRecord)> {
+        let node = point.tag_value("node")?.to_owned();
+        let (saddr, daddr, sport, dport) = Self::parse_flow(point.tag_value("flow")?)?;
+        let direction = match point.tag_value("direction")? {
+            "rx" => 0,
+            "tx" => 1,
+            _ => return None,
+        };
+        let (trace_id, flags) = match point.tag_value(TRACE_ID_TAG) {
+            Some(hex) if hex.len() == 8 => (u32::from_str_radix(hex, 16).ok()?, 1),
+            Some(_) => return None,
+            None => (0, 0),
+        };
+        let record = CompactRecord {
+            timestamp_ns: point.timestamp_ns,
+            trace_id,
+            pkt_len: u32::try_from(point.field_value("pkt_len")?.as_u64()?).ok()?,
+            saddr,
+            daddr,
+            sport,
+            dport,
+            cpu: u16::try_from(point.field_value("cpu")?.as_u64()?).ok()?,
+            direction,
+            flags,
+        };
+        (record.to_point(&point.measurement, &node) == *point).then_some((node, record))
+    }
+
     /// Materializes the record as the [`DataPoint`] the single-record
     /// ingest path would have produced: tagged with node, flow, direction
     /// and (when present) trace ID; fields `pkt_len` and `cpu`.
@@ -126,6 +183,61 @@ mod tests {
         let p = r.to_point("tp", "n");
         assert_eq!(p.tag_value(TRACE_ID_TAG), None);
         assert_eq!(p.tag_value("direction"), Some("tx"));
+    }
+
+    #[test]
+    fn from_point_inverts_to_point() {
+        for flags in [0u8, 1] {
+            for direction in [0u8, 1] {
+                let mut r = sample();
+                r.flags = flags;
+                r.direction = direction;
+                if flags == 0 {
+                    // An unflagged trace ID never reaches the point form,
+                    // so it cannot survive the round trip.
+                    r.trace_id = 0;
+                }
+                let p = r.to_point("tp", "server1");
+                let (node, back) = CompactRecord::from_point(&p).unwrap();
+                assert_eq!(node, "server1");
+                assert_eq!(back, r);
+            }
+        }
+    }
+
+    #[test]
+    fn from_point_rejects_nonconforming_points() {
+        let base = sample().to_point("tp", "n");
+        assert!(CompactRecord::from_point(&base.clone().tag("extra", "x")).is_none());
+        assert!(CompactRecord::from_point(&base.clone().field("extra", 1u64)).is_none());
+        let mut no_node = base.clone();
+        no_node.tags.remove("node");
+        assert!(CompactRecord::from_point(&no_node).is_none());
+        let mut bad_flow = base.clone();
+        bad_flow
+            .tags
+            .insert("flow".into(), "01.0.0.1:1->2.0.0.2:2".into());
+        assert!(CompactRecord::from_point(&bad_flow).is_none());
+        let mut short_id = base;
+        short_id.tags.insert(TRACE_ID_TAG.into(), "ab".into());
+        assert!(CompactRecord::from_point(&short_id).is_none());
+    }
+
+    #[test]
+    fn parse_flow_requires_canonical_form() {
+        assert_eq!(
+            CompactRecord::parse_flow("10.0.0.1:1000->10.0.0.2:2000"),
+            Some((0x0a000001, 0x0a000002, 1000, 2000))
+        );
+        for bad in [
+            "",
+            "10.0.0.1:1000",
+            "10.0.0.1:01000->10.0.0.2:2000", // zero-padded port
+            "10.0.0.1:1000->10.0.0.2:70000", // port overflow
+            "300.0.0.1:1->2.0.0.2:2",
+        ] {
+            assert_eq!(CompactRecord::parse_flow(bad), None, "{bad:?}");
+        }
     }
 
     #[test]

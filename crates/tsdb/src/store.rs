@@ -1,11 +1,406 @@
-//! The trace database: tables keyed by interned measurement symbols.
+//! The trace database: tables keyed by interned measurement symbols,
+//! optionally backed by an on-disk segment store.
+//!
+//! [`TraceDb::new`] builds the classic in-memory store: everything lives
+//! in per-measurement [`Table`]s and vanishes with the process — the
+//! right shape for the live engine and short testbed runs.
+//!
+//! [`TraceDb::open`] binds the database to a directory and turns
+//! [`TraceDb::insert_batch`] into a durable operation: each batch is
+//! appended to a write-ahead log before it is acknowledged, the
+//! in-memory hot tail is sealed into immutable columnar segments (see
+//! [`crate::segment`]) once it crosses a threshold, and a background
+//! compactor merges small segments (see [`crate::compact`]). The
+//! directory holds:
+//!
+//! ```text
+//! MANIFEST        committed state: WAL file + live segment files
+//! wal-<id>.log    the hot tail's write-ahead log
+//! seg-<id>.col    immutable columnar segments
+//! ```
+//!
+//! The `MANIFEST` is the commit point for every multi-file transition
+//! (seal, compaction): new files are written and fsynced first, the
+//! manifest is atomically replaced (write-temp + rename), and only then
+//! are superseded files deleted. A crash at any point leaves either the
+//! old or the new manifest, and unreferenced files are garbage-collected
+//! at the next open. Reopening replays the WAL tail past the last sealed
+//! segment, truncating a torn final frame, so the database always
+//! reopens to exactly the acknowledged-batch prefix.
+//!
+//! Hand-built [`DataPoint`]s ([`TraceDb::insert`]) stay purely in
+//! memory even on a disk-backed database — they are analysis artifacts,
+//! not the ingest hot path, and are not journaled. Use
+//! [`crate::persist`] (`vnt db export`) to capture them.
 
 use std::collections::BTreeMap;
+use std::fs::{self, File};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+use serde_json::{member, object, FromJson, ToJson, Value};
 
 use crate::batch::RecordBatch;
+use crate::compact::{CompactionJob, Compactor, FinishedCompaction};
 use crate::point::DataPoint;
+use crate::record::{CompactRecord, COMPACT_RECORD_BYTES};
+use crate::segment::{ColumnData, Segment, SegmentError};
 use crate::symbol::{Symbol, SymbolTable};
 use crate::table::Table;
+use crate::wal::{self, Wal, WalError};
+
+/// Name of the manifest file inside a database directory.
+const MANIFEST_FILE: &str = "MANIFEST";
+
+/// Errors from the disk-backed store.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A segment failed to write, open or decode.
+    Segment(SegmentError),
+    /// The write-ahead log failed.
+    Wal(WalError),
+    /// The manifest is unreadable or structurally invalid.
+    Manifest(String),
+}
+
+impl core::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "store i/o: {e}"),
+            StoreError::Segment(e) => write!(f, "{e}"),
+            StoreError::Wal(e) => write!(f, "{e}"),
+            StoreError::Manifest(m) => write!(f, "bad manifest: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+impl From<SegmentError> for StoreError {
+    fn from(e: SegmentError) -> Self {
+        StoreError::Segment(e)
+    }
+}
+
+impl From<WalError> for StoreError {
+    fn from(e: WalError) -> Self {
+        StoreError::Wal(e)
+    }
+}
+
+/// Tunables for a disk-backed database.
+#[derive(Debug, Clone)]
+pub struct StoreOptions {
+    /// Seal the hot tail into segments once it holds this many records.
+    pub seal_threshold: usize,
+    /// Fsync WAL appends, segment files and manifest swaps. Turning
+    /// this off trades crash durability for speed (tests, benchmarks).
+    pub fsync: bool,
+    /// Merge segments of a measurement once it accumulates this many.
+    pub compact_fanin: usize,
+    /// Do not produce merged segments larger than this many rows.
+    pub compact_max_rows: u64,
+    /// Run merges on a worker thread (`true`) or inline on the ingest
+    /// path (`false`, deterministic — for tests).
+    pub background_compaction: bool,
+}
+
+impl Default for StoreOptions {
+    fn default() -> Self {
+        StoreOptions {
+            seal_threshold: 512 * 1024,
+            fsync: true,
+            compact_fanin: 4,
+            compact_max_rows: 8 * 1024 * 1024,
+            background_compaction: true,
+        }
+    }
+}
+
+/// A snapshot of a disk-backed database's storage state, surfaced
+/// through `CollectorStats` and `vnt db stats`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StorageStats {
+    /// Live segment files.
+    pub segments: u64,
+    /// Records sealed into segments.
+    pub sealed_records: u64,
+    /// Total encoded segment bytes on disk.
+    pub encoded_bytes: u64,
+    /// What the sealed records would occupy in raw 32-byte form.
+    pub raw_bytes: u64,
+    /// Bytes in the current WAL (header + frames).
+    pub wal_bytes: u64,
+    /// Batches in the WAL backlog (appended, not yet sealed).
+    pub wal_batches: u64,
+    /// Records in the WAL backlog.
+    pub wal_records: u64,
+    /// Seals performed by this process.
+    pub seals: u64,
+    /// Compaction merges committed by this process.
+    pub compactions: u64,
+    /// Input segments consumed by those merges.
+    pub segments_merged: u64,
+    /// Bytes reclaimed by deleting merged inputs (net of the output).
+    pub bytes_reclaimed: u64,
+    /// Whether a background merge is running right now.
+    pub compaction_inflight: bool,
+}
+
+impl StorageStats {
+    /// Encoded-to-raw compression ratio (0 when nothing is sealed).
+    pub fn compression_ratio(&self) -> f64 {
+        if self.raw_bytes == 0 {
+            0.0
+        } else {
+            self.encoded_bytes as f64 / self.raw_bytes as f64
+        }
+    }
+}
+
+/// One measurement's storage breakdown on a disk-backed database — a
+/// row of [`TraceDb::measurement_storage`] and of `vnt db stats`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MeasurementStorage {
+    /// Measurement (table) name.
+    pub measurement: String,
+    /// Sealed segment files holding this measurement.
+    pub segments: u64,
+    /// Records sealed into those segments.
+    pub sealed_records: u64,
+    /// Encoded bytes on disk across those segments.
+    pub encoded_bytes: u64,
+    /// What those records would occupy in raw 32-byte form.
+    pub raw_bytes: u64,
+    /// Records still in the in-memory hot tail (covered by the WAL).
+    pub hot_records: u64,
+}
+
+impl MeasurementStorage {
+    /// Encoded-to-raw compression ratio (0 when nothing is sealed).
+    pub fn compression_ratio(&self) -> f64 {
+        if self.raw_bytes == 0 {
+            0.0
+        } else {
+            self.encoded_bytes as f64 / self.raw_bytes as f64
+        }
+    }
+}
+
+/// The committed state of a database directory: which WAL and which
+/// segment files are live. Replaced atomically on every transition.
+#[derive(Debug, Clone)]
+struct Manifest {
+    next_file_id: u64,
+    wal: String,
+    segments: Vec<String>,
+}
+
+impl ToJson for Manifest {
+    fn to_json(&self) -> Value {
+        object([
+            ("version", 1u64.to_json()),
+            ("next_file_id", self.next_file_id.to_json()),
+            ("wal", self.wal.to_json()),
+            ("segments", self.segments.to_json()),
+        ])
+    }
+}
+
+impl FromJson for Manifest {
+    fn from_json(value: &Value) -> Result<Self, serde_json::Error> {
+        let version: u64 = member(value, "version")?;
+        if version != 1 {
+            return Err(serde_json::Error::msg(format!(
+                "unsupported manifest version {version}"
+            )));
+        }
+        Ok(Manifest {
+            next_file_id: member(value, "next_file_id")?,
+            wal: member(value, "wal")?,
+            segments: member(value, "segments")?,
+        })
+    }
+}
+
+/// Writes the manifest durably: temp file, fsync, atomic rename, then
+/// directory fsync so the rename itself is durable.
+fn write_manifest(dir: &Path, manifest: &Manifest, fsync: bool) -> Result<(), StoreError> {
+    let tmp = dir.join("MANIFEST.tmp");
+    let text = serde_json::to_string(manifest).expect("manifest serialization is infallible");
+    {
+        let mut f = File::create(&tmp)?;
+        f.write_all(text.as_bytes())?;
+        f.flush()?;
+        if fsync {
+            f.sync_all()?;
+        }
+    }
+    fs::rename(&tmp, dir.join(MANIFEST_FILE))?;
+    if fsync {
+        File::open(dir)?.sync_all()?;
+    }
+    Ok(())
+}
+
+/// Deletes files the manifest does not reference: segments and WALs
+/// orphaned by a crash between writing files and committing the
+/// manifest (or after it), plus leftover temporaries. Unknown file
+/// names are left alone.
+fn gc_unreferenced(dir: &Path, manifest: &Manifest) -> Result<(), StoreError> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if name == MANIFEST_FILE || name == manifest.wal || manifest.segments.contains(&name) {
+            continue;
+        }
+        let stray = name.ends_with(".tmp")
+            || (name.starts_with("seg-") && name.ends_with(".col"))
+            || (name.starts_with("wal-") && name.ends_with(".log"));
+        if stray {
+            let _ = fs::remove_file(entry.path());
+        }
+    }
+    Ok(())
+}
+
+/// The disk half of a [`TraceDb`]: manifest, WAL, open segments and the
+/// compactor. The invariant throughout: `segments[i]` is the open
+/// handle for `manifest.segments[i]`.
+#[derive(Debug)]
+struct DiskStore {
+    dir: PathBuf,
+    options: StoreOptions,
+    manifest: Manifest,
+    wal: Wal,
+    segments: Vec<Segment>,
+    compactor: Compactor,
+    seals: u64,
+    compactions: u64,
+    segments_merged: u64,
+    bytes_reclaimed: u64,
+}
+
+impl DiskStore {
+    fn next_file(&mut self, prefix: &str, suffix: &str) -> String {
+        let id = self.manifest.next_file_id;
+        self.manifest.next_file_id += 1;
+        format!("{prefix}{id}{suffix}")
+    }
+
+    /// Picks the next merge: the first run of `compact_fanin`
+    /// seq-adjacent segments of one measurement whose merged size stays
+    /// under `compact_max_rows`. Returns `None` when nothing qualifies.
+    fn plan_compaction(&mut self) -> Option<CompactionJob> {
+        let fanin = self.options.compact_fanin.max(2);
+        let mut by_measurement: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        for (i, s) in self.segments.iter().enumerate() {
+            by_measurement
+                .entry(s.meta().measurement.as_str())
+                .or_default()
+                .push(i);
+        }
+        let mut pick: Option<Vec<usize>> = None;
+        for (_, mut idxs) in by_measurement {
+            if idxs.len() < fanin {
+                continue;
+            }
+            idxs.sort_by_key(|&i| self.segments[i].meta().min_seq);
+            for window in idxs.windows(fanin) {
+                let rows: u64 = window
+                    .iter()
+                    .map(|&i| self.segments[i].meta().records)
+                    .sum();
+                if rows <= self.options.compact_max_rows {
+                    pick = Some(window.to_vec());
+                    break;
+                }
+            }
+            if pick.is_some() {
+                break;
+            }
+        }
+        let window = pick?;
+        let measurement = self.segments[window[0]].meta().measurement.clone();
+        let input_files: Vec<String> = window
+            .iter()
+            .map(|&i| self.manifest.segments[i].clone())
+            .collect();
+        let inputs: Vec<PathBuf> = input_files.iter().map(|f| self.dir.join(f)).collect();
+        let output_file = self.next_file("seg-", ".col");
+        let output_tmp = self.dir.join(format!("{output_file}.tmp"));
+        Some(CompactionJob {
+            measurement,
+            input_files,
+            inputs,
+            output_file,
+            output_tmp,
+            fsync: self.options.fsync,
+        })
+    }
+
+    /// Commits a finished merge: renames the output into place, swaps
+    /// the manifest (inputs out, output in, at the first input's
+    /// position), deletes the inputs, and refreshes the open handles.
+    fn commit_compaction(&mut self, finished: FinishedCompaction) -> Result<(), StoreError> {
+        let FinishedCompaction { job, result } = finished;
+        let meta = result?;
+        let output_path = self.dir.join(&job.output_file);
+        fs::rename(&job.output_tmp, &output_path)?;
+        if self.options.fsync {
+            File::open(&self.dir)?.sync_all()?;
+        }
+        let first = self
+            .manifest
+            .segments
+            .iter()
+            .position(|f| *f == job.input_files[0])
+            .expect("compaction input still in manifest");
+        self.manifest
+            .segments
+            .retain(|f| !job.input_files.contains(f));
+        let insert_at = first.min(self.manifest.segments.len());
+        self.manifest
+            .segments
+            .insert(insert_at, job.output_file.clone());
+        write_manifest(&self.dir, &self.manifest, self.options.fsync)?;
+        let reclaimed: u64 = self
+            .segments
+            .iter()
+            .filter(|s| job.input_files.iter().any(|f| self.dir.join(f) == s.path()))
+            .map(|s| s.meta().file_bytes)
+            .sum();
+        for f in &job.input_files {
+            let _ = fs::remove_file(self.dir.join(f));
+        }
+        self.segments
+            .retain(|s| !job.input_files.iter().any(|f| self.dir.join(f) == s.path()));
+        self.segments
+            .insert(insert_at, Segment::open(&output_path)?);
+        self.compactions += 1;
+        self.segments_merged += job.input_files.len() as u64;
+        self.bytes_reclaimed += reclaimed.saturating_sub(meta.file_bytes);
+        Ok(())
+    }
+}
+
+impl Drop for DiskStore {
+    fn drop(&mut self) {
+        // An uncommitted merge result is just a temp file; remove it so
+        // a clean shutdown leaves no strays (a crash leaves them for GC).
+        if let Some(finished) = self.compactor.wait() {
+            let _ = fs::remove_file(&finished.job.output_tmp);
+        }
+    }
+}
 
 /// An embedded time-series store, one [`Table`] per measurement —
 /// vNetTracer's "trace database" where "all the tracing records at
@@ -16,16 +411,124 @@ use crate::table::Table;
 /// tables are keyed by symbol, so the batched ingest path
 /// ([`TraceDb::insert_batch`]) hashes each name at most once per batch
 /// group rather than once per record.
+///
+/// [`TraceDb::new`] keeps everything in memory; [`TraceDb::open`] binds
+/// the database to a directory for durable, larger-than-RAM operation
+/// (see the [module docs](self)).
 #[derive(Debug, Default)]
 pub struct TraceDb {
     symbols: SymbolTable,
     tables: BTreeMap<Symbol, Table>,
+    disk: Option<DiskStore>,
 }
 
 impl TraceDb {
-    /// Creates an empty database.
+    /// Creates an empty in-memory database.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Opens (or initializes) a disk-backed database at `dir` with
+    /// default [`StoreOptions`].
+    ///
+    /// # Errors
+    ///
+    /// Any [`StoreError`] from reading the directory's committed state.
+    pub fn open(dir: impl AsRef<Path>) -> Result<Self, StoreError> {
+        Self::open_with(dir, StoreOptions::default())
+    }
+
+    /// Opens (or initializes) a disk-backed database at `dir`.
+    ///
+    /// Opening an existing directory garbage-collects files orphaned by
+    /// a crash, opens every committed segment, replays the WAL tail
+    /// into the hot tail (truncating a torn final frame), and reserves
+    /// sequence numbers past the sealed maximum so the hot tail keeps
+    /// numbering where the segments left off.
+    ///
+    /// # Errors
+    ///
+    /// Any [`StoreError`]: I/O, an unreadable manifest, or a corrupt
+    /// committed segment.
+    pub fn open_with(dir: impl AsRef<Path>, options: StoreOptions) -> Result<Self, StoreError> {
+        let dir = dir.as_ref().to_path_buf();
+        fs::create_dir_all(&dir)?;
+        let manifest_path = dir.join(MANIFEST_FILE);
+        let mut db = TraceDb::new();
+        if manifest_path.exists() {
+            let text = fs::read_to_string(&manifest_path)?;
+            let manifest: Manifest =
+                serde_json::from_str(&text).map_err(|e| StoreError::Manifest(e.to_string()))?;
+            gc_unreferenced(&dir, &manifest)?;
+            let mut segments = Vec::with_capacity(manifest.segments.len());
+            for f in &manifest.segments {
+                segments.push(Segment::open(dir.join(f))?);
+            }
+            for s in &segments {
+                let meta = s.meta();
+                let measurement = meta.measurement.clone();
+                let max_seq = meta.max_seq;
+                db.table_mut(&measurement).reserve_seq(max_seq + 1);
+            }
+            let wal_path = dir.join(&manifest.wal);
+            let replay = wal::replay(&wal_path)?;
+            for batch in &replay.batches {
+                db.insert_batch_memory(batch);
+            }
+            let wal = Wal::reopen(&wal_path, &replay, options.fsync)?;
+            db.disk = Some(DiskStore {
+                dir,
+                options,
+                manifest,
+                wal,
+                segments,
+                compactor: Compactor::new(),
+                seals: 0,
+                compactions: 0,
+                segments_merged: 0,
+                bytes_reclaimed: 0,
+            });
+            if db.hot_records() >= db.disk.as_ref().expect("just set").options.seal_threshold {
+                db.seal()?;
+            }
+        } else {
+            let mut manifest = Manifest {
+                next_file_id: 0,
+                wal: String::new(),
+                segments: Vec::new(),
+            };
+            let wal_file = {
+                let id = manifest.next_file_id;
+                manifest.next_file_id += 1;
+                format!("wal-{id}.log")
+            };
+            let wal = Wal::create(dir.join(&wal_file), options.fsync)?;
+            manifest.wal = wal_file;
+            write_manifest(&dir, &manifest, options.fsync)?;
+            db.disk = Some(DiskStore {
+                dir,
+                options,
+                manifest,
+                wal,
+                segments: Vec::new(),
+                compactor: Compactor::new(),
+                seals: 0,
+                compactions: 0,
+                segments_merged: 0,
+                bytes_reclaimed: 0,
+            });
+        }
+        Ok(db)
+    }
+
+    /// Whether the database is bound to an on-disk directory.
+    pub fn is_disk_backed(&self) -> bool {
+        self.disk.is_some()
+    }
+
+    /// The database directory, if disk-backed.
+    pub fn dir(&self) -> Option<&Path> {
+        self.disk.as_ref().map(|d| d.dir.as_path())
     }
 
     fn table_mut(&mut self, measurement: &str) -> &mut Table {
@@ -36,6 +539,9 @@ impl TraceDb {
     }
 
     /// Inserts a point into its measurement's table (created on demand).
+    ///
+    /// Points live purely in memory even on a disk-backed database —
+    /// they are not journaled or sealed (see the [module docs](self)).
     pub fn insert(&mut self, point: DataPoint) {
         let sym = self.symbols.intern(&point.measurement);
         self.tables
@@ -51,10 +557,9 @@ impl TraceDb {
         }
     }
 
-    /// Ingests a whole batch: each group's records are appended into the
-    /// matching (table, node) shard in one go, with no per-record name
-    /// hashing or allocation. Returns the number of records ingested.
-    pub fn insert_batch(&mut self, batch: &RecordBatch) -> u64 {
+    /// The memory half of batch ingest: appends each group's records
+    /// into the matching (table, node) shard.
+    fn insert_batch_memory(&mut self, batch: &RecordBatch) -> u64 {
         let mut ingested = 0u64;
         for group in batch.groups() {
             if group.records.is_empty() {
@@ -68,12 +573,265 @@ impl TraceDb {
         ingested
     }
 
+    /// Ingests a whole batch: each group's records are appended into the
+    /// matching (table, node) shard in one go, with no per-record name
+    /// hashing or allocation. Returns the number of records ingested.
+    ///
+    /// On a disk-backed database the batch is the WAL unit: it is
+    /// appended durably *before* it reaches the hot tail, and this call
+    /// may also seal the tail into segments or drive compaction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the disk store fails (WAL append, seal or compaction
+    /// commit I/O). Use [`TraceDb::try_insert_batch`] to handle storage
+    /// errors.
+    pub fn insert_batch(&mut self, batch: &RecordBatch) -> u64 {
+        self.try_insert_batch(batch)
+            .unwrap_or_else(|e| panic!("disk-backed trace store failed: {e}"))
+    }
+
+    /// [`TraceDb::insert_batch`] with storage errors surfaced instead of
+    /// panicking. Identical to it on an in-memory database.
+    ///
+    /// # Errors
+    ///
+    /// Any [`StoreError`] from the WAL append, a seal, or a compaction
+    /// commit.
+    pub fn try_insert_batch(&mut self, batch: &RecordBatch) -> Result<u64, StoreError> {
+        if let Some(disk) = &mut self.disk {
+            if batch.groups().iter().any(|g| !g.records.is_empty()) {
+                disk.wal.append(batch)?;
+            }
+        }
+        let ingested = self.insert_batch_memory(batch);
+        if self.disk.is_some() {
+            if self.hot_records() >= self.disk.as_ref().expect("checked").options.seal_threshold {
+                self.seal()?;
+            }
+            self.drive_compaction(false)?;
+        }
+        Ok(ingested)
+    }
+
+    /// Shard records currently resident in the hot tail.
+    fn hot_records(&self) -> usize {
+        self.tables.values().map(Table::hot_records).sum()
+    }
+
+    /// Seals the hot tail: every table's shard records become one new
+    /// immutable segment, the WAL rotates to a fresh file, and the
+    /// manifest commits both in one swap. No-op when the tail holds no
+    /// shard records. Points are untouched.
+    fn seal(&mut self) -> Result<(), StoreError> {
+        let disk = self.disk.as_mut().expect("seal requires a disk store");
+        let mut new_files: Vec<String> = Vec::new();
+        for table in self.tables.values_mut() {
+            if table.hot_records() == 0 {
+                continue;
+            }
+            let shards = table.take_shards();
+            let mut nodes: Vec<String> = Vec::new();
+            let mut rows: Vec<(u64, u32, CompactRecord)> =
+                Vec::with_capacity(shards.iter().map(|s| s.len()).sum());
+            for shard in &shards {
+                let idx = match nodes.iter().position(|n| n == shard.node_name()) {
+                    Some(i) => i,
+                    None => {
+                        nodes.push(shard.node_name().to_owned());
+                        nodes.len() - 1
+                    }
+                } as u32;
+                for &(seq, record) in shard.seq_records() {
+                    rows.push((seq, idx, record));
+                }
+            }
+            rows.sort_unstable_by_key(|(seq, _, _)| *seq);
+            let file = disk.next_file("seg-", ".col");
+            let tmp = disk.dir.join(format!("{file}.tmp"));
+            ColumnData::from_rows(nodes, &rows).write(&tmp, table.name(), disk.options.fsync)?;
+            fs::rename(&tmp, disk.dir.join(&file))?;
+            new_files.push(file);
+        }
+        if new_files.is_empty() {
+            return Ok(());
+        }
+        if disk.options.fsync {
+            File::open(&disk.dir)?.sync_all()?;
+        }
+        let wal_file = disk.next_file("wal-", ".log");
+        let new_wal = Wal::create(disk.dir.join(&wal_file), disk.options.fsync)?;
+        let old_wal_path = disk.wal.path().to_owned();
+        disk.manifest.segments.extend(new_files.iter().cloned());
+        disk.manifest.wal = wal_file;
+        write_manifest(&disk.dir, &disk.manifest, disk.options.fsync)?;
+        disk.wal = new_wal;
+        let _ = fs::remove_file(old_wal_path);
+        for f in &new_files {
+            disk.segments.push(Segment::open(disk.dir.join(f))?);
+        }
+        disk.seals += 1;
+        Ok(())
+    }
+
+    /// Polls (or, with `block`, waits for) the in-flight merge and
+    /// commits it, then schedules the next eligible one.
+    fn drive_compaction(&mut self, block: bool) -> Result<(), StoreError> {
+        let Some(disk) = &mut self.disk else {
+            return Ok(());
+        };
+        let finished = if block {
+            disk.compactor.wait()
+        } else {
+            disk.compactor.poll()
+        };
+        if let Some(f) = finished {
+            disk.commit_compaction(f)?;
+        }
+        if disk.compactor.is_idle() {
+            if let Some(job) = disk.plan_compaction() {
+                if disk.options.background_compaction {
+                    disk.compactor.spawn(job);
+                    if block {
+                        if let Some(f) = disk.compactor.wait() {
+                            disk.commit_compaction(f)?;
+                        }
+                    }
+                } else {
+                    let f = disk.compactor.run_inline(job);
+                    disk.commit_compaction(f)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Seals the hot tail, waits for (and commits) any in-flight merge,
+    /// and syncs the WAL. After a flush, every acknowledged record is
+    /// durable on disk. No-op on an in-memory database.
+    ///
+    /// # Errors
+    ///
+    /// Any [`StoreError`] from sealing, committing or syncing.
+    pub fn flush(&mut self) -> Result<(), StoreError> {
+        if self.disk.is_none() {
+            return Ok(());
+        }
+        if let Some(f) = self.disk.as_mut().expect("checked").compactor.wait() {
+            self.disk.as_mut().expect("checked").commit_compaction(f)?;
+        }
+        if self.hot_records() > 0 {
+            self.seal()?;
+        }
+        self.disk.as_mut().expect("checked").wal.sync()?;
+        Ok(())
+    }
+
+    /// Runs compaction to quiescence synchronously: waits for the
+    /// in-flight merge, then plans and executes merges inline until no
+    /// measurement qualifies. Returns the number of merges committed.
+    ///
+    /// # Errors
+    ///
+    /// Any [`StoreError`] from a merge or its commit.
+    pub fn compact_now(&mut self) -> Result<u64, StoreError> {
+        let Some(disk) = &mut self.disk else {
+            return Ok(0);
+        };
+        let mut merges = 0u64;
+        if let Some(f) = disk.compactor.wait() {
+            disk.commit_compaction(f)?;
+            merges += 1;
+        }
+        while let Some(job) = disk.plan_compaction() {
+            let f = disk.compactor.run_inline(job);
+            disk.commit_compaction(f)?;
+            merges += 1;
+        }
+        Ok(merges)
+    }
+
+    /// Storage state of a disk-backed database; `None` when in-memory.
+    pub fn storage_stats(&self) -> Option<StorageStats> {
+        let d = self.disk.as_ref()?;
+        let sealed_records: u64 = d.segments.iter().map(|s| s.meta().records).sum();
+        let encoded_bytes: u64 = d.segments.iter().map(|s| s.meta().file_bytes).sum();
+        Some(StorageStats {
+            segments: d.segments.len() as u64,
+            sealed_records,
+            encoded_bytes,
+            raw_bytes: sealed_records * COMPACT_RECORD_BYTES,
+            wal_bytes: d.wal.len(),
+            wal_batches: d.wal.batches(),
+            wal_records: d.wal.records(),
+            seals: d.seals,
+            compactions: d.compactions,
+            segments_merged: d.segments_merged,
+            bytes_reclaimed: d.bytes_reclaimed,
+            compaction_inflight: !d.compactor.is_idle(),
+        })
+    }
+
+    /// Per-measurement storage breakdown, sorted by measurement name —
+    /// the rows behind `vnt db stats`. Empty for in-memory databases;
+    /// measurements living only in the hot tail appear with zero
+    /// segments.
+    pub fn measurement_storage(&self) -> Vec<MeasurementStorage> {
+        let Some(d) = &self.disk else {
+            return Vec::new();
+        };
+        let mut by: BTreeMap<String, MeasurementStorage> = BTreeMap::new();
+        for s in &d.segments {
+            let m = s.meta();
+            let e = by
+                .entry(m.measurement.clone())
+                .or_insert_with(|| MeasurementStorage {
+                    measurement: m.measurement.clone(),
+                    ..Default::default()
+                });
+            e.segments += 1;
+            e.sealed_records += m.records;
+            e.encoded_bytes += m.file_bytes;
+            e.raw_bytes += m.records * COMPACT_RECORD_BYTES;
+        }
+        for t in self.tables.values() {
+            let hot = t.hot_records() as u64;
+            if hot == 0 && !by.contains_key(t.name()) {
+                continue;
+            }
+            by.entry(t.name().to_owned())
+                .or_insert_with(|| MeasurementStorage {
+                    measurement: t.name().to_owned(),
+                    ..Default::default()
+                })
+                .hot_records = hot;
+        }
+        by.into_values().collect()
+    }
+
+    /// The open segments holding `measurement`'s sealed records, in
+    /// sequence order. Empty for in-memory databases.
+    pub(crate) fn sealed_segments_for(&self, measurement: &str) -> Vec<&Segment> {
+        let Some(d) = &self.disk else {
+            return Vec::new();
+        };
+        let mut segs: Vec<&Segment> = d
+            .segments
+            .iter()
+            .filter(|s| s.meta().measurement == measurement)
+            .collect();
+        segs.sort_by_key(|s| s.meta().min_seq);
+        segs
+    }
+
     /// The database's symbol table.
     pub fn symbols(&self) -> &SymbolTable {
         &self.symbols
     }
 
-    /// Borrows a measurement's table.
+    /// Borrows a measurement's table — the *hot tail* on a disk-backed
+    /// database (sealed records are reachable through
+    /// [`Query::scan`](crate::query::Query::scan)).
     pub fn table(&self, measurement: &str) -> Option<&Table> {
         let sym = self.symbols.lookup(measurement)?;
         self.tables.get(&sym)
@@ -84,9 +842,16 @@ impl TraceDb {
         self.tables.values().map(Table::name)
     }
 
-    /// Total number of stored entries (points plus shard records).
+    /// Total number of stored entries: points and hot shard records,
+    /// plus sealed segment records on a disk-backed database.
     pub fn len(&self) -> usize {
-        self.tables.values().map(Table::len).sum()
+        let hot: usize = self.tables.values().map(Table::len).sum();
+        let sealed: u64 = self
+            .disk
+            .as_ref()
+            .map(|d| d.segments.iter().map(|s| s.meta().records).sum())
+            .unwrap_or(0);
+        hot + sealed as usize
     }
 
     /// Whether the database holds no entries.
@@ -98,7 +863,16 @@ impl TraceDb {
     /// in both, yields the pair of timestamps `(t_a, t_b)` of its first
     /// record in each — the primitive behind vNetTracer's two-tracepoint
     /// latency computation (§III-D).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a disk-backed database fails to read a sealed segment.
     pub fn join_timestamps(&self, measurement_a: &str, measurement_b: &str) -> Vec<(u64, u64)> {
+        if self.disk.is_some() {
+            return self
+                .join_timestamps_scanned(measurement_a, measurement_b)
+                .unwrap_or_else(|e| panic!("sealed segment read failed: {e}"));
+        }
         let (Some(a), Some(b)) = (self.table(measurement_a), self.table(measurement_b)) else {
             return Vec::new();
         };
@@ -114,6 +888,38 @@ impl TraceDb {
         }
         out.sort_unstable();
         out
+    }
+
+    /// Disk-aware join: scans each measurement (sealed + hot) and pairs
+    /// the first timestamp per trace ID.
+    fn join_timestamps_scanned(
+        &self,
+        measurement_a: &str,
+        measurement_b: &str,
+    ) -> Result<Vec<(u64, u64)>, StoreError> {
+        let a = self.first_ts_by_trace(measurement_a)?;
+        if a.is_empty() {
+            return Ok(Vec::new());
+        }
+        let b = self.first_ts_by_trace(measurement_b)?;
+        let mut out: Vec<(u64, u64)> = a
+            .iter()
+            .filter_map(|(id, &ta)| b.get(id).map(|&tb| (ta, tb)))
+            .collect();
+        out.sort_unstable();
+        Ok(out)
+    }
+
+    fn first_ts_by_trace(&self, measurement: &str) -> Result<BTreeMap<String, u64>, StoreError> {
+        let scan = crate::query::Query::new(measurement).scan(self)?;
+        let mut map = BTreeMap::new();
+        for e in scan.entries() {
+            if let Some(id) = e.tag(crate::table::TRACE_ID_TAG) {
+                map.entry(id.into_owned())
+                    .or_insert_with(|| e.timestamp_ns());
+            }
+        }
+        Ok(map)
     }
 }
 
@@ -235,5 +1041,104 @@ mod tests {
         assert_eq!(db.insert_batch(&batch), 0);
         assert!(db.is_empty());
         assert!(db.table("tp").is_none(), "no table for an empty group");
+    }
+
+    fn test_dir(name: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("vnt_store_{}_{name}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        d
+    }
+
+    fn fast_options() -> StoreOptions {
+        StoreOptions {
+            seal_threshold: 100,
+            fsync: false,
+            compact_fanin: 3,
+            compact_max_rows: 1 << 20,
+            background_compaction: false,
+        }
+    }
+
+    fn push_records(db: &mut TraceDb, base: u64, n: u64) {
+        let mut batch = RecordBatch::new();
+        for i in 0..n {
+            batch.push(
+                "tp",
+                if i % 2 == 0 { "n0" } else { "n1" },
+                rec(base + i, (base + i) as u32),
+            );
+        }
+        db.insert_batch(&batch);
+    }
+
+    #[test]
+    fn disk_db_seals_and_reopens_identically() {
+        let dir = test_dir("seal_reopen");
+        let mut db = TraceDb::open_with(&dir, fast_options()).unwrap();
+        for round in 0..5u64 {
+            push_records(&mut db, round * 1000, 60);
+        }
+        assert_eq!(db.len(), 300);
+        let stats = db.storage_stats().unwrap();
+        assert!(stats.seals >= 1, "threshold crossed at least twice");
+        assert!(stats.sealed_records > 0);
+        assert!(stats.wal_records < 300, "sealed records left the backlog");
+        assert_eq!(stats.sealed_records + stats.wal_records, 300);
+        let before = db.join_timestamps("tp", "tp");
+        drop(db);
+
+        let db = TraceDb::open_with(&dir, fast_options()).unwrap();
+        assert_eq!(db.len(), 300, "reopen sees every acknowledged record");
+        assert_eq!(db.join_timestamps("tp", "tp"), before);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compaction_merges_and_preserves_data() {
+        let dir = test_dir("compact");
+        let mut opts = fast_options();
+        opts.seal_threshold = 50;
+        let mut db = TraceDb::open_with(&dir, opts).unwrap();
+        for round in 0..8u64 {
+            push_records(&mut db, round * 100, 50);
+        }
+        db.flush().unwrap();
+        let stats = db.storage_stats().unwrap();
+        assert!(stats.compactions >= 1, "fanin 3 must have triggered");
+        assert!(stats.segments_merged >= 3);
+        assert_eq!(stats.sealed_records, 400);
+        // Only committed files live in the directory.
+        let files: Vec<String> = fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .filter(|n| n.starts_with("seg-"))
+            .collect();
+        assert_eq!(files.len() as u64, stats.segments);
+        drop(db);
+        let db = TraceDb::open_with(&dir, fast_options()).unwrap();
+        assert_eq!(db.len(), 400);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fresh_directory_initializes_empty() {
+        let dir = test_dir("fresh");
+        let db = TraceDb::open_with(&dir, fast_options()).unwrap();
+        assert!(db.is_disk_backed());
+        assert!(db.is_empty());
+        assert_eq!(db.dir(), Some(dir.as_path()));
+        let stats = db.storage_stats().unwrap();
+        assert_eq!(stats.segments, 0);
+        assert_eq!(stats.wal_batches, 0);
+        assert_eq!(stats.compression_ratio(), 0.0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn memory_db_reports_no_storage() {
+        let db = TraceDb::new();
+        assert!(!db.is_disk_backed());
+        assert!(db.storage_stats().is_none());
+        assert!(db.dir().is_none());
     }
 }

@@ -75,6 +75,11 @@ impl RecordShard {
     pub fn records(&self) -> impl Iterator<Item = &CompactRecord> {
         self.records.iter().map(|(_, r)| r)
     }
+
+    /// The shard's `(sequence, record)` pairs, in ingest order.
+    pub(crate) fn seq_records(&self) -> &[(u64, CompactRecord)] {
+        &self.records
+    }
 }
 
 /// A borrowed view of one stored entry — either a materialized
@@ -225,24 +230,7 @@ impl Table {
 
     /// All entries — points and shard records — in insertion order.
     pub fn entries(&self) -> Vec<Entry<'_>> {
-        let mut out: Vec<(u64, Entry<'_>)> = Vec::with_capacity(self.len());
-        for (seq, p) in &self.points {
-            out.push((*seq, Entry::Point(p)));
-        }
-        for shard in &self.shards {
-            for (seq, record) in &shard.records {
-                out.push((
-                    *seq,
-                    Entry::Record {
-                        measurement: &self.name,
-                        node: &shard.node_name,
-                        record,
-                    },
-                ));
-            }
-        }
-        out.sort_by_key(|(seq, _)| *seq);
-        out.into_iter().map(|(_, e)| e).collect()
+        self.seq_entries().into_iter().map(|(_, e)| e).collect()
     }
 
     /// Entries carrying the given trace ID, in insertion order.
@@ -288,6 +276,48 @@ impl Table {
             }
         }
         ids.into_iter().collect()
+    }
+
+    /// All entries with their insertion sequence numbers, in sequence
+    /// order. The store uses this to merge the hot tail with sealed
+    /// segments by sequence.
+    pub(crate) fn seq_entries(&self) -> Vec<(u64, Entry<'_>)> {
+        let mut out: Vec<(u64, Entry<'_>)> = Vec::with_capacity(self.len());
+        for (seq, p) in &self.points {
+            out.push((*seq, Entry::Point(p)));
+        }
+        for shard in &self.shards {
+            for (seq, record) in &shard.records {
+                out.push((
+                    *seq,
+                    Entry::Record {
+                        measurement: &self.name,
+                        node: &shard.node_name,
+                        record,
+                    },
+                ));
+            }
+        }
+        out.sort_by_key(|(seq, _)| *seq);
+        out
+    }
+
+    /// Moves all record shards out of the table (sealing); the sequence
+    /// counter and point storage are untouched, so future inserts keep
+    /// numbering after the sealed records.
+    pub(crate) fn take_shards(&mut self) -> Vec<RecordShard> {
+        std::mem::take(&mut self.shards)
+    }
+
+    /// Raises the sequence counter to at least `seq` — used on reopen so
+    /// hot-tail inserts number after the records already sealed on disk.
+    pub(crate) fn reserve_seq(&mut self, seq: u64) {
+        self.next_seq = self.next_seq.max(seq);
+    }
+
+    /// Number of shard records currently resident in memory.
+    pub(crate) fn hot_records(&self) -> usize {
+        self.shards.iter().map(RecordShard::len).sum()
     }
 
     /// Number of entries (points plus shard records).
