@@ -8,6 +8,7 @@
 //! at the *same* tracepoints in the *same* scenarios; [`noop::CountingProbe`]
 //! is the zero-cost control arm.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

@@ -12,6 +12,7 @@
 //! vnt live [--messages N] [--window-us W] [--collect-us I]
 //! vnt emulate [--profile NAME|all] [--rack] [--seed N] [--messages N] [--threads N]
 //! vnt verify <prog.bpf>
+//! vnt analyze <prog.bpf>
 //! vnt db stats <dir>
 //! vnt db export <dir> [FILE.jsonl]
 //! vnt db import <dir> <FILE.jsonl>
@@ -53,10 +54,18 @@
 //!
 //! `vnt verify` runs the abstract-interpretation verifier over a
 //! kernel-style program listing (one instruction per line, `#` comments
-//! and `;` annotations ignored) and prints the annotated listing with
-//! per-instruction register states, proven facts and — for rejected
-//! programs — every diagnostic with the register state at the point of
-//! rejection.
+//! and `;` annotations ignored) and prints the shared annotated cost
+//! listing — per-instruction worst-case-to-here and per-op charge
+//! columns over the register states and proven facts — plus how many
+//! runtime check sites the threaded tier elides; for rejected programs,
+//! every diagnostic with the register state at the point of rejection.
+//!
+//! `vnt analyze` is the static-analysis front end on top of that: it
+//! verifies the listing, runs the load-time optimizer over it, and
+//! prints the original and optimized programs side by side in the same
+//! annotated form, the optimization diff (folded ALU ops and branches,
+//! forwarded loads, removed dead code and stores), and the certified
+//! worst-case cost delta.
 
 use std::process::ExitCode;
 
@@ -102,10 +111,10 @@ fn parse_args() -> Result<Args, String> {
             rest: args.collect(),
         });
     }
-    if scenario == "verify" {
+    if scenario == "verify" || scenario == "analyze" {
         let file = args
             .next()
-            .ok_or("verify needs a program file".to_owned())?;
+            .ok_or(format!("{scenario} needs a program file"))?;
         return Ok(Args {
             scenario,
             package: Some(file),
@@ -201,29 +210,136 @@ fn parse_args() -> Result<Args, String> {
 }
 
 fn usage() -> String {
-    "usage: vnt <two-host|ovs|xen|container> [--package FILE.json] [--messages N] [--emit-package] [--threads N]\n       vnt rack [--threads N] [--messages N] [--full] [--trace]\n       vnt live [--messages N] [--window-us W] [--collect-us I]\n       vnt emulate [--profile NAME|all] [--rack] [--seed N] [--messages N] [--threads N]\n       vnt verify <prog.bpf>\n       vnt db <stats|export|import> <dir> [FILE.jsonl]"
+    "usage: vnt <two-host|ovs|xen|container> [--package FILE.json] [--messages N] [--emit-package] [--threads N]\n       vnt rack [--threads N] [--messages N] [--full] [--trace]\n       vnt live [--messages N] [--window-us W] [--collect-us I]\n       vnt emulate [--profile NAME|all] [--rack] [--seed N] [--messages N] [--threads N]\n       vnt verify <prog.bpf>\n       vnt analyze <prog.bpf>\n       vnt db <stats|export|import> <dir> [FILE.jsonl]"
         .to_owned()
 }
 
-/// `vnt verify <file>`: parse a program listing, run the
-/// abstract-interpretation verifier against the standard helper set, and
-/// print the kernel-style annotated log. Returns an error (non-zero
-/// exit) when verification rejects the program.
-fn verify_file(path: &str) -> Result<(), String> {
+/// Parses a kernel-style program listing and builds a map registry with
+/// a placeholder 8-byte array map for every pseudo map fd the listing
+/// references, so map-using programs load and certify like deployed
+/// ones.
+fn parse_listing(path: &str) -> Result<(Vec<vnet_ebpf::Insn>, vnet_ebpf::MapRegistry), String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let lines: Vec<&str> = text.lines().collect();
     let insns =
         vnet_ebpf::parse::parse_program(&lines).map_err(|e| format!("{path}: parse error: {e}"))?;
-    let analysis = vnet_ebpf::analyze(&insns, &vnet_ebpf::standard_helpers(), |_| None);
-    print!("{}", vnet_ebpf::analysis::render_log(&insns, &analysis));
-    if analysis.ok() {
-        Ok(())
-    } else {
-        Err(format!(
+    let mut max_fd = -1i32;
+    let mut i = 0usize;
+    while i < insns.len() {
+        if insns[i].is_lddw() {
+            if insns[i].src == vnet_ebpf::insn::PSEUDO_MAP_FD {
+                max_fd = max_fd.max(insns[i].imm);
+            }
+            i += 2;
+        } else {
+            i += 1;
+        }
+    }
+    let mut maps = vnet_ebpf::MapRegistry::new();
+    for _ in 0..=max_fd {
+        maps.create(vnet_ebpf::MapDef::array(8, 8), 1)
+            .map_err(|e| format!("cannot create placeholder map: {e}"))?;
+    }
+    Ok((insns, maps))
+}
+
+/// `vnt verify <file>`: parse a program listing, run the
+/// abstract-interpretation verifier against the standard helper set, and
+/// print the shared annotated cost listing (the same renderer `vnt
+/// analyze` and the agent's over-budget report use), plus how many check
+/// sites the threaded tier would elide. Returns an error (non-zero exit)
+/// when verification rejects the program.
+fn verify_file(path: &str) -> Result<(), String> {
+    let (insns, maps) = parse_listing(path)?;
+    let value_size = |fd: i32| maps.get(fd).map(|m| m.def().value_size as u64);
+    let analysis = vnet_ebpf::analyze(&insns, &vnet_ebpf::standard_helpers(), value_size);
+    if !analysis.ok() {
+        print!("{}", vnet_ebpf::analysis::render_log(&insns, &analysis));
+        return Err(format!(
             "{path}: rejected with {} diagnostic(s)",
             analysis.diagnostics().len()
-        ))
+        ));
     }
+    let cert = vnet_ebpf::certify(&insns, &analysis);
+    print!(
+        "{}",
+        vnet_ebpf::render_cost_report(&insns, &analysis, &cert)
+    );
+    println!(
+        "verification OK, {} insn(s) carry proven facts",
+        analysis.proven_facts()
+    );
+    // The raw (unoptimized) load preserves the listing's shape so the
+    // elided-site count matches the insns above.
+    let program =
+        vnet_ebpf::Program::new(path, vnet_ebpf::AttachType::Kprobe("verify".into()), insns);
+    let loaded = vnet_ebpf::load_with_opts(
+        program,
+        &maps,
+        &vnet_ebpf::standard_helpers(),
+        &vnet_ebpf::LoadOpts { optimize: false },
+    )
+    .map_err(|e| format!("{path}: load failed: {e}"))?;
+    let compiled = vnet_ebpf::compile(&loaded);
+    println!(
+        "threaded tier elides {} runtime check site(s)",
+        compiled.elided_site_count()
+    );
+    Ok(())
+}
+
+/// `vnt analyze <file>`: the static-analysis front end. Verifies the
+/// listing, runs the load-time optimizer over it, and prints both the
+/// original and optimized programs in the shared annotated cost listing,
+/// with per-instruction worst-case-to-here and per-op charge columns,
+/// followed by the optimization diff and the certified worst-case delta.
+fn analyze_file(path: &str) -> Result<(), String> {
+    let (insns, maps) = parse_listing(path)?;
+    let value_size = |fd: i32| maps.get(fd).map(|m| m.def().value_size as u64);
+    let analysis = vnet_ebpf::analyze(&insns, &vnet_ebpf::standard_helpers(), value_size);
+    if !analysis.ok() {
+        print!("{}", vnet_ebpf::analysis::render_log(&insns, &analysis));
+        return Err(format!(
+            "{path}: rejected with {} diagnostic(s); only verified programs can be optimized",
+            analysis.diagnostics().len()
+        ));
+    }
+    let raw_cert = vnet_ebpf::certify(&insns, &analysis);
+    println!("original ({} insn slots):", insns.len());
+    print!(
+        "{}",
+        vnet_ebpf::render_cost_report(&insns, &analysis, &raw_cert)
+    );
+    let opt = vnet_ebpf::optimize(&insns, &vnet_ebpf::standard_helpers(), &value_size);
+    let opt_cert = vnet_ebpf::certify(&opt.insns, &opt.analysis);
+    println!("\noptimized ({} insn slots):", opt.insns.len());
+    print!(
+        "{}",
+        vnet_ebpf::render_cost_report(&opt.insns, &opt.analysis, &opt_cert)
+    );
+    let s = &opt.stats;
+    println!(
+        "\noptimization: {} -> {} insn slots in {} round(s) ({} eliminated), re-verified: {}",
+        s.original_insns,
+        s.optimized_insns,
+        s.rounds,
+        s.insns_eliminated(),
+        if s.reverified { "yes" } else { "NO" },
+    );
+    println!(
+        "  folded {} ALU op(s), {} branch(es); forwarded {} load(s); \
+         removed {} dead insn(s), {} dead store(s)",
+        s.folded_alu,
+        s.folded_branches,
+        s.loads_forwarded,
+        s.dead_code_removed,
+        s.dead_stores_removed,
+    );
+    println!(
+        "certified worst-case: {} ns -> {} ns per firing",
+        raw_cert.worst_case_ns, opt_cert.worst_case_ns,
+    );
+    Ok(())
 }
 
 /// `vnt db <stats|export|import> <dir> [file]`: inspect, dump or load a
@@ -657,6 +773,7 @@ fn run_emulate(args: &Args) -> Result<(), String> {
 fn run(args: &Args) -> Result<(), String> {
     match args.scenario.as_str() {
         "verify" => verify_file(args.package.as_deref().expect("checked in parse_args")),
+        "analyze" => analyze_file(args.package.as_deref().expect("checked in parse_args")),
         "db" => run_db(&args.rest),
         "live" => run_live(args),
         "emulate" => run_emulate(args),

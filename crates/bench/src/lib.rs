@@ -14,6 +14,7 @@
 //! `EXPERIMENTS.md` at the repository root records a full run against the
 //! paper's numbers.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

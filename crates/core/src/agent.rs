@@ -14,9 +14,7 @@ use vnet_ebpf::context::TraceContext;
 use vnet_ebpf::jit::CompiledProgram;
 use vnet_ebpf::map::{MapDef, MapRegistry};
 use vnet_ebpf::program::LoadedProgram;
-use vnet_ebpf::vm::{
-    execution_cost_ns, jit_compile_cost_ns, jit_execution_cost_ns, standard_helpers, Vm, VmEnv,
-};
+use vnet_ebpf::vm::{jit_compile_cost_ns, standard_helpers, Vm, VmEnv, PROBE_BASE_COST_NS};
 use vnet_sim::ids::NodeId;
 use vnet_sim::probe::{Direction, ProbeEvent, ProbeId, ProbeOutcome, ProbeSink};
 use vnet_sim::time::SimDuration;
@@ -58,12 +56,22 @@ pub struct ScriptStats {
     /// region dispatches and decided branches on the threaded tier,
     /// divisor zero-tests on both tiers.
     pub checks_elided: u64,
+    /// The program's certified worst-case cost per firing in simulated
+    /// nanoseconds, probe entry included — the static bound from
+    /// [`vnet_ebpf::cost::certify`] that [`Self::avg_run_ns`] can never
+    /// exceed. Constant for the script's lifetime.
+    pub certified_cost_ns: u64,
+    /// Instructions the load-time optimizer removed from the program
+    /// (0 when loaded without optimization).
+    pub insns_eliminated: u64,
     /// The tier this script executes on.
     pub tier: ExecTier,
 }
 
 impl ScriptStats {
     /// Average simulated nanoseconds per run, 0 before the first run.
+    /// Always at most [`Self::certified_cost_ns`]: the certificate is a
+    /// sound worst-case bound over every execution path.
     pub fn avg_run_ns(&self) -> u64 {
         self.run_time_ns.checked_div(self.executions).unwrap_or(0)
     }
@@ -116,14 +124,17 @@ impl EbpfProbeSink {
                 pending_compile_ns: jit_compile_cost_ns(loaded.insns().len()),
             },
         };
+        let stats = ScriptStats {
+            tier,
+            certified_cost_ns: PROBE_BASE_COST_NS + loaded.certificate().worst_case_ns,
+            insns_eliminated: loaded.opt_stats().insns_eliminated() as u64,
+            ..ScriptStats::default()
+        };
         EbpfProbeSink {
             program: loaded,
             maps,
             engine,
-            stats: ScriptStats {
-                tier,
-                ..ScriptStats::default()
-            },
+            stats,
             prandom_state,
             per_match_extra_ns,
         }
@@ -184,8 +195,13 @@ impl ProbeSink for EbpfProbeSink {
         };
         let mut maps = self.maps.lock().unwrap();
         // (return value, execution cost, one-time extra) per tier; both
-        // tiers produce identical results and side effects — they
-        // differ only in what the run costs the traced system.
+        // tiers produce identical results, side effects and per-path
+        // costs (fused ops charge the sum of their components) — they
+        // differ only in the one-time compile charge. The charged cost
+        // is the path's toll under the shared table in `vnet_ebpf::cost`
+        // and is bounded by the program's certificate, so a script that
+        // passed the probe-budget check can never exceed its budget
+        // here. Aborts charge the probe entry only.
         let (result, one_time_ns) = match &mut self.engine {
             Engine::Interp(vm) => (
                 vm.execute(&self.program, &ctx, pkt, &mut maps, &mut env)
@@ -193,9 +209,9 @@ impl ProbeSink for EbpfProbeSink {
                         self.stats.insns_retired += out.insns_executed;
                         self.stats.ops_executed += out.insns_executed;
                         self.stats.checks_elided += out.checks_elided;
-                        (out.ret, execution_cost_ns(out.insns_executed))
+                        (out.ret, PROBE_BASE_COST_NS + out.cost_ns)
                     })
-                    .map_err(|_| execution_cost_ns(0)),
+                    .map_err(|_| PROBE_BASE_COST_NS),
                 0,
             ),
             Engine::Jit {
@@ -209,9 +225,9 @@ impl ProbeSink for EbpfProbeSink {
                         self.stats.ops_executed += out.ops_executed;
                         self.stats.fused_hits += out.fused_hits;
                         self.stats.checks_elided += out.checks_elided;
-                        (out.ret, jit_execution_cost_ns(out.ops_executed))
+                        (out.ret, PROBE_BASE_COST_NS + out.cost_ns)
                     })
-                    .map_err(|_| jit_execution_cost_ns(0)),
+                    .map_err(|_| PROBE_BASE_COST_NS),
                 // First firing pays the compile.
                 std::mem::take(pending_compile_ns),
             ),
@@ -233,6 +249,30 @@ impl ProbeSink for EbpfProbeSink {
             }
         }
     }
+}
+
+/// The attach-time probe-budget gate: rejects a loaded program whose
+/// certified worst-case cost per firing (probe entry included) exceeds
+/// `budget`, with a kernel-verifier-style annotated cost report showing
+/// where the worst-case path spends its time.
+fn check_budget(loaded: &LoadedProgram, budget: Option<u64>) -> Result<()> {
+    let Some(budget_ns) = budget else {
+        return Ok(());
+    };
+    let certified_ns = PROBE_BASE_COST_NS + loaded.certificate().worst_case_ns;
+    if certified_ns > budget_ns {
+        return Err(TracerError::OverBudget {
+            name: loaded.name().to_owned(),
+            certified_ns,
+            budget_ns,
+            report: vnet_ebpf::cost::render_cost_report(
+                loaded.insns(),
+                loaded.analysis(),
+                loaded.certificate(),
+            ),
+        });
+    }
+    Ok(())
 }
 
 #[derive(Debug)]
@@ -358,6 +398,7 @@ impl Agent {
             let maps = self.maps.lock().unwrap();
             vnet_ebpf::program::load(program, &maps, &standard_helpers())?
         };
+        check_budget(&loaded, global.probe_budget)?;
         let per_match_extra_ns = match global.mode {
             CollectionMode::Offline => 0,
             CollectionMode::Online => ONLINE_SHIP_COST_NS,
@@ -400,15 +441,36 @@ impl Agent {
         hook: &crate::config::HookSpec,
         insns: Vec<vnet_ebpf::Insn>,
     ) -> Result<ScriptId> {
+        self.install_raw_with_config(world, name, hook, insns, &GlobalConfig::default())
+    }
+
+    /// Like [`Agent::install_raw`], taking the full global configuration:
+    /// the program runs on the configured execution tier and — when
+    /// [`GlobalConfig::probe_budget`] is set — is rejected with
+    /// [`TracerError::OverBudget`] if its certified worst-case cost
+    /// exceeds the budget.
+    ///
+    /// # Errors
+    ///
+    /// See [`Agent::install_raw`]; additionally [`TracerError::OverBudget`].
+    pub fn install_raw_with_config(
+        &mut self,
+        world: &mut World,
+        name: &str,
+        hook: &crate::config::HookSpec,
+        insns: Vec<vnet_ebpf::Insn>,
+        global: &GlobalConfig,
+    ) -> Result<ScriptId> {
         let program = vnet_ebpf::Program::new(name, crate::compile::attach_type(hook), insns);
         let loaded = {
             let maps = self.maps.lock().unwrap();
             vnet_ebpf::program::load(program, &maps, &standard_helpers())?
         };
+        check_budget(&loaded, global.probe_budget)?;
         let sink = Arc::new(Mutex::new(EbpfProbeSink::new(
             loaded,
             Arc::clone(&self.maps),
-            ExecTier::default(),
+            global.exec_tier,
             0x5eed ^ self.next_id,
             0,
         )));
@@ -717,6 +779,89 @@ mod tests {
             records[0].1.timestamp_ns, 1_000_000,
             "injection at t=0 on a +1ms clock"
         );
+    }
+
+    #[test]
+    fn certified_cost_bounds_actual_cost() {
+        let (mut w, n) = world_with_device();
+        let mut agent = Agent::new(n, "server1", 4);
+        let id = agent.install(&mut w, &udp_spec(), 4096).unwrap();
+        let dev = w.find_device(n, "eth0").unwrap();
+        for _ in 0..3 {
+            w.inject(dev, udp_pkt());
+        }
+        w.run_until(SimTime::from_millis(1));
+        let stats = agent.stats(id).unwrap();
+        assert!(stats.certified_cost_ns > PROBE_BASE_COST_NS);
+        assert!(
+            stats.avg_run_ns() <= stats.certified_cost_ns,
+            "dynamic {} ns exceeded certificate {} ns",
+            stats.avg_run_ns(),
+            stats.certified_cost_ns
+        );
+        assert!(stats.insns_eliminated > 0, "optimizer shrank the filter");
+    }
+
+    #[test]
+    fn over_budget_script_rejected_at_attach() {
+        let (mut w, n) = world_with_device();
+        let mut agent = Agent::new(n, "server1", 4);
+        // A one-nanosecond budget is under even the bare probe entry.
+        let global = GlobalConfig {
+            probe_budget: Some(1),
+            ..GlobalConfig::default()
+        };
+        let err = agent
+            .install_with_config(&mut w, &udp_spec(), &global)
+            .unwrap_err();
+        match err {
+            TracerError::OverBudget {
+                certified_ns,
+                budget_ns,
+                ref report,
+                ..
+            } => {
+                assert_eq!(budget_ns, 1);
+                assert!(certified_ns > budget_ns);
+                assert!(report.contains("certified worst-case"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Nothing was attached.
+        assert!(agent.script_ids().is_empty());
+        // A generous budget admits the same script.
+        let global = GlobalConfig {
+            probe_budget: Some(1_000_000),
+            ..GlobalConfig::default()
+        };
+        agent
+            .install_with_config(&mut w, &udp_spec(), &global)
+            .unwrap();
+    }
+
+    #[test]
+    fn raw_install_respects_budget() {
+        use vnet_ebpf::asm::{reg::*, Asm};
+        let (mut w, n) = world_with_device();
+        let mut agent = Agent::new(n, "server1", 4);
+        let insns = Asm::new().mov64_imm(R0, 0).exit().build().unwrap();
+        let hook = HookSpec::DeviceRx("eth0".into());
+        let global = GlobalConfig {
+            probe_budget: Some(PROBE_BASE_COST_NS),
+            ..GlobalConfig::default()
+        };
+        // mov+exit certifies above the bare entry cost: rejected.
+        assert!(matches!(
+            agent.install_raw_with_config(&mut w, "tiny", &hook, insns.clone(), &global),
+            Err(TracerError::OverBudget { .. })
+        ));
+        let global = GlobalConfig {
+            probe_budget: Some(PROBE_BASE_COST_NS + 10),
+            ..GlobalConfig::default()
+        };
+        agent
+            .install_raw_with_config(&mut w, "tiny", &hook, insns, &global)
+            .unwrap();
     }
 
     #[test]

@@ -204,6 +204,14 @@ pub struct GlobalConfig {
     pub mode: CollectionMode,
     /// Execution tier for the deployed trace programs.
     pub exec_tier: ExecTier,
+    /// Maximum certified worst-case cost (in simulated nanoseconds,
+    /// including the fixed probe-entry cost) a deployed program may have
+    /// per firing. Programs whose static cost certificate exceeds this
+    /// are rejected at attach time with an annotated cost report
+    /// ([`crate::error::TracerError::OverBudget`]); `None` disables the
+    /// check. Because the certificate is a sound worst-case bound, a
+    /// passing program can never cost more than this at runtime.
+    pub probe_budget: Option<u64>,
 }
 
 impl Default for GlobalConfig {
@@ -213,9 +221,15 @@ impl Default for GlobalConfig {
             buffer_size: 64 * 1024,
             mode: CollectionMode::Offline,
             exec_tier: ExecTier::Jit,
+            probe_budget: None,
         }
     }
 }
+
+/// The tracer-facing name for the global configuration: what callers
+/// tune when deploying (buffering, collection mode, execution tier,
+/// probe overhead budget).
+pub type TracerConfig = GlobalConfig;
 
 /// A complete control package: global config plus trace scripts.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -459,6 +473,7 @@ impl ToJson for GlobalConfig {
             ("buffer_size", self.buffer_size.to_json()),
             ("mode", self.mode.to_json()),
             ("exec_tier", self.exec_tier.to_json()),
+            ("probe_budget", self.probe_budget.to_json()),
         ])
     }
 }
@@ -474,6 +489,12 @@ impl FromJson for GlobalConfig {
             exec_tier: match value.get("exec_tier") {
                 Some(v) => ExecTier::from_json(v)?,
                 None => ExecTier::default(),
+            },
+            // Same pattern: packages written before budgets existed
+            // parse as "no budget".
+            probe_budget: match value.get("probe_budget") {
+                Some(v) => Option::<u64>::from_json(v)?,
+                None => None,
             },
         })
     }
@@ -581,5 +602,20 @@ mod tests {
         }"#;
         let parsed = ControlPackage::from_json(legacy).unwrap();
         assert_eq!(parsed.global.exec_tier, ExecTier::Jit);
+    }
+
+    #[test]
+    fn probe_budget_round_trips_and_defaults_when_absent() {
+        let mut pkg = ControlPackage::new(vec![sample_spec()]);
+        pkg.global.probe_budget = Some(120);
+        let back = ControlPackage::from_json(&pkg.to_json()).unwrap();
+        assert_eq!(back.global.probe_budget, Some(120));
+
+        let legacy = r#"{
+            "global": {"database": "db", "buffer_size": 4096, "mode": "Offline"},
+            "traces": []
+        }"#;
+        let parsed = ControlPackage::from_json(legacy).unwrap();
+        assert_eq!(parsed.global.probe_budget, None);
     }
 }

@@ -25,6 +25,20 @@ pub enum TracerError {
     Config(String),
     /// A script id that is not installed.
     UnknownScript(u64),
+    /// The program's certified worst-case execution cost exceeds the
+    /// configured probe budget — rejected at attach time, before the
+    /// probe can perturb the traced system.
+    OverBudget {
+        /// Program name.
+        name: String,
+        /// Certified worst-case cost per firing (includes probe entry).
+        certified_ns: u64,
+        /// The configured [`crate::config::GlobalConfig::probe_budget`].
+        budget_ns: u64,
+        /// Kernel-verifier-style annotated cost report showing where the
+        /// worst-case path spends its budget.
+        report: String,
+    },
 }
 
 impl core::fmt::Display for TracerError {
@@ -39,6 +53,16 @@ impl core::fmt::Display for TracerError {
             TracerError::Assemble(e) => write!(f, "program assembly failed: {e}"),
             TracerError::Config(s) => write!(f, "invalid control package: {s}"),
             TracerError::UnknownScript(id) => write!(f, "script {id} is not installed"),
+            TracerError::OverBudget {
+                name,
+                certified_ns,
+                budget_ns,
+                report,
+            } => write!(
+                f,
+                "program `{name}` rejected: certified worst-case cost \
+                 {certified_ns} ns exceeds probe budget {budget_ns} ns\n{report}"
+            ),
         }
     }
 }

@@ -60,6 +60,7 @@
 //! //    the full deploy / run / collect / analyze cycle.
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
@@ -79,7 +80,9 @@ pub mod tracer;
 pub use agent::{Agent, ScriptId, ScriptStats};
 pub use clock_sync::{estimate_skew, SkewEstimate, SkewSample};
 pub use collector::{Collector, IngestSubscriber};
-pub use config::{Action, ControlPackage, FilterRule, GlobalConfig, HookSpec, TraceSpec};
+pub use config::{
+    Action, ControlPackage, FilterRule, GlobalConfig, HookSpec, TraceSpec, TracerConfig,
+};
 pub use dispatcher::Dispatcher;
 pub use error::{Result, TracerError};
 pub use record::TraceRecord;

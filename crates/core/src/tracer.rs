@@ -404,9 +404,10 @@ mod tests {
 
     #[test]
     fn jit_tier_is_default_and_traces_identically() {
-        // Same scenario on both tiers: identical records and match
-        // counts, but the jit tier reports fused ops, fewer dispatched
-        // ops than retired instructions, and less accumulated run time.
+        // Same scenario on both tiers: identical records, match counts
+        // and charged CPU (both tiers charge the path's toll under the
+        // shared cost table), but the jit tier reports fused ops and
+        // fewer dispatched ops than retired instructions.
         let run = |tier: crate::config::ExecTier| {
             let (mut w, mut tracer, d0) = setup();
             let mut pkg = ControlPackage::new(vec![
@@ -457,11 +458,14 @@ mod tests {
             stats_j.ops_executed,
             stats_i.ops_executed
         );
+        assert_eq!(
+            stats_j.run_time_ns, stats_i.run_time_ns,
+            "tiers charge the same per-path cost under the shared table"
+        );
+        assert_eq!(stats_j.certified_cost_ns, stats_i.certified_cost_ns);
         assert!(
-            stats_j.run_time_ns < stats_i.run_time_ns,
-            "jit runs must charge less CPU ({} vs {})",
-            stats_j.run_time_ns,
-            stats_i.run_time_ns
+            stats_j.run_time_ns <= stats_j.executions * stats_j.certified_cost_ns,
+            "dynamic cost bounded by the certificate"
         );
         // Run stats surface one entry per deployed script.
         assert_eq!(run_stats.len(), 2);

@@ -154,8 +154,10 @@ enum Op {
         src: u8,
         target: u32,
     },
-    /// Helper call bound to a direct thunk at compile time.
-    Call { thunk: HelperFn },
+    /// Helper call bound to a direct thunk at compile time. `cost` is
+    /// the static charge (dispatch + per-helper) from [`crate::cost`],
+    /// captured here because the thunk erases the helper id.
+    Call { thunk: HelperFn, cost: u32 },
     /// Call to a helper id with no bound implementation; aborts with
     /// [`VmError::UnknownHelper`] exactly as the interpreter would.
     CallUnknown { id: i32 },
@@ -305,6 +307,11 @@ pub struct JitOutcome {
     /// Original instructions retired — matches the interpreter's
     /// `insns_executed` for the same input, fused ops retiring several.
     pub insns_retired: u64,
+    /// The path's dynamic cost under the shared static cost table
+    /// ([`crate::cost`]). Fused ops charge the sum of their components,
+    /// so this matches the interpreter's `cost_ns` for the same input
+    /// and is bounded by the program's certificate.
+    pub cost_ns: u64,
     /// Fused ops dispatched this run.
     pub fused_hits: u64,
     /// Runtime checks skipped this run because the verifier's analysis
@@ -318,11 +325,54 @@ pub struct JitOutcome {
 pub struct CompiledProgram {
     name: String,
     ops: Box<[Op]>,
+    /// Static charge per op under the shared cost table, precomputed so
+    /// the dispatch loop pays one indexed add instead of a match.
+    op_costs: Box<[u32]>,
     stores: Box<[StackStore]>,
     insn_count: usize,
     fused_ops: usize,
     elided_sites: usize,
     budget: u64,
+}
+
+/// The static charge of one pre-decoded op: the [`crate::cost`] table
+/// applied per component, so a fused op costs exactly what its source
+/// instructions would under the interpreter.
+fn op_cost(op: &Op) -> u32 {
+    use crate::cost::{
+        helper_cost_ns, ALU_COST_NS, ATOMIC_COST_NS, CALL_DISPATCH_COST_NS, MEM_COST_NS,
+    };
+    use crate::vm::helper_ids::MAP_LOOKUP_ELEM;
+    let (alu, mem) = (ALU_COST_NS as u32, MEM_COST_NS as u32);
+    match *op {
+        Op::Load { .. }
+        | Op::LoadStack { .. }
+        | Op::LoadStackDyn { .. }
+        | Op::LoadCtx { .. }
+        | Op::LoadMapVal { .. }
+        | Op::StoreReg { .. }
+        | Op::StoreImm { .. }
+        | Op::StoreStackReg { .. }
+        | Op::StoreStackImm { .. }
+        | Op::StoreStackDynReg { .. }
+        | Op::StoreStackDynImm { .. }
+        | Op::StoreMapValReg { .. }
+        | Op::StoreMapValImm { .. } => mem,
+        Op::AtomicAdd { .. } => ATOMIC_COST_NS as u32,
+        Op::Call { cost, .. } => cost,
+        Op::MapLookupNull { .. } => {
+            (CALL_DISPATCH_COST_NS + helper_cost_ns(MAP_LOOKUP_ELEM)) as u32 + alu
+        }
+        Op::LoadBranch { be, .. } => mem + alu + if be != 0 { alu } else { 0 },
+        Op::LoadToStack { be, .. } => mem + mem + if be != 0 { alu } else { 0 },
+        Op::Lea { .. } => alu + alu,
+        Op::LoadAddStore { .. } => mem + alu + mem,
+        Op::ExitImm { .. } => alu + alu,
+        Op::StoreRun { count, .. } => mem * u32::from(count),
+        // ALU, moves, endian swaps, branches (elided or not), div with
+        // the zero test elided, exit, aborts: one dispatch each.
+        _ => alu,
+    }
 }
 
 impl CompiledProgram {
@@ -383,6 +433,7 @@ impl CompiledProgram {
         let mut ip = 0usize;
         let mut ops_executed: u64 = 0;
         let mut retired: u64 = 0;
+        let mut cost_ns: u64 = 0;
         let mut fused_hits: u64 = 0;
         let mut checks_elided: u64 = 0;
         // Grows on first helper use; branch-heavy filter runs that call
@@ -396,6 +447,7 @@ impl CompiledProgram {
             let op = self.ops.get(ip).ok_or(VmError::BadInstruction(ip))?;
             ops_executed += 1;
             retired += 1;
+            cost_ns += u64::from(self.op_costs[ip]);
             match *op {
                 Op::Alu64Imm { op, dst, imm } => {
                     reg[dst as usize] = alu64(op, reg[dst as usize], imm);
@@ -546,7 +598,7 @@ impl CompiledProgram {
                         ip + 1
                     };
                 }
-                Op::Call { thunk } => {
+                Op::Call { thunk, .. } => {
                     thunk(&mut reg, &mut mem, maps, env, &mut scratch)?;
                     ip += 1;
                 }
@@ -556,6 +608,7 @@ impl CompiledProgram {
                         ret: reg[0],
                         ops_executed,
                         insns_retired: retired,
+                        cost_ns,
                         fused_hits,
                         checks_elided,
                     })
@@ -667,6 +720,7 @@ impl CompiledProgram {
                         ret: imm,
                         ops_executed,
                         insns_retired: retired,
+                        cost_ns,
                         fused_hits,
                         checks_elided,
                     });
@@ -1010,7 +1064,12 @@ pub fn compile_with(prog: &LoadedProgram, opts: CompileOpts) -> CompiledProgram 
                 match op {
                     BPF_EXIT => ops.push(Op::Exit),
                     BPF_CALL => ops.push(match helper_by_id(insn.imm) {
-                        Some(thunk) => Op::Call { thunk },
+                        Some(thunk) => Op::Call {
+                            thunk,
+                            cost: (crate::cost::CALL_DISPATCH_COST_NS
+                                + crate::cost::helper_cost_ns(insn.imm))
+                                as u32,
+                        },
                         None => Op::CallUnknown { id: insn.imm },
                     }),
                     BPF_JA => {
@@ -1078,9 +1137,11 @@ pub fn compile_with(prog: &LoadedProgram, opts: CompileOpts) -> CompiledProgram 
         set_target(&mut ops[op_idx], tgt);
     }
 
+    let op_costs: Vec<u32> = ops.iter().map(op_cost).collect();
     CompiledProgram {
         name: prog.name().to_owned(),
         ops: ops.into_boxed_slice(),
+        op_costs: op_costs.into_boxed_slice(),
         stores: stores.into_boxed_slice(),
         insn_count: insns.len(),
         fused_ops,
@@ -1448,7 +1509,7 @@ mod tests {
     use super::*;
     use crate::asm::{reg::*, Asm, Cond, Size};
     use crate::map::MapDef;
-    use crate::program::{load, AttachType, Program};
+    use crate::program::{load_with_opts, AttachType, LoadOpts, Program};
     use crate::vm::{standard_helpers, FixedEnv, Vm};
 
     fn compile_asm(asm: Asm, maps: &MapRegistry) -> CompiledProgram {
@@ -1457,7 +1518,13 @@ mod tests {
             AttachType::Kprobe("f".into()),
             asm.build().expect("assembles"),
         );
-        let loaded = load(prog, maps, &standard_helpers()).expect("verifies");
+        let loaded = load_with_opts(
+            prog,
+            maps,
+            &standard_helpers(),
+            &LoadOpts { optimize: false },
+        )
+        .expect("verifies");
         compile(&loaded)
     }
 
@@ -1468,7 +1535,13 @@ mod tests {
             AttachType::Kprobe("f".into()),
             asm.build().expect("assembles"),
         );
-        let loaded = load(prog, &maps, &standard_helpers()).expect("verifies");
+        let loaded = load_with_opts(
+            prog,
+            &maps,
+            &standard_helpers(),
+            &LoadOpts { optimize: false },
+        )
+        .expect("verifies");
         let ctx = TraceContext::default();
         let mut m1 = MapRegistry::new();
         let mut m2 = MapRegistry::new();
@@ -1601,7 +1674,13 @@ mod tests {
             AttachType::Kprobe("f".into()),
             asm.build().unwrap(),
         );
-        let loaded = load(prog, &maps, &standard_helpers()).unwrap();
+        let loaded = load_with_opts(
+            prog,
+            &maps,
+            &standard_helpers(),
+            &LoadOpts { optimize: false },
+        )
+        .unwrap();
         let compiled = compile(&loaded);
         assert!(compiled.fused_op_count() >= 1, "lookup+null should fuse");
 
@@ -1636,7 +1715,13 @@ mod tests {
         let asm = Asm::new().mov64_imm(R1, 0).ldx(Size::DW, R0, R1, 0).exit();
         let maps = MapRegistry::new();
         let prog = Program::new("oob", AttachType::Kprobe("f".into()), asm.build().unwrap());
-        let loaded = load(prog, &maps, &standard_helpers()).unwrap();
+        let loaded = load_with_opts(
+            prog,
+            &maps,
+            &standard_helpers(),
+            &LoadOpts { optimize: false },
+        )
+        .unwrap();
         let ctx = TraceContext::default();
         let mut m1 = MapRegistry::new();
         let mut m2 = MapRegistry::new();
@@ -1675,7 +1760,13 @@ mod tests {
         let maps = MapRegistry::new();
         let asm = Asm::new().ldx(Size::DW, R0, R1, 0).exit();
         let prog = Program::new("t", AttachType::Kprobe("f".into()), asm.build().unwrap());
-        let loaded = load(prog, &maps, &standard_helpers()).unwrap();
+        let loaded = load_with_opts(
+            prog,
+            &maps,
+            &standard_helpers(),
+            &LoadOpts { optimize: false },
+        )
+        .unwrap();
         let on = compile(&loaded);
         let off = compile_with(&loaded, CompileOpts { elide: false });
         assert!(on.elided_site_count() >= 1, "ctx load should be proven");
@@ -1737,7 +1828,13 @@ mod tests {
             .exit();
         let maps = MapRegistry::new();
         let prog = Program::new("d", AttachType::Kprobe("f".into()), asm.build().unwrap());
-        let loaded = load(prog, &maps, &standard_helpers()).unwrap();
+        let loaded = load_with_opts(
+            prog,
+            &maps,
+            &standard_helpers(),
+            &LoadOpts { optimize: false },
+        )
+        .unwrap();
         let ctx = TraceContext::default();
         let mut m1 = MapRegistry::new();
         let mut m2 = MapRegistry::new();
@@ -1772,7 +1869,13 @@ mod tests {
             .mov64_imm(R0, 1)
             .exit();
         let prog = Program::new("m", AttachType::Kprobe("f".into()), asm.build().unwrap());
-        let loaded = load(prog, &maps, &standard_helpers()).unwrap();
+        let loaded = load_with_opts(
+            prog,
+            &maps,
+            &standard_helpers(),
+            &LoadOpts { optimize: false },
+        )
+        .unwrap();
         let on = compile(&loaded);
         let off = compile_with(&loaded, CompileOpts { elide: false });
         assert!(on.elided_site_count() > off.elided_site_count());

@@ -1,0 +1,1234 @@
+//! The trace-program optimizer: analysis-driven rewriting between
+//! verification and tier lowering.
+//!
+//! Three dataflow passes run over the verified CFG — which the verifier
+//! guarantees is a DAG (backward jumps are rejected), so every pass is a
+//! single in-order or reverse-order sweep with no fixpoint iteration:
+//!
+//! 1. **Forward value propagation** ([`forward_rewrite`]): a symbolic
+//!    constant/copy propagation seeded from the verifier's per-insn
+//!    facts. Registers hold [`Val`]s — constants or symbolic values
+//!    keyed on their defining instruction — and an availability map
+//!    remembers what each proven memory location last held, keyed on
+//!    the verifier's [`MemFact`]s (ctx/stack) or on symbolic base+offset
+//!    (packet/map-value). Statically-decided ALU ops fold to `mov`,
+//!    redundant reloads fold to register copies or immediates, and
+//!    branches decided either by the propagated constants or by the
+//!    verifier's own [`BranchFact`]s collapse to `ja`. Equality
+//!    branches refine the surviving edge: the compared symbol becomes a
+//!    constant in both the registers *and* the availability map, which
+//!    is what lets a packet-field reload after a filter test fold to
+//!    the tested immediate.
+//! 2. **Backward liveness** ([`liveness`]): dead-code and dead-store
+//!    elimination. Register liveness removes side-effect-free defs of
+//!    dead registers (all ALU forms — `div`/`mod` are total in this VM —
+//!    plus loads the verifier proved cannot fault); byte-granular stack
+//!    liveness removes stores to slots never reloaded. Any load the
+//!    verifier could not classify may hit the stack at runtime (wild
+//!    scalar loads are bounds-checked, not rejected), so it keeps every
+//!    stack byte live.
+//! 3. **Compaction** ([`compact`]): drops unreachable and dead
+//!    instructions, threads `ja`-to-`ja` chains, erases jumps to the
+//!    next live instruction, and remaps every branch offset.
+//!
+//! The rounds repeat until a sweep changes nothing (capped — each round
+//! strictly shrinks or strictly folds, so the cap is slack, not a
+//! correctness device). **Soundness gate:** the final stream is
+//! re-verified with the same analysis that admitted the original; if
+//! re-verification failed the optimizer would fall back to the original
+//! program and say so in [`OptStats::reverified`]. The differential
+//! proptests additionally pin raw and optimized programs to identical
+//! returns, records, map side effects and aborts on both tiers.
+
+use crate::analysis::{analyze, Analysis, BranchFact, MemFact};
+use crate::insn::*;
+use crate::vm::{alu32, alu64, jump_taken};
+
+/// Rounds of (rewrite, liveness, compact) before stopping even if the
+/// stream is still changing. Each round either strictly shrinks the
+/// program or strictly reduces the set of foldable instructions, so
+/// four rounds is far past convergence for real programs.
+const MAX_ROUNDS: usize = 4;
+
+/// Synthetic defining-site id for the entry value of `r1` (ctx pointer).
+const ENTRY_CTX: u32 = u32::MAX;
+/// Synthetic defining-site id for the entry value of `r10` (frame ptr).
+const ENTRY_FP: u32 = u32::MAX - 1;
+
+/// What the optimizer did, for `ScriptStats`, `vnt analyze` and tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OptStats {
+    /// Instruction slots before optimization (`lddw` counts two).
+    pub original_insns: usize,
+    /// Instruction slots after optimization.
+    pub optimized_insns: usize,
+    /// ALU/endian ops folded to `mov` immediates.
+    pub folded_alu: usize,
+    /// Conditional branches collapsed to `ja`.
+    pub folded_branches: usize,
+    /// Redundant loads rewritten to register copies or immediates.
+    pub loads_forwarded: usize,
+    /// Dead or unreachable instructions removed outright.
+    pub dead_code_removed: usize,
+    /// Stores to never-reloaded stack slots removed.
+    pub dead_stores_removed: usize,
+    /// Rewrite rounds run.
+    pub rounds: usize,
+    /// The optimized stream passed re-verification (always true for a
+    /// returned optimized program; false only on the fallback path).
+    pub reverified: bool,
+}
+
+impl OptStats {
+    /// Instruction slots eliminated end to end.
+    pub fn insns_eliminated(&self) -> usize {
+        self.original_insns.saturating_sub(self.optimized_insns)
+    }
+}
+
+/// An optimized program plus the analysis that re-verified it.
+#[derive(Debug, Clone)]
+pub struct OptResult {
+    /// The rewritten instruction stream (verifier-accepted).
+    pub insns: Vec<Insn>,
+    /// What changed.
+    pub stats: OptStats,
+    /// The re-verification analysis of `insns` (checked `ok()`).
+    pub analysis: Analysis,
+}
+
+/// Optimizes a verifier-accepted program.
+///
+/// `insns` must already have passed [`analyze`] with the same `helpers`
+/// and `map_value_size` (the loader guarantees this); the optimizer
+/// re-runs the analysis between rounds because folding branches changes
+/// reachability. If the optimized stream somehow failed re-verification
+/// the original program is returned unchanged with
+/// [`OptStats::reverified`] false — optimization can be skipped, never
+/// trusted unchecked.
+pub fn optimize(
+    insns: &[Insn],
+    helpers: &[i32],
+    map_value_size: &dyn Fn(i32) -> Option<u64>,
+) -> OptResult {
+    let mut stats = OptStats {
+        original_insns: insns.len(),
+        ..OptStats::default()
+    };
+    let mut cur = insns.to_vec();
+    for round in 0..MAX_ROUNDS {
+        let analysis = analyze(&cur, helpers, map_value_size);
+        if !analysis.ok() {
+            break; // caller's stream was unverified; fall back below
+        }
+        stats.rounds = round + 1;
+        let rewrote = forward_rewrite(&mut cur, &analysis, &mut stats);
+        let analysis = if rewrote {
+            analyze(&cur, helpers, map_value_size)
+        } else {
+            analysis
+        };
+        if !analysis.ok() {
+            break;
+        }
+        let keep = liveness(&cur, &analysis, &mut stats);
+        let compacted = compact(&cur, keep);
+        let shrunk = match compacted {
+            Some(next) => {
+                cur = next;
+                true
+            }
+            None => false,
+        };
+        if !rewrote && !shrunk {
+            break;
+        }
+    }
+    // The soundness gate: the optimized program must satisfy the same
+    // verifier that admitted the original.
+    let analysis = analyze(&cur, helpers, map_value_size);
+    if !analysis.ok() {
+        let analysis = analyze(insns, helpers, map_value_size);
+        return OptResult {
+            insns: insns.to_vec(),
+            stats: OptStats {
+                original_insns: insns.len(),
+                optimized_insns: insns.len(),
+                reverified: false,
+                ..OptStats::default()
+            },
+            analysis,
+        };
+    }
+    stats.optimized_insns = cur.len();
+    stats.reverified = true;
+    OptResult {
+        insns: cur,
+        stats,
+        analysis,
+    }
+}
+
+/// An abstract value: unknown, a known 64-bit constant, or "whatever
+/// the instruction at `def` produced, plus `delta`". Symbolic equality
+/// is what licenses copy propagation and redundant-load elimination;
+/// `width` records a zero-extension guarantee (a byte load's value fits
+/// in 8 bits) so 32-bit branch refinement knows when the lower-half
+/// comparison pins the full value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Val {
+    Top,
+    Const(u64),
+    Sym { def: u32, delta: i64, width: u8 },
+}
+
+impl Val {
+    fn sym(def: usize, width: u8) -> Self {
+        Val::Sym {
+            def: def as u32,
+            delta: 0,
+            width,
+        }
+    }
+}
+
+/// A tracked memory location. Ctx and stack keys come straight from the
+/// verifier's constant-offset proofs; everything else (packet bytes,
+/// map values) is keyed symbolically on base value + offset, valid
+/// exactly as long as the base symbol is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MemKey {
+    Ctx {
+        off: u16,
+        size: u8,
+    },
+    Stack {
+        idx: u16,
+        size: u8,
+    },
+    Sym {
+        base_def: u32,
+        base_delta: i64,
+        off: i16,
+        size: u8,
+        region: Region,
+    },
+}
+
+/// Coarse alias class for symbolic keys: map-value pointers cannot
+/// alias packet bytes, but a wild scalar pointer can alias anything.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Region {
+    Map,
+    Other,
+}
+
+/// Per-edge dataflow state: register values plus available memory.
+#[derive(Debug, Clone, PartialEq)]
+struct State {
+    regs: [Val; NUM_REGS],
+    mem: Vec<(MemKey, Val)>,
+}
+
+impl State {
+    fn entry() -> Self {
+        let mut regs = [Val::Top; NUM_REGS];
+        regs[1] = Val::Sym {
+            def: ENTRY_CTX,
+            delta: 0,
+            width: 64,
+        };
+        regs[10] = Val::Sym {
+            def: ENTRY_FP,
+            delta: 0,
+            width: 64,
+        };
+        State {
+            regs,
+            mem: Vec::new(),
+        }
+    }
+
+    fn mem_get(&self, key: &MemKey) -> Option<Val> {
+        self.mem.iter().find(|(k, _)| k == key).map(|(_, v)| *v)
+    }
+
+    fn mem_put(&mut self, key: MemKey, val: Val) {
+        if let Some(slot) = self.mem.iter_mut().find(|(k, _)| *k == key) {
+            slot.1 = val;
+        } else {
+            self.mem.push((key, val));
+        }
+    }
+
+    /// Drops every tracked location a write through the given access
+    /// class could alias.
+    fn clobber(&mut self, write: Clobber) {
+        self.mem.retain(|(k, _)| match (write, k) {
+            (Clobber::All, _) => false,
+            // A constant-offset stack write aliases overlapping stack
+            // bytes — and any wild (Other-region) location, since a
+            // scalar pointer may point into the frame.
+            (Clobber::Stack { idx, size }, MemKey::Stack { idx: ki, size: ks }) => {
+                let (a0, a1) = (idx as u32, idx as u32 + size as u32);
+                let (b0, b1) = (*ki as u32, *ki as u32 + *ks as u32);
+                a1 <= b0 || b1 <= a0
+            }
+            (Clobber::Stack { .. }, MemKey::Sym { region, .. }) => *region != Region::Other,
+            (Clobber::Stack { .. }, _) => true,
+            (Clobber::StackAll, MemKey::Stack { .. }) => false,
+            (Clobber::StackAll, MemKey::Sym { region, .. }) => *region != Region::Other,
+            (Clobber::StackAll, _) => true,
+            (Clobber::MapValues, MemKey::Sym { .. }) => false,
+            (Clobber::MapValues, _) => true,
+        });
+    }
+
+    /// Replaces every occurrence of `sym` (a delta-0 symbol) with the
+    /// constant `c` — the branch-refinement step.
+    fn refine(&mut self, sym: Val, c: u64) {
+        for r in &mut self.regs {
+            if *r == sym {
+                *r = Val::Const(c);
+            }
+        }
+        for (_, v) in &mut self.mem {
+            if *v == sym {
+                *v = Val::Const(c);
+            }
+        }
+    }
+
+    /// Pointwise meet: registers must agree exactly, memory keeps the
+    /// intersection of identical entries.
+    fn join(&mut self, other: &State) {
+        for (a, b) in self.regs.iter_mut().zip(other.regs.iter()) {
+            if a != b {
+                *a = Val::Top;
+            }
+        }
+        self.mem
+            .retain(|(k, v)| other.mem_get(k).is_some_and(|ov| ov == *v));
+    }
+}
+
+/// Alias class of one store, for [`State::clobber`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Clobber {
+    All,
+    Stack { idx: u16, size: u8 },
+    StackAll,
+    MapValues,
+}
+
+fn join_into(slot: &mut Option<State>, state: &State) {
+    match slot {
+        Some(existing) => existing.join(state),
+        None => *slot = Some(state.clone()),
+    }
+}
+
+/// `mov` encodings used by the rewrites.
+fn mov64_imm(dst: u8, imm: i32) -> Insn {
+    Insn::new(BPF_ALU64 | BPF_MOV | BPF_K, dst, 0, 0, imm)
+}
+fn mov32_imm(dst: u8, imm: i32) -> Insn {
+    Insn::new(BPF_ALU | BPF_MOV | BPF_K, dst, 0, 0, imm)
+}
+fn mov64_reg(dst: u8, src: u8) -> Insn {
+    Insn::new(BPF_ALU64 | BPF_MOV | BPF_X, dst, src, 0, 0)
+}
+fn ja(off: i16) -> Insn {
+    Insn::new(BPF_JMP | BPF_JA, 0, 0, off, 0)
+}
+
+/// Picks a `mov` that materialises `v`, if one exists: `mov64` for
+/// values that sign-extend from i32, `mov32` for anything below 2^32
+/// (it zero-extends).
+fn mov_for(dst: u8, v: u64) -> Option<Insn> {
+    if v as i32 as i64 as u64 == v {
+        Some(mov64_imm(dst, v as i32))
+    } else if v <= u64::from(u32::MAX) {
+        Some(mov32_imm(dst, v as u32 as i32))
+    } else {
+        None
+    }
+}
+
+/// The store-value seen by a later same-sized load: constants truncate
+/// to the stored width; symbols survive only when provably narrower
+/// than the store (wider symbols become a fresh store-defined symbol).
+fn stored_val(val: Val, size: u8, pc: usize) -> Val {
+    let bits = u32::from(size) * 8;
+    match val {
+        Val::Const(c) => Val::Const(if bits >= 64 { c } else { c & ((1 << bits) - 1) }),
+        Val::Sym { width, .. } if u32::from(width) <= bits => val,
+        _ => Val::sym(pc, (bits.min(64)) as u8),
+    }
+}
+
+/// Memory key for a load/store at `pc`, using the verifier's fact when
+/// it proved a constant region offset and the symbolic base otherwise.
+fn mem_key(
+    state: &State,
+    analysis: &Analysis,
+    pc: usize,
+    base_reg: usize,
+    off: i16,
+    size: u8,
+) -> Option<MemKey> {
+    match analysis.fact(pc).mem {
+        Some(MemFact::CtxConst { off }) => Some(MemKey::Ctx { off, size }),
+        Some(MemFact::StackConst { idx }) => Some(MemKey::Stack { idx, size }),
+        Some(MemFact::StackDyn) => None,
+        fact => {
+            let region = match fact {
+                Some(MemFact::MapValue) => Region::Map,
+                _ => Region::Other,
+            };
+            match state.regs[base_reg] {
+                Val::Sym { def, delta, .. } => Some(MemKey::Sym {
+                    base_def: def,
+                    base_delta: delta,
+                    off,
+                    size,
+                    region,
+                }),
+                _ => None,
+            }
+        }
+    }
+}
+
+/// The forward constant/copy-propagation and branch-folding sweep.
+/// Rewrites are strictly in place (never changing stream length), so
+/// the verifier facts computed for the incoming stream stay valid for
+/// every instruction the sweep has not yet reached.
+fn forward_rewrite(insns: &mut [Insn], analysis: &Analysis, stats: &mut OptStats) -> bool {
+    let mut changed = false;
+    let mut state_in: Vec<Option<State>> = vec![None; insns.len()];
+    if insns.is_empty() {
+        return false;
+    }
+    state_in[0] = Some(State::entry());
+
+    let mut pc = 0usize;
+    while pc < insns.len() {
+        let insn = insns[pc];
+        let width = if insn.is_lddw() { 2 } else { 1 };
+        let Some(mut state) = state_in[pc].take() else {
+            pc += width;
+            continue;
+        };
+        let dst = insn.dst as usize;
+        let src = insn.src as usize;
+        match insn.class() {
+            BPF_LD => {
+                state.regs[dst] = if insn.src == PSEUDO_MAP_FD {
+                    Val::sym(pc, 64)
+                } else {
+                    let lo = insn.imm as u32 as u64;
+                    let hi = insns[pc + 1].imm as u32 as u64;
+                    Val::Const(lo | (hi << 32))
+                };
+                join_into(&mut state_in[pc + 2], &state);
+            }
+            BPF_ALU | BPF_ALU64 => {
+                let op = insn.opcode & 0xf0;
+                let narrow = insn.class() == BPF_ALU;
+                let out = alu_transfer(&state, &insn, pc);
+                if let Val::Const(v) = out {
+                    if let Some(mov) = mov_for(insn.dst, v) {
+                        if insns[pc] != mov {
+                            insns[pc] = mov;
+                            stats.folded_alu += 1;
+                            changed = true;
+                        }
+                    }
+                } else if op == BPF_MOV
+                    && !narrow
+                    && insn.opcode & 0x08 == BPF_X
+                    && state.regs[src] == Val::Top
+                {
+                    // Plain copy of an untracked value: give dst the
+                    // same fresh symbol copy propagation can still use.
+                    state.regs[src] = Val::sym(pc, 64);
+                }
+                state.regs[dst] = if op == BPF_MOV && !narrow && insn.opcode & 0x08 == BPF_X {
+                    state.regs[src]
+                } else {
+                    out
+                };
+                join_into(&mut state_in[pc + 1], &state);
+            }
+            BPF_LDX => {
+                let size = access_bytes(insn.opcode);
+                let key = mem_key(&state, analysis, pc, src, insn.off, size);
+                let avail = key.and_then(|k| state.mem_get(&k));
+                match avail {
+                    Some(v) => {
+                        let rewrite = match v {
+                            Val::Const(c) => mov_for(insn.dst, c),
+                            _ => state
+                                .regs
+                                .iter()
+                                .position(|r| *r == v)
+                                .map(|r| mov64_reg(insn.dst, r as u8)),
+                        };
+                        if let Some(mov) = rewrite {
+                            if insns[pc] != mov {
+                                insns[pc] = mov;
+                                stats.loads_forwarded += 1;
+                                changed = true;
+                            }
+                        }
+                        state.regs[dst] = v;
+                    }
+                    None => {
+                        let loaded = Val::sym(pc, size * 8);
+                        state.regs[dst] = loaded;
+                        if let Some(k) = key {
+                            state.mem_put(k, loaded);
+                        }
+                    }
+                }
+                join_into(&mut state_in[pc + 1], &state);
+            }
+            BPF_ST | BPF_STX => {
+                if insn.class() == BPF_STX && insn.opcode & 0xe0 == BPF_ATOMIC {
+                    state.clobber(Clobber::All);
+                    if insn.imm & BPF_FETCH != 0 {
+                        state.regs[src] = Val::sym(pc, 64);
+                    }
+                } else {
+                    let size = access_bytes(insn.opcode);
+                    let val = if insn.class() == BPF_ST {
+                        Val::Const(insn.imm as i64 as u64)
+                    } else {
+                        state.regs[src]
+                    };
+                    let key = mem_key(&state, analysis, pc, dst, insn.off, size);
+                    match analysis.fact(pc).mem {
+                        Some(MemFact::StackConst { idx }) => {
+                            state.clobber(Clobber::Stack { idx, size });
+                        }
+                        Some(MemFact::StackDyn) => state.clobber(Clobber::StackAll),
+                        Some(MemFact::MapValue) => state.clobber(Clobber::MapValues),
+                        Some(MemFact::CtxConst { .. }) | None => state.clobber(Clobber::All),
+                    }
+                    if let Some(k) = key {
+                        if !matches!(
+                            k,
+                            MemKey::Sym {
+                                region: Region::Other,
+                                ..
+                            }
+                        ) {
+                            state.mem_put(k, stored_val(val, size, pc));
+                        }
+                    }
+                }
+                join_into(&mut state_in[pc + 1], &state);
+            }
+            BPF_JMP | BPF_JMP32 => {
+                let op = insn.opcode & 0xf0;
+                match op {
+                    BPF_EXIT => {}
+                    BPF_CALL => {
+                        state.regs[0] = Val::sym(pc, 64);
+                        for r in 1..=5 {
+                            state.regs[r] = Val::Top;
+                        }
+                        state.clobber(Clobber::All);
+                        join_into(&mut state_in[pc + 1], &state);
+                    }
+                    BPF_JA => {
+                        let t = (pc as i64 + 1 + i64::from(insn.off)) as usize;
+                        join_into(&mut state_in[t], &state);
+                    }
+                    _ => {
+                        changed |= cond_branch(insns, &mut state_in, analysis, pc, state, stats);
+                    }
+                }
+            }
+            _ => {
+                join_into(&mut state_in[pc + 1], &state);
+            }
+        }
+        pc += width;
+    }
+    changed
+}
+
+/// Access width in bytes from a load/store opcode.
+fn access_bytes(opcode: u8) -> u8 {
+    match opcode & 0x18 {
+        BPF_W => 4,
+        BPF_H => 2,
+        BPF_B => 1,
+        _ => 8,
+    }
+}
+
+/// The abstract ALU transfer function, sharing the interpreter's exact
+/// arithmetic so folding can never diverge from execution.
+fn alu_transfer(state: &State, insn: &Insn, pc: usize) -> Val {
+    let op = insn.opcode & 0xf0;
+    let narrow = insn.class() == BPF_ALU;
+    let dst = state.regs[insn.dst as usize];
+    if op == BPF_END {
+        return match dst {
+            Val::Const(c) => Val::Const(match insn.imm {
+                16 => u64::from((c as u16).to_be()),
+                32 => u64::from((c as u32).to_be()),
+                _ => c.to_be(),
+            }),
+            _ => Val::sym(
+                pc,
+                if insn.imm == 16 {
+                    16
+                } else if insn.imm == 32 {
+                    32
+                } else {
+                    64
+                },
+            ),
+        };
+    }
+    if op == BPF_NEG {
+        return match dst {
+            Val::Const(c) if !narrow => Val::Const(alu64(BPF_NEG, c, 0)),
+            Val::Const(c) => Val::Const(u64::from(alu32(BPF_NEG, c as u32, 0))),
+            _ => Val::sym(pc, if narrow { 32 } else { 64 }),
+        };
+    }
+    let rhs = if insn.opcode & 0x08 == BPF_X {
+        state.regs[insn.src as usize]
+    } else {
+        Val::Const(insn.imm as i64 as u64)
+    };
+    if op == BPF_MOV {
+        return match rhs {
+            Val::Const(c) if narrow => Val::Const(u64::from(c as u32)),
+            Val::Const(c) => Val::Const(c),
+            Val::Sym { width, delta, .. } if narrow && width <= 32 && delta == 0 => rhs,
+            _ if narrow => Val::sym(pc, 32),
+            v => v,
+        };
+    }
+    match (dst, rhs) {
+        (Val::Const(a), Val::Const(b)) if !narrow => Val::Const(alu64(op, a, b)),
+        (Val::Const(a), Val::Const(b)) => Val::Const(u64::from(alu32(op, a as u32, b as u32))),
+        // Pointer-style delta tracking keeps symbolic bases usable as
+        // availability keys across add/sub of constants.
+        (Val::Sym { def, delta, .. }, Val::Const(b)) if !narrow && op == BPF_ADD => Val::Sym {
+            def,
+            delta: delta.wrapping_add(b as i64),
+            width: 64,
+        },
+        (Val::Sym { def, delta, .. }, Val::Const(b)) if !narrow && op == BPF_SUB => Val::Sym {
+            def,
+            delta: delta.wrapping_sub(b as i64),
+            width: 64,
+        },
+        _ => Val::sym(pc, if narrow { 32 } else { 64 }),
+    }
+}
+
+/// Handles one conditional branch: fold it when the verifier or the
+/// propagated constants decided it, otherwise propagate to both edges
+/// with equality refinement. Returns true when the insn was rewritten.
+fn cond_branch(
+    insns: &mut [Insn],
+    state_in: &mut [Option<State>],
+    analysis: &Analysis,
+    pc: usize,
+    state: State,
+    stats: &mut OptStats,
+) -> bool {
+    let insn = insns[pc];
+    let op = insn.opcode & 0xf0;
+    let narrow = insn.class() == BPF_JMP32;
+    let target = (pc as i64 + 1 + i64::from(insn.off)) as usize;
+    let lhs = state.regs[insn.dst as usize];
+    let rhs = if insn.opcode & 0x08 == BPF_X {
+        state.regs[insn.src as usize]
+    } else if narrow {
+        Val::Const(u64::from(insn.imm as u32))
+    } else {
+        Val::Const(insn.imm as i64 as u64)
+    };
+
+    let decided = match (lhs, rhs) {
+        (Val::Const(a), Val::Const(b)) => {
+            let (a, b) = if narrow {
+                (u64::from(a as u32), u64::from(b as u32))
+            } else {
+                (a, b)
+            };
+            Some(jump_taken(op, a, b, narrow))
+        }
+        _ => match analysis.fact(pc).branch {
+            Some(BranchFact::AlwaysTaken) => Some(true),
+            Some(BranchFact::NeverTaken) => Some(false),
+            None => None,
+        },
+    };
+
+    if let Some(take) = decided {
+        let folded = ja(if take { insn.off } else { 0 });
+        let mut changed = false;
+        if insns[pc] != folded {
+            insns[pc] = folded;
+            stats.folded_branches += 1;
+            changed = true;
+        }
+        let next = if take { target } else { pc + 1 };
+        join_into(&mut state_in[next], &state);
+        return changed;
+    }
+
+    let mut taken = state.clone();
+    let mut fall = state;
+    // Equality refinement: on the edge where `sym == const` holds, the
+    // symbol *is* the constant, everywhere it is tracked. For 32-bit
+    // compares this is only sound when the symbol provably fits in the
+    // compared half.
+    let refinement = match (lhs, rhs) {
+        (
+            Val::Sym {
+                delta: 0, width, ..
+            },
+            Val::Const(c),
+        ) if !narrow || width <= 32 => Some((lhs, c)),
+        (
+            Val::Const(c),
+            Val::Sym {
+                delta: 0, width, ..
+            },
+        ) if !narrow || width <= 32 => Some((rhs, c)),
+        _ => None,
+    };
+    if let Some((sym, c)) = refinement {
+        match op {
+            BPF_JEQ => taken.refine(sym, c),
+            BPF_JNE => fall.refine(sym, c),
+            _ => {}
+        }
+    }
+    join_into(&mut state_in[target], &taken);
+    join_into(&mut state_in[pc + 1], &fall);
+    false
+}
+
+/// 512-bit stack-byte liveness set.
+type StackSet = [u64; 8];
+
+fn stack_mark(set: &mut StackSet, idx: u16, size: u8) {
+    for b in idx..idx.saturating_add(u16::from(size)).min(STACK_SIZE as u16) {
+        set[usize::from(b) / 64] |= 1 << (usize::from(b) % 64);
+    }
+}
+
+fn stack_any(set: &StackSet, idx: u16, size: u8) -> bool {
+    (idx..idx.saturating_add(u16::from(size)).min(STACK_SIZE as u16))
+        .any(|b| set[usize::from(b) / 64] & (1 << (usize::from(b) % 64)) != 0)
+}
+
+fn stack_clear(set: &mut StackSet, idx: u16, size: u8) {
+    for b in idx..idx.saturating_add(u16::from(size)).min(STACK_SIZE as u16) {
+        set[usize::from(b) / 64] &= !(1 << (usize::from(b) % 64));
+    }
+}
+
+/// The backward liveness sweep: returns per-slot keep flags with dead
+/// register defs, dead stack stores and unreachable code cleared.
+fn liveness(insns: &[Insn], analysis: &Analysis, stats: &mut OptStats) -> Vec<bool> {
+    let mut keep = vec![true; insns.len()];
+    // live-in register mask + live-in stack bytes, per slot.
+    let mut live: Vec<(u16, StackSet)> = vec![(0, [0; 8]); insns.len()];
+
+    // Instruction starts, forward, for reverse iteration with widths.
+    let mut starts = Vec::with_capacity(insns.len());
+    let mut pc = 0usize;
+    while pc < insns.len() {
+        starts.push(pc);
+        pc += if insns[pc].is_lddw() { 2 } else { 1 };
+    }
+
+    for (si, &pc) in starts.iter().enumerate().rev() {
+        let insn = insns[pc];
+        if !analysis.fact(pc).reachable {
+            keep[pc] = false;
+            if insn.is_lddw() {
+                keep[pc + 1] = false;
+            }
+            stats.dead_code_removed += if insn.is_lddw() { 2 } else { 1 };
+            continue;
+        }
+        let next_in = |pc: usize| -> (u16, StackSet) { live[pc] };
+        let succ_next = starts.get(si + 1).copied();
+        let mut out: (u16, StackSet) = (0, [0; 8]);
+        let merge = |o: &mut (u16, StackSet), s: (u16, StackSet)| {
+            o.0 |= s.0;
+            for (a, b) in o.1.iter_mut().zip(s.1.iter()) {
+                *a |= b;
+            }
+        };
+        let class = insn.class();
+        let op = insn.opcode & 0xf0;
+        let is_exit = matches!(class, BPF_JMP | BPF_JMP32) && op == BPF_EXIT;
+        let is_ja = class == BPF_JMP && op == BPF_JA;
+        let is_cond =
+            matches!(class, BPF_JMP | BPF_JMP32) && !matches!(op, BPF_EXIT | BPF_CALL | BPF_JA);
+        if is_exit {
+            // nothing flows out of exit
+        } else if is_ja || is_cond {
+            let t = (pc as i64 + 1 + i64::from(insn.off)) as usize;
+            if t < insns.len() {
+                merge(&mut out, next_in(t));
+            }
+            if is_cond {
+                if let Some(n) = succ_next {
+                    merge(&mut out, next_in(n));
+                }
+            }
+        } else if let Some(n) = succ_next {
+            merge(&mut out, next_in(n));
+        }
+
+        let (mut in_regs, mut in_stack) = out;
+        let fact = analysis.fact(pc);
+        let mut removed = false;
+        match class {
+            BPF_LD => {
+                if out.0 & (1 << insn.dst) == 0 {
+                    keep[pc] = false;
+                    keep[pc + 1] = false;
+                    stats.dead_code_removed += 2;
+                    removed = true;
+                } else {
+                    in_regs &= !(1 << insn.dst);
+                }
+            }
+            BPF_ALU | BPF_ALU64 => {
+                if out.0 & (1 << insn.dst) == 0 {
+                    keep[pc] = false;
+                    stats.dead_code_removed += 1;
+                    removed = true;
+                } else {
+                    in_regs &= !(1 << insn.dst);
+                    // Everything but mov reads dst as an input.
+                    if op != BPF_MOV {
+                        in_regs |= 1 << insn.dst;
+                    }
+                    // Binary reg-form ops and mov-reg read src. The
+                    // 0x08 bit on END encodes to_be, not a register.
+                    if insn.opcode & 0x08 == BPF_X && op != BPF_END && op != BPF_NEG {
+                        in_regs |= 1 << insn.src;
+                    }
+                }
+            }
+            BPF_LDX => {
+                let dead = out.0 & (1 << insn.dst) == 0;
+                // Only loads with a memory proof cannot fault; a wild
+                // load is kept for its potential abort (and may read
+                // any stack byte at runtime).
+                if dead && fact.mem.is_some() {
+                    keep[pc] = false;
+                    stats.dead_code_removed += 1;
+                    removed = true;
+                } else {
+                    in_regs &= !(1 << insn.dst);
+                    in_regs |= 1 << insn.src;
+                    match fact.mem {
+                        Some(MemFact::StackConst { idx }) => {
+                            stack_mark(&mut in_stack, idx, access_bytes(insn.opcode));
+                        }
+                        Some(MemFact::StackDyn) | None => in_stack = [u64::MAX; 8],
+                        Some(MemFact::CtxConst { .. }) | Some(MemFact::MapValue) => {}
+                    }
+                }
+            }
+            BPF_ST | BPF_STX => {
+                let atomic = class == BPF_STX && insn.opcode & 0xe0 == BPF_ATOMIC;
+                let size = access_bytes(insn.opcode);
+                if atomic {
+                    // Read-modify-write: the slot's prior value is read.
+                    match fact.mem {
+                        Some(MemFact::StackConst { idx }) => {
+                            stack_mark(&mut in_stack, idx, size);
+                        }
+                        Some(MemFact::StackDyn) | None => in_stack = [u64::MAX; 8],
+                        _ => {}
+                    }
+                } else if let Some(MemFact::StackConst { idx }) = fact.mem {
+                    if !stack_any(&out.1, idx, size) {
+                        keep[pc] = false;
+                        stats.dead_stores_removed += 1;
+                        removed = true;
+                    } else {
+                        stack_clear(&mut in_stack, idx, size);
+                    }
+                }
+                if !removed {
+                    // Address (and for STX the stored reg) are inputs;
+                    // atomic fetch defines src but also reads it as the
+                    // addend, so it stays live either way.
+                    in_regs |= 1 << insn.dst;
+                    if class == BPF_STX {
+                        in_regs |= 1 << insn.src;
+                    }
+                }
+            }
+            BPF_JMP | BPF_JMP32 => match op {
+                BPF_EXIT => {
+                    in_regs = 1; // r0
+                    in_stack = [0; 8];
+                }
+                BPF_CALL => {
+                    // Helpers may read r1-r5 and any stack byte they
+                    // were passed a pointer to; they define r0-r5.
+                    in_regs &= !0b111111;
+                    in_regs |= 0b111110;
+                    in_stack = [u64::MAX; 8];
+                }
+                BPF_JA => {}
+                _ => {
+                    in_regs |= 1 << insn.dst;
+                    if insn.opcode & 0x08 == BPF_X {
+                        in_regs |= 1 << insn.src;
+                    }
+                }
+            },
+            _ => {}
+        }
+        if removed {
+            live[pc] = out;
+        } else {
+            live[pc] = (in_regs, in_stack);
+        }
+    }
+    keep
+}
+
+/// Drops unkept slots, threads `ja` chains, erases jumps to the next
+/// live instruction and remaps every offset. Returns `None` when the
+/// stream is already fully compact.
+fn compact(insns: &[Insn], mut keep: Vec<bool>) -> Option<Vec<Insn>> {
+    let mut starts = Vec::with_capacity(insns.len());
+    let mut pc = 0usize;
+    while pc < insns.len() {
+        starts.push(pc);
+        pc += if insns[pc].is_lddw() { 2 } else { 1 };
+    }
+    let width = |pc: usize| if insns[pc].is_lddw() { 2 } else { 1 };
+    let is_ja = |pc: usize| insns[pc].class() == BPF_JMP && insns[pc].opcode & 0xf0 == BPF_JA;
+
+    // Final landing pc when control is transferred to `pc`: skip dead
+    // slots, thread kept unconditional jumps. Strictly forward (the
+    // verifier rejects backward jumps), so this terminates.
+    let resolve = |keep: &[bool], mut pc: usize| -> usize {
+        loop {
+            if pc >= insns.len() {
+                return insns.len().saturating_sub(1);
+            }
+            if !keep[pc] {
+                pc += width(pc);
+            } else if is_ja(pc) {
+                pc = (pc as i64 + 1 + i64::from(insns[pc].off)) as usize;
+            } else {
+                return pc;
+            }
+        }
+    };
+
+    // Erase jumps that land exactly where falling through would.
+    loop {
+        let mut erased = false;
+        for (si, &pc) in starts.iter().enumerate() {
+            if keep[pc] && is_ja(pc) {
+                let target = (pc as i64 + 1 + i64::from(insns[pc].off)) as usize;
+                if let Some(&next) = starts.get(si + 1) {
+                    if resolve(&keep, target) == resolve(&keep, next) {
+                        keep[pc] = false;
+                        erased = true;
+                    }
+                }
+            }
+        }
+        if !erased {
+            break;
+        }
+    }
+
+    // New slot index for each kept start.
+    let mut new_idx = vec![usize::MAX; insns.len()];
+    let mut n = 0usize;
+    for &pc in &starts {
+        if keep[pc] {
+            new_idx[pc] = n;
+            n += width(pc);
+        }
+    }
+    if n == insns.len() {
+        // Nothing removed; check whether threading changed any offset.
+        let unchanged = starts.iter().all(|&pc| {
+            let insn = insns[pc];
+            let class = insn.class();
+            let op = insn.opcode & 0xf0;
+            if matches!(class, BPF_JMP | BPF_JMP32) && !matches!(op, BPF_EXIT | BPF_CALL) {
+                let t = (pc as i64 + 1 + i64::from(insn.off)) as usize;
+                resolve(&keep, t) == t
+            } else {
+                true
+            }
+        });
+        if unchanged {
+            return None;
+        }
+    }
+
+    let mut out = Vec::with_capacity(n);
+    for &pc in &starts {
+        if !keep[pc] {
+            continue;
+        }
+        let mut insn = insns[pc];
+        let class = insn.class();
+        let op = insn.opcode & 0xf0;
+        if matches!(class, BPF_JMP | BPF_JMP32) && !matches!(op, BPF_EXIT | BPF_CALL) {
+            let t = (pc as i64 + 1 + i64::from(insn.off)) as usize;
+            let rt = resolve(&keep, t);
+            insn.off = (new_idx[rt] as i64 - new_idx[pc] as i64 - 1) as i16;
+        }
+        out.push(insn);
+        if insn.is_lddw() {
+            out.push(insns[pc + 1]);
+        }
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::{reg::*, AluOp, Asm, Cond, Size};
+    use crate::context::{CTX_OFF_DATA, CTX_OFF_PKT_LEN};
+    use crate::map::MapRegistry;
+    use crate::program::{load_with_opts, AttachType, LoadOpts, Program};
+    use crate::vm::{standard_helpers, FixedEnv, Vm};
+
+    fn opt(asm: Asm) -> OptResult {
+        let insns = asm.build().expect("assembles");
+        let analysis = analyze(&insns, &standard_helpers(), |_| None);
+        assert!(analysis.ok(), "precondition: {:?}", analysis.first_error());
+        let r = optimize(&insns, &standard_helpers(), &|_| None);
+        assert!(r.stats.reverified, "optimized program must re-verify");
+        r
+    }
+
+    fn run(insns: Vec<Insn>, packet: &[u8]) -> u64 {
+        let prog = Program::new("t", AttachType::Kprobe("f".into()), insns);
+        let loaded = load_with_opts(
+            prog,
+            &MapRegistry::new(),
+            &standard_helpers(),
+            &LoadOpts { optimize: false },
+        )
+        .unwrap();
+        let mut maps = MapRegistry::new();
+        let mut env = FixedEnv::default();
+        Vm::new()
+            .execute(
+                &loaded,
+                &crate::context::TraceContext::default(),
+                packet,
+                &mut maps,
+                &mut env,
+            )
+            .unwrap()
+            .ret
+    }
+
+    #[test]
+    fn constant_chain_folds_to_mov() {
+        let r = opt(Asm::new()
+            .mov64_imm(R0, 6)
+            .alu64_imm(AluOp::Mul, R0, 7)
+            .add64_imm(R0, 1)
+            .exit());
+        // Everything collapses to `mov r0, 43; exit`.
+        assert_eq!(r.insns.len(), 2);
+        assert_eq!(run(r.insns, &[]), 43);
+        assert!(r.stats.folded_alu >= 1);
+        assert!(r.stats.dead_code_removed >= 1);
+    }
+
+    #[test]
+    fn decided_branch_drops_dead_arm() {
+        let r = opt(Asm::new()
+            .mov64_imm(R1, 5)
+            .jmp_imm(Cond::Gt, R1, 3, "big")
+            .mov64_imm(R0, 111)
+            .mov64_imm(R2, 9)
+            .alu64(AluOp::Add, R0, R2)
+            .exit()
+            .label("big")
+            .mov64_imm(R0, 7)
+            .exit());
+        assert_eq!(run(r.insns.clone(), &[]), 7);
+        // The not-taken arm (4 insns) and the decided branch are gone.
+        assert!(r.insns.len() <= 2, "got {:?}", r.insns);
+        assert!(r.stats.folded_branches >= 1);
+    }
+
+    #[test]
+    fn redundant_ctx_reload_becomes_copy() {
+        let r = opt(Asm::new()
+            .ldx(Size::W, R2, R1, CTX_OFF_PKT_LEN)
+            .ldx(Size::W, R3, R1, CTX_OFF_PKT_LEN)
+            .alu64(AluOp::Add, R2, R3)
+            .mov64(R0, R2)
+            .exit());
+        let loads = r.insns.iter().filter(|i| i.class() == BPF_LDX).count();
+        assert_eq!(loads, 1, "second ctx load forwarded: {:?}", r.insns);
+        assert!(r.stats.loads_forwarded >= 1);
+    }
+
+    #[test]
+    fn store_then_reload_forwards_and_store_dies() {
+        let r = opt(Asm::new()
+            .st(Size::DW, R10, -8, 7)
+            .ldx(Size::DW, R0, R10, -8)
+            .exit());
+        // `mov r0, 7; exit` — the store is dead once the reload folds.
+        assert_eq!(r.insns.len(), 2);
+        assert_eq!(run(r.insns, &[]), 7);
+        assert!(r.stats.loads_forwarded >= 1);
+        assert!(r.stats.dead_stores_removed >= 1);
+    }
+
+    #[test]
+    fn filter_refinement_folds_packet_reload() {
+        // The compile.rs shape: filter tests the proto byte, then the
+        // trace-id stage reloads it. After refinement the reload is the
+        // tested constant and the second dispatch branch folds.
+        let asm = Asm::new()
+            .ldx(Size::DW, R7, R1, CTX_OFF_DATA)
+            .ldx(Size::B, R2, R7, 23)
+            .jmp32_imm(Cond::Ne, R2, 17, "miss")
+            .ldx(Size::B, R3, R7, 23)
+            .jmp32_imm(Cond::Eq, R3, 17, "udp")
+            .mov64_imm(R0, 99) // "tcp" arm: dead after folding
+            .exit()
+            .label("udp")
+            .mov64_imm(R0, 1)
+            .exit()
+            .label("miss")
+            .mov64_imm(R0, 0)
+            .exit();
+        let r = opt(asm);
+        assert!(r.stats.loads_forwarded >= 1, "{:?}", r.stats);
+        assert!(r.stats.folded_branches >= 1, "{:?}", r.stats);
+        // The dead tcp arm is gone.
+        assert!(
+            !r.insns
+                .iter()
+                .any(|i| i.opcode == (BPF_ALU64 | BPF_MOV | BPF_K) && i.imm == 99),
+            "{:?}",
+            r.insns
+        );
+        // Semantics preserved on both filter outcomes.
+        let mut udp = vec![0u8; 64];
+        udp[23] = 17;
+        let mut tcp = vec![0u8; 64];
+        tcp[23] = 6;
+        assert_eq!(run(r.insns.clone(), &udp), 1);
+        assert_eq!(run(r.insns, &tcp), 0);
+    }
+
+    #[test]
+    fn wild_load_of_dead_reg_is_kept() {
+        // A packet load with no memory proof may abort; it must survive
+        // DCE even when its destination is dead.
+        let r = opt(Asm::new()
+            .ldx(Size::DW, R7, R1, CTX_OFF_DATA)
+            .ldx(Size::B, R2, R7, 1000)
+            .mov64_imm(R0, 0)
+            .exit());
+        assert!(
+            r.insns
+                .iter()
+                .any(|i| i.class() == BPF_LDX && i.off == 1000),
+            "{:?}",
+            r.insns
+        );
+    }
+
+    #[test]
+    fn dead_lddw_pair_removed_together() {
+        let r = opt(Asm::new()
+            .lddw(R3, 0xdead_beef_0000)
+            .mov64_imm(R0, 2)
+            .exit());
+        assert_eq!(r.insns.len(), 2);
+        assert_eq!(run(r.insns, &[]), 2);
+    }
+
+    #[test]
+    fn ja_chains_thread_and_vanish() {
+        let r = opt(Asm::new()
+            .jump("a")
+            .label("a")
+            .jump("b")
+            .label("b")
+            .mov64_imm(R0, 5)
+            .exit());
+        assert_eq!(r.insns.len(), 2);
+        assert_eq!(run(r.insns, &[]), 5);
+    }
+
+    #[test]
+    fn call_blocks_store_forwarding() {
+        // The helper may observe the stack: the store stays, and the
+        // reload after the call is not forwarded across it.
+        let r = opt(Asm::new()
+            .st(Size::DW, R10, -8, 7)
+            .call(crate::vm::helper_ids::KTIME_GET_NS)
+            .ldx(Size::DW, R0, R10, -8)
+            .exit());
+        assert!(r.insns.iter().any(|i| i.class() == BPF_ST));
+        assert!(r.insns.iter().any(|i| i.class() == BPF_LDX));
+        assert_eq!(run(r.insns, &[]), 7);
+    }
+
+    #[test]
+    fn optimized_never_longer_and_always_reverifies() {
+        let programs = [
+            Asm::new().mov64_imm(R0, 0).exit(),
+            Asm::new()
+                .mov64_imm(R1, 10)
+                .mov64_imm(R2, 3)
+                .alu64(AluOp::Div, R1, R2)
+                .mov64(R0, R1)
+                .exit(),
+            Asm::new()
+                .ldx(Size::W, R0, R1, CTX_OFF_PKT_LEN)
+                .jmp_imm(Cond::Eq, R0, 0, "z")
+                .mov64_imm(R0, 1)
+                .exit()
+                .label("z")
+                .mov64_imm(R0, 0)
+                .exit(),
+        ];
+        for asm in programs {
+            let insns = asm.build().unwrap();
+            let r = optimize(&insns, &standard_helpers(), &|_| None);
+            assert!(r.stats.reverified);
+            assert!(r.insns.len() <= insns.len());
+            assert_eq!(r.stats.original_insns, insns.len());
+            assert_eq!(r.stats.optimized_insns, r.insns.len());
+        }
+    }
+}

@@ -243,6 +243,11 @@ pub struct ExecOutcome {
     pub ret: u64,
     /// Instructions executed (drives [`execution_cost_ns`]).
     pub insns_executed: u64,
+    /// The path's dynamic cost under the shared static cost table
+    /// ([`crate::cost`]): per-op charges plus per-helper charges.
+    /// Always bounded by the loaded program's
+    /// [`certificate`](crate::program::LoadedProgram::certificate).
+    pub cost_ns: u64,
     /// Runtime checks skipped because the verifier's analysis proved
     /// them redundant (in the interpreter tier: divisor zero-tests).
     pub checks_elided: u64,
@@ -637,6 +642,7 @@ impl Vm {
 
         let mut pc = 0usize;
         let mut executed: u64 = 0;
+        let mut cost_ns: u64 = 0;
         let mut checks_elided: u64 = 0;
         let mut scratch = Vec::with_capacity(64);
 
@@ -646,6 +652,7 @@ impl Vm {
             }
             let insn = *insns.get(pc).ok_or(VmError::BadInstruction(pc))?;
             executed += 1;
+            cost_ns += crate::cost::insn_cost_ns(&insn);
             let dst = insn.dst as usize;
             let src = insn.src as usize;
             match insn.class() {
@@ -737,6 +744,7 @@ impl Vm {
                             return Ok(ExecOutcome {
                                 ret: reg[0],
                                 insns_executed: executed,
+                                cost_ns,
                                 checks_elided,
                             })
                         }
@@ -1125,19 +1133,27 @@ mod tests {
     use crate::asm::{reg::*, AluOp, Asm, Cond, Size};
     use crate::context::*;
     use crate::map::MapDef;
-    use crate::program::{load, AttachType, Program};
+    use crate::program::{load_with_opts, AttachType, LoadOpts, Program};
 
     fn run(asm: Asm) -> u64 {
         run_with(asm, &TraceContext::default(), &[], &mut MapRegistry::new()).ret
     }
 
+    // The interpreter tests pin tier behavior on exact instruction
+    // shapes, so they load raw; the optimizer has its own suite.
     fn run_with(asm: Asm, ctx: &TraceContext, pkt: &[u8], maps: &mut MapRegistry) -> ExecOutcome {
         let prog = Program::new(
             "t",
             AttachType::Kprobe("f".into()),
             asm.build().expect("assembles"),
         );
-        let loaded = load(prog, maps, &standard_helpers()).expect("loads");
+        let loaded = load_with_opts(
+            prog,
+            maps,
+            &standard_helpers(),
+            &LoadOpts { optimize: false },
+        )
+        .expect("loads");
         let mut env = FixedEnv {
             time_ns: 123_456,
             cpu: 2,
@@ -1317,7 +1333,13 @@ mod tests {
                 .unwrap(),
         );
         let mut maps = MapRegistry::new();
-        let loaded = load(prog, &maps, &standard_helpers()).unwrap();
+        let loaded = load_with_opts(
+            prog,
+            &maps,
+            &standard_helpers(),
+            &LoadOpts { optimize: false },
+        )
+        .unwrap();
         let mut env = FixedEnv::default();
         let err = Vm::new()
             .execute(
@@ -1348,7 +1370,13 @@ mod tests {
                 .exit(),
         ] {
             let prog = Program::new("t", AttachType::Kprobe("f".into()), asm.build().unwrap());
-            let loaded = load(prog, &maps, &standard_helpers()).unwrap();
+            let loaded = load_with_opts(
+                prog,
+                &maps,
+                &standard_helpers(),
+                &LoadOpts { optimize: false },
+            )
+            .unwrap();
             let mut env = FixedEnv::default();
             let err = Vm::new()
                 .execute(
@@ -1539,7 +1567,13 @@ mod tests {
             .call(TRACE_PRINTK)
             .exit();
         let prog = Program::new("t", AttachType::Kprobe("f".into()), asm.build().unwrap());
-        let loaded = load(prog, &maps, &standard_helpers()).unwrap();
+        let loaded = load_with_opts(
+            prog,
+            &maps,
+            &standard_helpers(),
+            &LoadOpts { optimize: false },
+        )
+        .unwrap();
         let mut env = FixedEnv::default();
         Vm::new()
             .execute(&loaded, &TraceContext::default(), &[], &mut maps, &mut env)
@@ -1617,11 +1651,17 @@ mod atomic_tests {
     use crate::asm::{reg::*, Asm, Size};
     use crate::context::TraceContext;
     use crate::map::{MapDef, MapRegistry};
-    use crate::program::{load, AttachType, Program};
+    use crate::program::{load_with_opts, AttachType, LoadOpts, Program};
 
     fn run(asm: Asm, maps: &mut MapRegistry) -> u64 {
         let prog = Program::new("t", AttachType::Kprobe("f".into()), asm.build().unwrap());
-        let loaded = load(prog, maps, &standard_helpers()).unwrap();
+        let loaded = load_with_opts(
+            prog,
+            maps,
+            &standard_helpers(),
+            &LoadOpts { optimize: false },
+        )
+        .unwrap();
         let mut env = FixedEnv::default();
         Vm::new()
             .execute(&loaded, &TraceContext::default(), &[], maps, &mut env)

@@ -49,6 +49,7 @@
 //!
 //! [vNetTracer (ICDCS 2018)]: https://doi.org/10.1109/ICDCS.2018.00151
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

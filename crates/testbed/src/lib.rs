@@ -21,6 +21,7 @@
 //!   replayed against the two-host and rack testbeds, with the
 //!   `vnet-live` anomaly detector scored against ground truth.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

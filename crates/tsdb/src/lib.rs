@@ -30,6 +30,7 @@
 //! assert_eq!(aggregate(&entries, "len").mean, 60.0);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

@@ -21,6 +21,7 @@
 //! topology built on the simulator. CPU-hog "workloads" need no app: they
 //! are `always_runnable` vCPUs registered with the hypervisor scheduler.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

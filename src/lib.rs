@@ -3,6 +3,8 @@
 //! is in the workspace crates (`vnettracer`, `vnet-sim`, `vnet-ebpf`,
 //! `vnet-tsdb`, `vnet-workloads`, `vnet-baselines`, `vnet-testbed`).
 
+#![forbid(unsafe_code)]
+
 pub use vnet_baselines as baselines;
 pub use vnet_ebpf as ebpf;
 pub use vnet_sim as sim;

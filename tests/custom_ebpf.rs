@@ -126,9 +126,16 @@ fn broken_custom_program_rejected_at_install() {
         matches!(err, vnettracer::TracerError::Load(_)),
         "got {err:?}"
     );
-    // A program referencing a non-existent map fd is rejected too.
+    // A program using a non-existent map fd is rejected too. The map
+    // handle must actually feed a helper call: the load-time optimizer
+    // removes dead `lddw`s, so an unused bogus fd would simply vanish.
     let bad_map = Asm::new()
+        .mov64_imm(R2, 0)
+        .stx(Size::W, R10, R2, -4)
         .ld_map_fd(R1, 42)
+        .mov64(R2, R10)
+        .add64_imm(R2, -4)
+        .call(helper_ids::MAP_LOOKUP_ELEM)
         .mov64_imm(R0, 0)
         .exit()
         .build()
