@@ -57,6 +57,7 @@ mod tests {
             direction: Direction::Rx,
             packet: None,
             monotonic_ns: 0,
+            aux: 0,
         };
         let out = p.handle(&ev);
         assert_eq!(out.cost, vnet_sim::SimDuration::ZERO);

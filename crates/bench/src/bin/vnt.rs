@@ -9,8 +9,12 @@
 //! ```text
 //! vnt <scenario> [--package FILE.json] [--messages N] [--emit-package] [--threads N]
 //! vnt rack [--threads N] [--messages N] [--full] [--trace]
-//! vnt live [--messages N] [--window-us W] [--collect-us I]
+//! vnt live [--messages N] [--window-us W] [--collect-us I] [--save-db DIR]
+//! vnt live --from-db DIR [--pair FROM,TO] [--window-us W] [--collect-us I]
 //! vnt emulate [--profile NAME|all] [--rack] [--seed N] [--messages N] [--threads N]
+//! vnt modules
+//! vnt trace <drop-lab|request-chain> [--profile NAME] [--messages N] [--seed N] [--save-db DIR]
+//! vnt drops [--messages N] [--seed N]
 //! vnt verify <prog.bpf>
 //! vnt analyze <prog.bpf>
 //! vnt db stats <dir>
@@ -45,6 +49,25 @@
 //! precision/recall against the generator's ground-truth episode
 //! windows.
 //!
+//! `vnt modules` lists the built-in probe/collector modules — each with
+//! its record schema and alert kinds — and the named profiles that bundle
+//! them; `vnt trace <scenario> --profile NAME` deploys a named profile
+//! over one of the module scenario packs (the `drop-lab` typed-drop
+//! lanes or the `request-chain` memcached tiers) through the module
+//! registry, the same plumbing every testbed uses. `vnt drops` is the
+//! shorthand for the drop lab with the `drops` profile: it prints the
+//! per-reason drop breakdown from the trace database next to the
+//! simulator's ground-truth counters.
+//!
+//! `vnt live --from-db DIR` replays a trace database persisted in the
+//! columnar on-disk format through the streaming engine instead of
+//! driving a scenario: records are fed in collection-interval slices in
+//! timestamp order, with per-node heartbeats advancing the watermark.
+//! `--pair FROM,TO` (repeatable) adds latency/loss tracking between two
+//! tables; throughput is tracked for every table found. `--save-db DIR`
+//! on the in-process `vnt live` (and on `vnt trace`) persists the run's
+//! records to such a database.
+//!
 //! `vnt db` inspects and moves trace databases stored in the columnar
 //! segment format: `stats` prints the per-measurement segment/WAL
 //! breakdown of a database directory, `export` dumps every record as
@@ -75,6 +98,7 @@ use vnettracer::metrics;
 
 struct Args {
     scenario: String,
+    target: Option<String>,
     package: Option<String>,
     messages: u64,
     messages_set: bool,
@@ -87,67 +111,65 @@ struct Args {
     profile: Option<String>,
     rack: bool,
     seed: Option<u64>,
+    from_db: Option<String>,
+    save_db: Option<String>,
+    pairs: Vec<(String, String)>,
     rest: Vec<String>,
+}
+
+impl Args {
+    fn defaults(scenario: String) -> Self {
+        Args {
+            scenario,
+            target: None,
+            package: None,
+            messages: 500,
+            messages_set: false,
+            emit_package: false,
+            window_us: 100,
+            collect_us: 50,
+            threads: 1,
+            full: false,
+            trace: false,
+            profile: None,
+            rack: false,
+            seed: None,
+            from_db: None,
+            save_db: None,
+            pairs: Vec::new(),
+            rest: Vec::new(),
+        }
+    }
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut args = std::env::args().skip(1);
     let scenario = args.next().ok_or_else(usage)?;
     if scenario == "db" {
-        return Ok(Args {
-            scenario,
-            package: None,
-            messages: 0,
-            messages_set: false,
-            emit_package: false,
-            window_us: 0,
-            collect_us: 0,
-            threads: 1,
-            full: false,
-            trace: false,
-            profile: None,
-            rack: false,
-            seed: None,
-            rest: args.collect(),
-        });
+        let mut out = Args::defaults(scenario);
+        out.rest = args.collect();
+        return Ok(out);
+    }
+    if scenario == "modules" {
+        return Ok(Args::defaults(scenario));
     }
     if scenario == "verify" || scenario == "analyze" {
         let file = args
             .next()
             .ok_or(format!("{scenario} needs a program file"))?;
-        return Ok(Args {
-            scenario,
-            package: Some(file),
-            messages: 0,
-            messages_set: false,
-            emit_package: false,
-            window_us: 0,
-            collect_us: 0,
-            threads: 1,
-            full: false,
-            trace: false,
-            profile: None,
-            rack: false,
-            seed: None,
-            rest: Vec::new(),
-        });
+        let mut out = Args::defaults(scenario);
+        out.package = Some(file);
+        return Ok(out);
     }
-    let mut out = Args {
-        scenario,
-        package: None,
-        messages: 500,
-        messages_set: false,
-        emit_package: false,
-        window_us: 100,
-        collect_us: 50,
-        threads: 1,
-        full: false,
-        trace: false,
-        profile: None,
-        rack: false,
-        seed: None,
-        rest: Vec::new(),
-    };
+    let mut out = Args::defaults(scenario);
+    if out.scenario == "trace" {
+        out.target = Some(
+            args.next().ok_or(
+                "trace needs a scenario: vnt trace <drop-lab|request-chain> [--profile NAME]"
+                    .to_owned(),
+            )?,
+        );
+    }
     while let Some(flag) = args.next() {
         match flag.as_str() {
             "--package" => {
@@ -200,6 +222,25 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("bad --collect-us: {e}"))?
             }
             "--emit-package" => out.emit_package = true,
+            "--from-db" => {
+                out.from_db = Some(
+                    args.next()
+                        .ok_or("--from-db needs a directory".to_owned())?,
+                )
+            }
+            "--save-db" => {
+                out.save_db = Some(
+                    args.next()
+                        .ok_or("--save-db needs a directory".to_owned())?,
+                )
+            }
+            "--pair" => {
+                let spec = args.next().ok_or("--pair needs FROM,TO".to_owned())?;
+                let (from, to) = spec
+                    .split_once(',')
+                    .ok_or(format!("bad --pair `{spec}`: expected FROM,TO"))?;
+                out.pairs.push((from.to_owned(), to.to_owned()));
+            }
             other => return Err(format!("unknown flag `{other}`\n{}", usage())),
         }
     }
@@ -210,7 +251,7 @@ fn parse_args() -> Result<Args, String> {
 }
 
 fn usage() -> String {
-    "usage: vnt <two-host|ovs|xen|container> [--package FILE.json] [--messages N] [--emit-package] [--threads N]\n       vnt rack [--threads N] [--messages N] [--full] [--trace]\n       vnt live [--messages N] [--window-us W] [--collect-us I]\n       vnt emulate [--profile NAME|all] [--rack] [--seed N] [--messages N] [--threads N]\n       vnt verify <prog.bpf>\n       vnt analyze <prog.bpf>\n       vnt db <stats|export|import> <dir> [FILE.jsonl]"
+    "usage: vnt <two-host|ovs|xen|container> [--package FILE.json] [--messages N] [--emit-package] [--threads N]\n       vnt rack [--threads N] [--messages N] [--full] [--trace]\n       vnt live [--messages N] [--window-us W] [--collect-us I] [--save-db DIR]\n       vnt live --from-db DIR [--pair FROM,TO] [--window-us W] [--collect-us I]\n       vnt emulate [--profile NAME|all] [--rack] [--seed N] [--messages N] [--threads N]\n       vnt modules\n       vnt trace <drop-lab|request-chain> [--profile NAME] [--messages N] [--seed N] [--save-db DIR]\n       vnt drops [--messages N] [--seed N]\n       vnt verify <prog.bpf>\n       vnt analyze <prog.bpf>\n       vnt db <stats|export|import> <dir> [FILE.jsonl]"
         .to_owned()
 }
 
@@ -570,8 +611,13 @@ fn print_run_stats(tracer: &vnettracer::VNetTracer) {
 fn run_live(args: &Args) -> Result<(), String> {
     use std::cell::RefCell;
     use std::rc::Rc;
-    use vnettracer::config::{Proto, TraceSpec};
+    use vnettracer::config::{GlobalConfig, Proto};
+    use vnettracer::modules::{ModuleRegistry, ModuleScope, TapSpec};
     use vnettracer::IngestSubscriber;
+
+    if let Some(dir) = &args.from_db {
+        return run_live_replay(args, dir);
+    }
 
     let cfg = vnet_testbed::container::ContainerConfig {
         mode: vnet_testbed::container::NetMode::Overlay,
@@ -582,7 +628,9 @@ fn run_live(args: &Args) -> Result<(), String> {
     let mut s = vnet_testbed::container::ContainerScenario::build(&cfg);
 
     // The §III-A tracepoints: where the VXLAN-encapsulated flow leaves
-    // flannel.1 on vm1 and where it arrives at flannel.1 on vm2.
+    // flannel.1 on vm1 and where it arrives at flannel.1 on vm2 — the
+    // `packet-path` module's tap scope, packaged through the registry's
+    // default profile like every testbed.
     let filter = vnettracer::config::FilterRule {
         ether_type: Some(0x0800),
         protocol: Some(Proto::Udp),
@@ -591,35 +639,42 @@ fn run_live(args: &Args) -> Result<(), String> {
         dst_port: Some(4789),
         ..vnettracer::config::FilterRule::any()
     };
-    let package = ControlPackage::new(vec![
-        TraceSpec {
-            name: "flannel1".into(),
-            node: "vm1".into(),
-            hook: vnettracer::config::HookSpec::DeviceTx("flannel.1".into()),
-            filter,
-            action: vnettracer::config::Action::RecordPacketInfo,
-        },
-        TraceSpec {
-            name: "flannel2".into(),
-            node: "vm2".into(),
-            hook: vnettracer::config::HookSpec::DeviceRx("flannel.1".into()),
-            filter,
-            action: vnettracer::config::Action::RecordPacketInfo,
-        },
-    ]);
+    let scope = ModuleScope {
+        packet_taps: vec![
+            TapSpec::tx("flannel1", "vm1", "flannel.1", filter),
+            TapSpec::rx("flannel2", "vm2", "flannel.1", filter),
+        ],
+        latency_pairs: vec![("flannel1".into(), "flannel2".into())],
+        throughput_tables: vec!["flannel2".into()],
+        ..Default::default()
+    };
+    let registry = ModuleRegistry::builtin();
+    let package = registry
+        .package("default", &scope, GlobalConfig::default())
+        .map_err(|e| e.to_string())?;
+    let specs = registry
+        .metrics("default", &scope)
+        .map_err(|e| e.to_string())?;
 
     let window_ns = args.window_us * 1_000;
-    let mut live_cfg = vnet_live::LiveConfig::new(vnet_live::WindowSpec::tumbling(window_ns))
-        .track_throughput("flannel2")
-        .track_latency("flannel1", "flannel2")
-        .track_loss("flannel1", "flannel2");
+    let mut live_cfg = vnet_live::LiveConfig::from_metric_specs(
+        vnet_live::WindowSpec::tumbling(window_ns),
+        &specs,
+    );
     live_cfg.pair_timeout_ns = window_ns.max(1_000_000);
     let mut engine = vnet_live::LiveEngine::new(live_cfg);
     engine.register_agent("vm1", None);
     engine.register_agent("vm2", None);
     let engine = Rc::new(RefCell::new(engine));
 
-    let mut tracer = s.make_tracer();
+    let mut tracer = match &args.save_db {
+        Some(dir) => {
+            let db =
+                vnet_tsdb::TraceDb::open(dir).map_err(|e| format!("cannot open {dir}: {e}"))?;
+            s.make_tracer_with_db(db)
+        }
+        None => s.make_tracer(),
+    };
     tracer.subscribe(engine.clone() as Rc<RefCell<dyn IngestSubscriber>>);
     tracer
         .deploy(&mut s.world, &package)
@@ -636,10 +691,32 @@ fn run_live(args: &Args) -> Result<(), String> {
         tracer.collect(&s.world);
     }
     engine.borrow_mut().finish();
+    if args.save_db.is_some() {
+        tracer
+            .flush_db()
+            .map_err(|e| format!("cannot flush database: {e}"))?;
+        println!(
+            "persisted {} records to {}",
+            tracer
+                .db()
+                .measurements()
+                .map(|m| tracer.db().table(m).map_or(0, |t| t.len()))
+                .sum::<usize>(),
+            args.save_db.as_deref().unwrap_or_default()
+        );
+    }
 
     let mut eng = engine.borrow_mut();
+    print_live_report(&mut eng, &[("flannel1".into(), "flannel2".into())]);
+    Ok(())
+}
+
+/// Prints the per-window metric table, the alerts, and the cumulative
+/// per-pair latency summaries out of a finished live engine — shared by
+/// the in-process `vnt live` and the `--from-db` replay.
+fn print_live_report(eng: &mut vnet_live::LiveEngine, pairs: &[(String, String)]) {
     let mut table = Table::new(
-        "live windows (flannel1 -> flannel2)",
+        "live windows",
         &[
             "window (us)",
             "pkts",
@@ -695,15 +772,112 @@ fn run_live(args: &Args) -> Result<(), String> {
         state.sketch_buckets,
         state.pending_pairs,
     );
-    if let Some(total) = eng.latency_total("flannel1", "flannel2") {
-        println!(
-            "cumulative: {} pairs, p50 {:.1} us, p99 {:.1} us, smoothed jitter {:.2} us",
-            total.count,
-            total.p50_ns as f64 / 1e3,
-            total.p99_ns as f64 / 1e3,
-            total.smoothed_jitter_ns / 1e3,
-        );
+    for (from, to) in pairs {
+        if let Some(total) = eng.latency_total(from, to) {
+            println!(
+                "cumulative {from} -> {to}: {} pairs, p50 {:.1} us, p99 {:.1} us, \
+                 smoothed jitter {:.2} us",
+                total.count,
+                total.p50_ns as f64 / 1e3,
+                total.p99_ns as f64 / 1e3,
+                total.smoothed_jitter_ns / 1e3,
+            );
+        }
     }
+}
+
+/// `vnt live --from-db DIR`: replay an on-disk trace database through
+/// the streaming engine. Records from every measurement are replayed in
+/// timestamp order in collection-interval slices, with a heartbeat per
+/// node advancing the watermark after every slice — the same cadence the
+/// in-process collector produces. Throughput is tracked for every table
+/// found in the database; `--pair FROM,TO` adds latency/loss between two
+/// tables. The metric set comes from the registry's `packet-path` module
+/// so the replay uses the same operator plumbing as a live run.
+fn run_live_replay(args: &Args, dir: &str) -> Result<(), String> {
+    use std::collections::BTreeSet;
+    use vnettracer::modules::{ModuleRegistry, ModuleScope};
+
+    let db = vnet_tsdb::TraceDb::open(dir).map_err(|e| format!("cannot open {dir}: {e}"))?;
+    let mut tables: Vec<String> = db.measurements().map(str::to_owned).collect();
+    tables.sort_unstable();
+    if tables.is_empty() {
+        return Err(format!("{dir}: database holds no measurements"));
+    }
+    for (from, to) in &args.pairs {
+        for t in [from, to] {
+            if !tables.iter().any(|have| have == t) {
+                return Err(format!(
+                    "--pair table `{t}` not in the database (tables: {})",
+                    tables.join(", ")
+                ));
+            }
+        }
+    }
+
+    let scope = ModuleScope {
+        latency_pairs: args.pairs.clone(),
+        throughput_tables: tables.clone(),
+        ..Default::default()
+    };
+    let specs = ModuleRegistry::builtin()
+        .metrics("default", &scope)
+        .map_err(|e| e.to_string())?;
+    let window_ns = args.window_us * 1_000;
+    let mut live_cfg = vnet_live::LiveConfig::from_metric_specs(
+        vnet_live::WindowSpec::tumbling(window_ns),
+        &specs,
+    );
+    live_cfg.pair_timeout_ns = window_ns.max(1_000_000);
+    let mut engine = vnet_live::LiveEngine::new(live_cfg);
+
+    // Flatten the store — sealed segments and the hot tail alike — into
+    // (timestamp, table, node, record) and replay in timestamp order.
+    let mut recs: Vec<(u64, &str, String, vnet_tsdb::CompactRecord)> = Vec::new();
+    let mut nodes: BTreeSet<String> = BTreeSet::new();
+    for name in &tables {
+        let scan = vnet_tsdb::Query::new(name)
+            .scan(&db)
+            .map_err(|e| format!("cannot scan {name}: {e}"))?;
+        for entry in scan.entries() {
+            let point = entry.to_point();
+            let Some((node, rec)) = vnet_tsdb::CompactRecord::from_point(&point) else {
+                continue;
+            };
+            nodes.insert(node.clone());
+            recs.push((rec.timestamp_ns, name.as_str(), node, rec));
+        }
+    }
+    recs.sort_by(|a, b| (a.0, a.1, &a.2).cmp(&(b.0, b.1, &b.2)));
+    for n in &nodes {
+        engine.register_agent(n, None);
+    }
+
+    let interval_ns = args.collect_us.max(1) * 1_000;
+    let mut i = 0usize;
+    let mut now = recs.first().map_or(0, |r| r.0);
+    while i < recs.len() {
+        now += interval_ns;
+        let mut batch = vnet_tsdb::RecordBatch::new();
+        while i < recs.len() && recs[i].0 <= now {
+            let (_, table, node, rec) = &recs[i];
+            batch.push(table, node, *rec);
+            i += 1;
+        }
+        engine.ingest(&batch, now);
+        for n in &nodes {
+            engine.heartbeat(n, now);
+        }
+    }
+    engine.finish();
+
+    println!(
+        "replayed {} records from {} table(s), {} node(s) in {dir}\n",
+        recs.len(),
+        tables.len(),
+        nodes.len()
+    );
+    print_live_report(&mut engine, &args.pairs);
     Ok(())
 }
 
@@ -770,11 +944,200 @@ fn run_emulate(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// `vnt trace drop-lab [--profile NAME]` / `vnt drops`: run the
+/// engineered drop lanes under a named module profile and print the
+/// per-reason breakdown from the trace database next to the simulator's
+/// ground-truth counters.
+fn run_drop_lab(args: &Args, default_profile: &str) -> Result<(), String> {
+    use vnet_testbed::drop_lab::{DropLab, DropLabConfig, DROP_TABLE};
+    use vnettracer::config::GlobalConfig;
+    use vnettracer::modules::ModuleRegistry;
+
+    let mut cfg = DropLabConfig::default();
+    if let Some(seed) = args.seed {
+        cfg.seed = seed;
+    }
+    if args.messages_set {
+        cfg.packets_per_lane = args.messages;
+    }
+    let profile = args.profile.as_deref().unwrap_or(default_profile);
+    let mut lab = DropLab::build(&cfg);
+    let pkg = ModuleRegistry::builtin()
+        .package(profile, &lab.module_scope(), GlobalConfig::default())
+        .map_err(|e| e.to_string())?;
+    if args.emit_package {
+        println!("{}", pkg.to_json());
+        return Ok(());
+    }
+    let mut tracer = match &args.save_db {
+        Some(dir) => {
+            let db =
+                vnet_tsdb::TraceDb::open(dir).map_err(|e| format!("cannot open {dir}: {e}"))?;
+            lab.make_tracer_with_db(db)
+        }
+        None => lab.make_tracer(),
+    };
+    tracer
+        .deploy(&mut lab.world, &pkg)
+        .map_err(|e| e.to_string())?;
+    lab.run();
+    let n = tracer.collect(&lab.world);
+    if args.save_db.is_some() {
+        tracer
+            .flush_db()
+            .map_err(|e| format!("cannot flush database: {e}"))?;
+    }
+    println!(
+        "profile `{profile}`: collected {n} records over {} lanes x {} packets\n",
+        6, cfg.packets_per_lane
+    );
+    print_db_summary(&tracer);
+    print_run_stats(&tracer);
+
+    if tracer.db().table(DROP_TABLE).is_some() {
+        let truth = lab.ground_truth();
+        let breakdown = metrics::drop_breakdown(tracer.db(), DROP_TABLE);
+        let traced = |reason: &str| {
+            breakdown
+                .iter()
+                .find(|(r, _)| r == reason)
+                .map_or(0, |&(_, n)| n)
+        };
+        let mut t = Table::new("drop breakdown", &["reason", "traced", "ground truth"]);
+        let mut total = (0u64, 0u64);
+        for (reason, expected) in &truth {
+            let got = traced(reason);
+            total.0 += got;
+            total.1 += expected;
+            t.row(&[reason.clone(), got.to_string(), expected.to_string()]);
+        }
+        t.row(&["total".into(), total.0.to_string(), total.1.to_string()]);
+        println!("{t}");
+        if breakdown == truth {
+            println!("breakdown matches the simulator's drop counters exactly");
+        } else {
+            println!("MISMATCH against ground truth: traced {breakdown:?}, counters {truth:?}");
+        }
+    } else {
+        println!("profile `{profile}` attaches no `skb-drop` module; no drop breakdown");
+    }
+    Ok(())
+}
+
+/// `vnt trace request-chain [--profile NAME]`: run the memcached
+/// client → proxy → backend tiers under a named module profile and print
+/// the cross-tier latency decomposition joined by the in-band trace ID.
+fn run_request_chain(args: &Args) -> Result<(), String> {
+    use vnet_testbed::memcached_chain::{ChainConfig, MemcachedChain};
+    use vnettracer::config::GlobalConfig;
+    use vnettracer::modules::ModuleRegistry;
+
+    let mut cfg = ChainConfig::default();
+    if let Some(seed) = args.seed {
+        cfg.seed = seed;
+    }
+    if args.messages_set {
+        cfg.requests = args.messages;
+    }
+    let profile = args.profile.as_deref().unwrap_or("requests");
+    let mut chain = MemcachedChain::build(&cfg);
+    let pkg = ModuleRegistry::builtin()
+        .package(profile, &chain.module_scope(), GlobalConfig::default())
+        .map_err(|e| e.to_string())?;
+    if args.emit_package {
+        println!("{}", pkg.to_json());
+        return Ok(());
+    }
+    let mut tracer = match &args.save_db {
+        Some(dir) => {
+            let db =
+                vnet_tsdb::TraceDb::open(dir).map_err(|e| format!("cannot open {dir}: {e}"))?;
+            chain.make_tracer_with_db(db)
+        }
+        None => chain.make_tracer(),
+    };
+    tracer
+        .deploy(&mut chain.world, &pkg)
+        .map_err(|e| e.to_string())?;
+    chain.run();
+    let n = tracer.collect(&chain.world);
+    if args.save_db.is_some() {
+        tracer
+            .flush_db()
+            .map_err(|e| format!("cannot flush database: {e}"))?;
+    }
+    println!(
+        "profile `{profile}`: collected {n} records over {} requests\n",
+        cfg.requests
+    );
+    print_db_summary(&tracer);
+    print_run_stats(&tracer);
+
+    let chain_tables = MemcachedChain::decomposition_chain();
+    let segs = tracer.decompose(&chain_tables);
+    if segs.is_empty() {
+        println!("profile `{profile}` attaches no `request-trace` taps; no decomposition");
+        return Ok(());
+    }
+    let mut t = Table::new(
+        "cross-tier decomposition",
+        &["segment", "mean (us)", "p99 (us)"],
+    );
+    let mut sum_means = 0.0;
+    for seg in &segs {
+        sum_means += seg.stats.mean_ns;
+        t.row(&[
+            format!("{} -> {}", seg.from, seg.to),
+            format!("{:.2}", seg.stats.mean_ns / 1e3),
+            format!("{:.2}", seg.stats.p99_ns as f64 / 1e3),
+        ]);
+    }
+    println!("{t}");
+    let first = chain_tables[0];
+    let last = chain_tables[chain_tables.len() - 1];
+    let e2e = tracer.decompose(&[first, last]);
+    if let Some(e2e) = e2e.first() {
+        println!(
+            "end-to-end {} -> {}: mean {:.2} us (segment means sum to {:.2} us)",
+            first,
+            last,
+            e2e.stats.mean_ns / 1e3,
+            sum_means / 1e3
+        );
+    }
+    let complete = metrics::per_packet_segments(tracer.db(), &chain_tables)
+        .iter()
+        .filter(|(_, segs)| segs.iter().all(Option::is_some))
+        .count();
+    println!("{complete} request(s) observed at every tier");
+    Ok(())
+}
+
+fn run_trace(args: &Args) -> Result<(), String> {
+    match args.target.as_deref() {
+        Some("drop-lab") => run_drop_lab(args, "drops"),
+        Some("request-chain") => run_request_chain(args),
+        Some(other) => Err(format!(
+            "unknown trace scenario `{other}` (expected drop-lab or request-chain)"
+        )),
+        None => Err(usage()),
+    }
+}
+
 fn run(args: &Args) -> Result<(), String> {
     match args.scenario.as_str() {
         "verify" => verify_file(args.package.as_deref().expect("checked in parse_args")),
         "analyze" => analyze_file(args.package.as_deref().expect("checked in parse_args")),
         "db" => run_db(&args.rest),
+        "modules" => {
+            print!(
+                "{}",
+                vnettracer::modules::ModuleRegistry::builtin().render_listing()
+            );
+            Ok(())
+        }
+        "trace" => run_trace(args),
+        "drops" => run_drop_lab(args, "drops"),
         "live" => run_live(args),
         "emulate" => run_emulate(args),
         "two-host" => {

@@ -187,6 +187,7 @@ impl ProbeSink for EbpfProbeSink {
                 Direction::Rx => 0,
                 Direction::Tx => 1,
             },
+            aux: event.aux,
         };
         let mut env = EventEnv {
             time_ns: event.monotonic_ns,
@@ -376,7 +377,7 @@ impl Agent {
         let buffer_size = global.buffer_size;
         let cpus = usize::from(self.num_cpus);
         let (perf_fd, counter_fd) = match spec.action {
-            Action::RecordPacketInfo => {
+            Action::RecordPacketInfo | Action::RecordDropInfo => {
                 let fd = self
                     .maps
                     .lock()

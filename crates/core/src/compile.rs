@@ -20,7 +20,9 @@
 //! [`TraceRecord`]: crate::record::TraceRecord
 
 use vnet_ebpf::asm::{reg::*, AluOp, Asm, Cond, Size};
-use vnet_ebpf::context::{CTX_OFF_DATA, CTX_OFF_DATA_END, CTX_OFF_DIRECTION, CTX_OFF_PKT_LEN};
+use vnet_ebpf::context::{
+    CTX_OFF_AUX, CTX_OFF_DATA, CTX_OFF_DATA_END, CTX_OFF_DIRECTION, CTX_OFF_PKT_LEN,
+};
 use vnet_ebpf::program::{AttachType, Program};
 use vnet_ebpf::vm::helper_ids;
 
@@ -78,11 +80,11 @@ pub fn attach_type(hook: &HookSpec) -> AttachType {
 /// (an internal invariant violation).
 pub fn compile(spec: &TraceSpec, perf_fd: Option<i32>, counter_fd: Option<i32>) -> Result<Program> {
     let asm = match spec.action {
-        Action::RecordPacketInfo => {
+        Action::RecordPacketInfo | Action::RecordDropInfo => {
             let fd = perf_fd.ok_or_else(|| {
                 TracerError::Config(format!("script `{}` needs a perf buffer", spec.name))
             })?;
-            emit_record_program(&spec.filter, fd)
+            emit_record_program(&spec.filter, fd, spec.action == Action::RecordDropInfo)
         }
         Action::CountPerCpu => {
             let fd = counter_fd.ok_or_else(|| {
@@ -243,9 +245,12 @@ fn emit_trace_id(mut asm: Asm) -> Asm {
     asm
 }
 
-/// Emits the record-building action and the `miss` tail.
-fn emit_record_action(asm: Asm, perf_fd: i32) -> Asm {
-    asm.label("emit")
+/// Emits the record-building action and the `miss` tail. With
+/// `capture_aux`, the hook's auxiliary context word (the typed
+/// drop-reason code at `kfree_skb`) is folded into flag bits 1–3.
+fn emit_record_action(asm: Asm, perf_fd: i32, capture_aux: bool) -> Asm {
+    let mut asm = asm
+        .label("emit")
         // Timestamp from the node's CLOCK_MONOTONIC (§III-B).
         .call(helper_ids::KTIME_GET_NS)
         .stx(Size::DW, R10, R0, fp_off(offsets::TIMESTAMP))
@@ -255,7 +260,17 @@ fn emit_record_action(asm: Asm, perf_fd: i32) -> Asm {
         .ldx(Size::W, R2, R6, CTX_OFF_PKT_LEN)
         .stx(Size::W, R10, R2, fp_off(offsets::PKT_LEN))
         .ldx(Size::W, R2, R6, CTX_OFF_DIRECTION)
-        .stx(Size::B, R10, R2, fp_off(offsets::DIRECTION))
+        .stx(Size::B, R10, R2, fp_off(offsets::DIRECTION));
+    if capture_aux {
+        asm = asm
+            .ldx(Size::W, R2, R6, CTX_OFF_AUX)
+            .alu64_imm(AluOp::And, R2, 7)
+            .alu64_imm(AluOp::Lsh, R2, 1)
+            .ldx(Size::B, R3, R10, fp_off(offsets::FLAGS))
+            .alu64(AluOp::Or, R3, R2)
+            .stx(Size::B, R10, R3, fp_off(offsets::FLAGS));
+    }
+    asm
         // Flow tuple from the packet bytes.
         .ldx(Size::W, R2, R7, OFF_SADDR)
         .be32(R2)
@@ -284,11 +299,11 @@ fn emit_record_action(asm: Asm, perf_fd: i32) -> Asm {
         .exit()
 }
 
-fn emit_record_program(rule: &FilterRule, perf_fd: i32) -> Asm {
+fn emit_record_program(rule: &FilterRule, perf_fd: i32, capture_aux: bool) -> Asm {
     let mut asm = emit_prologue(Asm::new());
     asm = emit_filter(asm, rule);
     asm = emit_trace_id(asm);
-    emit_record_action(asm, perf_fd)
+    emit_record_action(asm, perf_fd, capture_aux)
 }
 
 fn emit_count_program(rule: &FilterRule, counter_fd: i32) -> Asm {
@@ -367,6 +382,7 @@ mod tests {
             node: 0,
             device: 0,
             direction: 0,
+            aux: 0,
         };
         let mut env = FixedEnv {
             time_ns: 5555,
@@ -489,6 +505,44 @@ mod tests {
             .build();
         let (_, recs) = run_record(rule, pkt.bytes());
         assert!(!recs[0].has_trace_id());
+    }
+
+    #[test]
+    fn drop_record_program_captures_aux_reason() {
+        let mut maps = MapRegistry::new();
+        let perf_fd = maps.create(MapDef::perf(4096), 2).unwrap();
+        let prog = compile(
+            &spec(udp_rule(), Action::RecordDropInfo),
+            Some(perf_fd),
+            None,
+        )
+        .unwrap();
+        let loaded = load(prog, &maps, &standard_helpers()).unwrap();
+        let mut pkt = PacketBuilder::udp(udp_flow(), vec![7u8; 56]).build();
+        trace_id::inject_udp_trailer(&mut pkt, 0xfeedc0de).unwrap();
+        for aux in [0u32, 2, 5] {
+            let ctx = TraceContext {
+                pkt_len: pkt.len() as u32,
+                aux,
+                ..Default::default()
+            };
+            let mut env = FixedEnv::default();
+            let out = Vm::new()
+                .execute(&loaded, &ctx, pkt.bytes(), &mut maps, &mut env)
+                .unwrap();
+            assert_eq!(out.ret, 1);
+            let recs: Vec<_> = maps
+                .get_mut(perf_fd)
+                .unwrap()
+                .perf_drain_all()
+                .iter()
+                .map(|b| crate::record::TraceRecord::decode(b).unwrap())
+                .collect();
+            assert_eq!(recs.len(), 1);
+            assert_eq!(u32::from(recs[0].drop_reason_code()), aux);
+            assert!(recs[0].has_trace_id(), "trace id survives aux capture");
+            assert_eq!(recs[0].trace_id, 0xfeedc0de);
+        }
     }
 
     #[test]

@@ -100,6 +100,12 @@ pub enum Action {
     /// Count matching events in a per-CPU counter (used for
     /// `net_rx_action` / `get_rps_cpu` statistics, Fig. 13a).
     CountPerCpu,
+    /// Emit a [`crate::record::TraceRecord`] that additionally captures
+    /// the hook's auxiliary context word (the typed drop-reason code at
+    /// `kfree_skb`) into record flag bits 1–3. Used by the `skb-drop`
+    /// module; identical to [`Action::RecordPacketInfo`] at hooks whose
+    /// auxiliary word is zero.
+    RecordDropInfo,
 }
 
 /// Where the script attaches, by name, on a named node.
@@ -346,6 +352,7 @@ impl ToJson for Action {
             match self {
                 Action::RecordPacketInfo => "RecordPacketInfo",
                 Action::CountPerCpu => "CountPerCpu",
+                Action::RecordDropInfo => "RecordDropInfo",
             }
             .to_owned(),
         )
@@ -357,6 +364,7 @@ impl FromJson for Action {
         match value.as_str() {
             Some("RecordPacketInfo") => Ok(Action::RecordPacketInfo),
             Some("CountPerCpu") => Ok(Action::CountPerCpu),
+            Some("RecordDropInfo") => Ok(Action::RecordDropInfo),
             _ => Err(JsonError::msg("unknown action")),
         }
     }

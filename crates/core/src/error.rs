@@ -25,6 +25,20 @@ pub enum TracerError {
     Config(String),
     /// A script id that is not installed.
     UnknownScript(u64),
+    /// A profile named a module the registry does not provide.
+    UnknownModule {
+        /// The requested module name.
+        name: String,
+        /// Closest registered module name, when one is plausibly meant.
+        suggestion: Option<String>,
+    },
+    /// A requested profile is not registered.
+    UnknownProfile {
+        /// The requested profile name.
+        name: String,
+        /// Closest registered profile name, when one is plausibly meant.
+        suggestion: Option<String>,
+    },
     /// The program's certified worst-case execution cost exceeds the
     /// configured probe budget — rejected at attach time, before the
     /// probe can perturb the traced system.
@@ -53,6 +67,20 @@ impl core::fmt::Display for TracerError {
             TracerError::Assemble(e) => write!(f, "program assembly failed: {e}"),
             TracerError::Config(s) => write!(f, "invalid control package: {s}"),
             TracerError::UnknownScript(id) => write!(f, "script {id} is not installed"),
+            TracerError::UnknownModule { name, suggestion } => {
+                write!(f, "unknown module `{name}`")?;
+                if let Some(s) = suggestion {
+                    write!(f, " (did you mean `{s}`?)")?;
+                }
+                Ok(())
+            }
+            TracerError::UnknownProfile { name, suggestion } => {
+                write!(f, "unknown profile `{name}`")?;
+                if let Some(s) = suggestion {
+                    write!(f, " (did you mean `{s}`?)")?;
+                }
+                Ok(())
+            }
             TracerError::OverBudget {
                 name,
                 certified_ns,

@@ -73,6 +73,7 @@ pub mod config;
 pub mod dispatcher;
 pub mod error;
 pub mod metrics;
+pub mod modules;
 pub mod packet_id;
 pub mod record;
 pub mod tracer;
@@ -85,5 +86,6 @@ pub use config::{
 };
 pub use dispatcher::Dispatcher;
 pub use error::{Result, TracerError};
+pub use modules::{MetricSpec, Module, ModuleRegistry, ModuleScope, OvsTap, TapSpec};
 pub use record::TraceRecord;
 pub use tracer::{DeployedScript, VNetTracer};

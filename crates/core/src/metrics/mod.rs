@@ -6,6 +6,7 @@
 
 pub mod arrival;
 pub mod decomposition;
+pub mod drops;
 pub mod flow;
 pub mod jitter;
 pub mod latency;
@@ -14,6 +15,7 @@ pub mod throughput;
 
 pub use arrival::{arrival_rate, interarrival_ns};
 pub use decomposition::{decompose, per_packet_segments, SegmentStats};
+pub use drops::{drop_breakdown, drop_breakdown_all};
 pub use flow::{per_flow_loss, per_flow_throughput};
 pub use jitter::{jitter_range, jitter_series, JitterTracker};
 pub use latency::{latency_between, stats_from_ns, LatencyStats};

@@ -33,7 +33,9 @@ pub struct TraceRecord {
     pub cpu: u16,
     /// 0 = RX, 1 = TX.
     pub direction: u8,
-    /// Bit 0: a trace ID was found in the packet.
+    /// Bit 0: a trace ID was found in the packet. Bits 1–3: the typed
+    /// drop-reason code captured at `kfree_skb` hooks (0 on all other
+    /// records).
     pub flags: u8,
 }
 
@@ -41,6 +43,18 @@ impl TraceRecord {
     /// Whether the packet carried a trace ID.
     pub fn has_trace_id(&self) -> bool {
         self.flags & 1 != 0
+    }
+
+    /// The typed drop-reason code carried in flag bits 1–3 (0 when the
+    /// record is not a drop record).
+    pub fn drop_reason_code(&self) -> u8 {
+        (self.flags >> 1) & 0x7
+    }
+
+    /// The drop-reason tag value, when the record is a drop record with
+    /// a known reason code.
+    pub fn drop_reason(&self) -> Option<&'static str> {
+        vnet_tsdb::drop_reason_name(self.drop_reason_code())
     }
 
     /// Encodes to the 32-byte layout (matching the eBPF stack layout:
@@ -116,6 +130,9 @@ impl TraceRecord {
             .field("cpu", u64::from(self.cpu));
         if self.has_trace_id() {
             p = p.tag(vnet_tsdb::TRACE_ID_TAG, format!("{:08x}", self.trace_id));
+        }
+        if let Some(reason) = self.drop_reason() {
+            p = p.tag(vnet_tsdb::DROP_REASON_TAG, reason);
         }
         p
     }
@@ -195,8 +212,19 @@ mod tests {
     }
 
     #[test]
+    fn drop_reason_decodes_from_flag_bits() {
+        let mut r = sample();
+        r.flags = 1 | (2 << 1); // trace id + "policed"
+        assert!(r.has_trace_id());
+        assert_eq!(r.drop_reason_code(), 2);
+        assert_eq!(r.drop_reason(), Some("policed"));
+        let p = r.to_point("skb_drop", "n");
+        assert_eq!(p.tag_value(vnet_tsdb::DROP_REASON_TAG), Some("policed"));
+    }
+
+    #[test]
     fn compact_form_materializes_identically() {
-        for flags in [0u8, 1] {
+        for flags in [0u8, 1, 1 | (3 << 1), 5 << 1] {
             let mut r = sample();
             r.flags = flags;
             assert_eq!(

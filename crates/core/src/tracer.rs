@@ -132,6 +132,23 @@ impl VNetTracer {
         }
     }
 
+    /// Detaches one set of deployed scripts (e.g. everything a profile's
+    /// `deploy` call returned), flushing pending kernel buffers to the
+    /// collector first. Handles that are not (or no longer) deployed are
+    /// ignored, so detach is idempotent.
+    pub fn undeploy(&mut self, world: &mut World, handles: &[DeployedScript]) {
+        self.collect(world);
+        for handle in handles {
+            let Some(i) = self.deployed.iter().position(|d| d == handle) else {
+                continue;
+            };
+            self.deployed.remove(i);
+            if let Some(agent) = self.agents.get_mut(&handle.node) {
+                let _ = agent.uninstall(world, handle.id);
+            }
+        }
+    }
+
     /// Currently deployed scripts.
     pub fn deployed(&self) -> &[DeployedScript] {
         &self.deployed

@@ -23,6 +23,8 @@ pub const CTX_OFF_DATA: i16 = 24;
 pub const CTX_OFF_DATA_END: i16 = 32;
 /// Byte offset of `direction` (0 = RX, 1 = TX).
 pub const CTX_OFF_DIRECTION: i16 = 40;
+/// Byte offset of `aux` (hook-specific auxiliary word).
+pub const CTX_OFF_AUX: i16 = 44;
 /// Total context size in bytes.
 pub const CTX_SIZE: usize = 48;
 
@@ -43,6 +45,10 @@ pub struct TraceContext {
     pub device: u32,
     /// Direction: 0 = RX, 1 = TX.
     pub direction: u32,
+    /// Hook-specific auxiliary word: the typed drop-reason code at
+    /// `kfree_skb`, the flow-table hit flag at `ovs_flow_tbl_lookup`,
+    /// zero everywhere else.
+    pub aux: u32,
 }
 
 impl TraceContext {
@@ -58,6 +64,7 @@ impl TraceContext {
         b[24..32].copy_from_slice(&data.to_le_bytes());
         b[32..40].copy_from_slice(&data_end.to_le_bytes());
         b[40..44].copy_from_slice(&self.direction.to_le_bytes());
+        b[44..48].copy_from_slice(&self.aux.to_le_bytes());
         b
     }
 }
@@ -75,6 +82,7 @@ mod tests {
             node: 1,
             device: 9,
             direction: 1,
+            aux: 5,
         };
         let b = ctx.to_bytes(0x2000_0000, 0x2000_0060);
         let ts = u64::from_le_bytes(b[CTX_OFF_TIMESTAMP as usize..8].try_into().unwrap());
@@ -88,5 +96,6 @@ mod tests {
         let data_end = u64::from_le_bytes(b[CTX_OFF_DATA_END as usize..40].try_into().unwrap());
         assert_eq!(data_end - data, 0x60);
         assert_eq!(b[CTX_OFF_DIRECTION as usize], 1);
+        assert_eq!(b[CTX_OFF_AUX as usize], 5);
     }
 }

@@ -1288,6 +1288,7 @@ mod tests {
             node: 2,
             device: 5,
             direction: 1,
+            aux: 0,
         };
         let out = run_with(
             Asm::new().ldx(Size::W, R0, R1, CTX_OFF_PKT_LEN).exit(),

@@ -92,6 +92,25 @@ impl LiveConfig {
         self.loss.push((upstream.to_owned(), downstream.to_owned()));
         self
     }
+
+    /// Builds the operator set a module profile contributes: each
+    /// [`vnettracer::MetricSpec`] becomes the matching `track_*` call.
+    /// This is how `ModuleRegistry::metrics` output turns into a running
+    /// engine.
+    pub fn from_metric_specs(window: WindowSpec, specs: &[vnettracer::MetricSpec]) -> Self {
+        let mut cfg = LiveConfig::new(window);
+        for spec in specs {
+            cfg = match spec {
+                vnettracer::MetricSpec::Latency { from, to } => cfg.track_latency(from, to),
+                vnettracer::MetricSpec::Throughput { table } => cfg.track_throughput(table),
+                vnettracer::MetricSpec::Loss {
+                    upstream,
+                    downstream,
+                } => cfg.track_loss(upstream, downstream),
+            };
+        }
+        cfg
+    }
 }
 
 /// Every metric of one finalized window, labelled by stream.

@@ -275,6 +275,45 @@ pub enum DropReason {
     Link,
 }
 
+impl DropReason {
+    /// All reasons, in stable reporting order.
+    pub const ALL: [DropReason; 5] = [
+        DropReason::QueueFull,
+        DropReason::Policed,
+        DropReason::Down,
+        DropReason::NoRoute,
+        DropReason::Link,
+    ];
+
+    /// The non-zero wire code carried in probe events and trace-record
+    /// flags (0 means "not a drop record"). Must stay within 3 bits.
+    pub fn code(&self) -> u32 {
+        match self {
+            DropReason::QueueFull => 1,
+            DropReason::Policed => 2,
+            DropReason::Down => 3,
+            DropReason::NoRoute => 4,
+            DropReason::Link => 5,
+        }
+    }
+
+    /// Decodes a wire code back to the reason.
+    pub fn from_code(code: u32) -> Option<DropReason> {
+        DropReason::ALL.into_iter().find(|r| r.code() == code)
+    }
+
+    /// Stable kernel-style label, e.g. for a drops breakdown table.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DropReason::QueueFull => "queue-full",
+            DropReason::Policed => "policed",
+            DropReason::Down => "device-down",
+            DropReason::NoRoute => "no-route",
+            DropReason::Link => "link-loss",
+        }
+    }
+}
+
 /// Per-device counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct DeviceCounters {
@@ -499,6 +538,28 @@ impl Device {
         self.queue.len() + self.shaped_queue.len()
     }
 
+    /// For an [`ServiceModel::OvsFabric`] device, whether serving a packet
+    /// from `from` at `now` would hit the megaflow cache: the ingress port
+    /// already counted as active within the window, so the flow-table
+    /// lookup resolves without an upcall. `None` for other service models.
+    ///
+    /// Must be consulted *before* [`Device::service_time`], which marks
+    /// the port active.
+    pub fn ovs_lookup_hit(&self, from: Option<DeviceId>, now: SimTime) -> Option<bool> {
+        let ServiceModel::OvsFabric {
+            port_active_window, ..
+        } = &self.cfg.service
+        else {
+            return None;
+        };
+        let Some(src) = from else { return Some(false) };
+        Some(
+            self.port_last_seen
+                .get(&src)
+                .is_some_and(|&t| now.saturating_since(t) <= *port_active_window),
+        )
+    }
+
     /// Computes the service time for `pkt` arriving from `from` at `now`.
     pub fn service_time(
         &mut self,
@@ -643,6 +704,47 @@ mod tests {
         assert_eq!(cfg.gate, Gate::Softirq(Steering::IrqAffinity(0)));
         assert!(cfg.policer.is_some());
         assert_eq!(cfg.trace_id, TraceIdRole::Inject);
+    }
+
+    #[test]
+    fn drop_reason_codes_round_trip() {
+        for r in DropReason::ALL {
+            assert!(r.code() >= 1 && r.code() <= 7, "code fits in 3 bits");
+            assert_eq!(DropReason::from_code(r.code()), Some(r));
+            assert!(!r.name().is_empty());
+        }
+        assert_eq!(DropReason::from_code(0), None);
+        assert_eq!(DropReason::from_code(6), None);
+    }
+
+    #[test]
+    fn ovs_lookup_hit_tracks_port_activity() {
+        let mut dev = Device::new(
+            DeviceId(9),
+            DeviceConfig::new("ovs-br", NodeId(0)).service(ServiceModel::OvsFabric {
+                base: SimDuration::from_micros(1),
+                per_extra_port: SimDuration::from_micros(2),
+                port_active_window: SimDuration::from_millis(1),
+            }),
+        );
+        let pkt = Packet::from_bytes(vec![0u8; 64]);
+        let t0 = SimTime::from_micros(0);
+        // First packet from a port: megaflow miss.
+        assert_eq!(dev.ovs_lookup_hit(Some(DeviceId(1)), t0), Some(false));
+        dev.service_time(&pkt, Some(DeviceId(1)), t0);
+        // Port is now active within the window: hit.
+        let t1 = SimTime::from_micros(10);
+        assert_eq!(dev.ovs_lookup_hit(Some(DeviceId(1)), t1), Some(true));
+        // A different port still misses.
+        assert_eq!(dev.ovs_lookup_hit(Some(DeviceId(2)), t1), Some(false));
+        // After the window expires the flow must be reinstalled.
+        let t2 = SimTime::from_millis(3);
+        assert_eq!(dev.ovs_lookup_hit(Some(DeviceId(1)), t2), Some(false));
+        // Non-fabric devices have no flow table.
+        let mut fixed = Device::new(DeviceId(0), DeviceConfig::new("eth0", NodeId(0)));
+        assert_eq!(fixed.ovs_lookup_hit(Some(DeviceId(1)), t0), None);
+        fixed.service_time(&pkt, Some(DeviceId(1)), t0);
+        assert_eq!(fixed.ovs_lookup_hit(Some(DeviceId(1)), t1), None);
     }
 
     #[test]

@@ -107,6 +107,11 @@ pub struct ProbeEvent<'a> {
     /// The node's `CLOCK_MONOTONIC` reading at the instant the hook fired,
     /// in nanoseconds — what `bpf_ktime_get_ns()` returns.
     pub monotonic_ns: u64,
+    /// Hook-specific auxiliary word, mirroring the probed function's
+    /// argument registers: the typed [`crate::device::DropReason`] code at
+    /// `kfree_skb`, the flow-table hit flag at `ovs_flow_tbl_lookup`, and
+    /// zero everywhere else.
+    pub aux: u32,
 }
 
 /// What a probe reports back after running.
@@ -277,6 +282,7 @@ mod tests {
             direction: Direction::Rx,
             packet: None,
             monotonic_ns: 42,
+            aux: 0,
         }
     }
 

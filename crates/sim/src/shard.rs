@@ -36,7 +36,7 @@ use rand::rngs::SmallRng;
 use rand::Rng;
 
 use crate::app::{App, AppAction, AppCtx};
-use crate::device::{Device, Gate, Steering, TraceIdRole, Transform};
+use crate::device::{Device, DropReason, Gate, Steering, TraceIdRole, Transform};
 use crate::event::{Event, EventQueue, PushKey};
 use crate::ids::{AppId, CpuId, DeviceId, NodeId, VcpuId};
 use crate::node::Node;
@@ -413,6 +413,7 @@ impl<'w> Shard<'w> {
                 direction: Direction::Rx,
                 packet: Some(pkt),
                 monotonic_ns: mono,
+                aux: 0,
             };
             probes.fire(&ev).cost
         };
@@ -453,6 +454,7 @@ impl<'w> Shard<'w> {
                     direction: Direction::Rx,
                     packet: Some(pkt),
                     monotonic_ns: mono,
+                    aux: 0,
                 };
                 cost += probes.fire(&ev).cost;
             }
@@ -461,9 +463,11 @@ impl<'w> Shard<'w> {
     }
 
     /// Fires the `kfree_skb` kprobe when a device drops a packet, so
-    /// tracers can observe and attribute drops (queue overflow, policer,
-    /// failed device, no route) exactly as on a real kernel.
-    fn fire_drop_hook(&mut self, dev_idx: usize, pkt: &Packet) {
+    /// tracers can observe and attribute drops exactly as on a real
+    /// kernel: the event's `aux` word carries the typed
+    /// [`DropReason`] code, mirroring the kernel's
+    /// `kfree_skb_reason` argument.
+    fn fire_drop_hook(&mut self, dev_idx: usize, pkt: &Packet, reason: DropReason) {
         let now = self.now;
         let dev = self.devices[dev_idx]
             .as_ref()
@@ -486,8 +490,67 @@ impl<'w> Shard<'w> {
             direction: Direction::Rx,
             packet: Some(pkt),
             monotonic_ns: mono,
+            aux: reason.code(),
         };
         probes.fire(&ev);
+    }
+
+    /// Fires the OVS datapath hooks when a fabric device serves a packet:
+    /// `ovs_flow_tbl_lookup` entry (aux = megaflow-hit flag) and return
+    /// (stamped after the lookup cost, so entry/return latency *is* the
+    /// fabric's flow-table time), plus `ovs_dp_upcall` on a megaflow miss
+    /// — the slow path that punts the flow to userspace. Returns the
+    /// probe cost, charged to the packet's service like any other hook.
+    fn fire_ovs_hooks(
+        &mut self,
+        dev_idx: usize,
+        pkt: &Packet,
+        cpu: CpuId,
+        hit: bool,
+        lookup_cost: SimDuration,
+    ) -> SimDuration {
+        let now = self.now;
+        let dev = self.devices[dev_idx]
+            .as_ref()
+            .expect("device owned by shard");
+        let node_id = dev.cfg.node;
+        let clock = &self.nodes[node_id.index()].clock;
+        let mono_entry = clock.monotonic_ns(now);
+        let mono_ret = clock.monotonic_ns(now + lookup_cost);
+        let probes = self.probes[node_id.index()]
+            .as_mut()
+            .expect("probes owned by shard");
+        let mut hooks: Vec<(Hook, u64, u32)> = Vec::new();
+        let entry = Hook::FunctionEntry("ovs_flow_tbl_lookup".to_owned());
+        if probes.has_probe(node_id, &entry) {
+            hooks.push((entry, mono_entry, u32::from(hit)));
+        }
+        let ret = Hook::FunctionReturn("ovs_flow_tbl_lookup".to_owned());
+        if probes.has_probe(node_id, &ret) {
+            hooks.push((ret, mono_ret, u32::from(hit)));
+        }
+        if !hit {
+            let upcall = Hook::FunctionEntry("ovs_dp_upcall".to_owned());
+            if probes.has_probe(node_id, &upcall) {
+                hooks.push((upcall, mono_entry, 0));
+            }
+        }
+        let mut cost = SimDuration::ZERO;
+        for (hook, mono, aux) in &hooks {
+            let ev = ProbeEvent {
+                node: node_id,
+                cpu,
+                hook,
+                device: Some(dev.id),
+                device_name: Some(&dev.cfg.name),
+                direction: Direction::Rx,
+                packet: Some(pkt),
+                monotonic_ns: *mono,
+                aux: *aux,
+            };
+            cost += probes.fire(&ev).cost;
+        }
+        cost
     }
 
     /// Fires the TX-side hooks when `dev` finishes serving `pkt`.
@@ -518,6 +581,7 @@ impl<'w> Shard<'w> {
                 direction: Direction::Tx,
                 packet: Some(pkt),
                 monotonic_ns: mono,
+                aux: 0,
             };
             cost += probes.fire(&ev).cost;
         }
@@ -535,7 +599,7 @@ impl<'w> Shard<'w> {
         let dev = self.dev_mut(i);
         if dev.down {
             dev.counters.dropped_down += 1;
-            self.fire_drop_hook(i, &pkt);
+            self.fire_drop_hook(i, &pkt, DropReason::Down);
             return;
         }
         let dev = self.dev_mut(i);
@@ -543,7 +607,7 @@ impl<'w> Shard<'w> {
         if let Some(tb) = dev.policer.as_mut() {
             if !tb.admit(pkt.len(), now) {
                 dev.counters.dropped_policed += 1;
-                self.fire_drop_hook(i, &pkt);
+                self.fire_drop_hook(i, &pkt, DropReason::Policed);
                 return;
             }
         }
@@ -563,7 +627,7 @@ impl<'w> Shard<'w> {
         };
         if class_depth >= dev.cfg.queue_capacity {
             dev.counters.dropped_queue_full += 1;
-            self.fire_drop_hook(i, &pkt);
+            self.fire_drop_hook(i, &pkt, DropReason::QueueFull);
             return;
         }
         let dev = self.dev_mut(i);
@@ -658,8 +722,14 @@ impl<'w> Shard<'w> {
         };
         let dev = self.dev_mut(i);
         dev.busy = true;
-        let service = dev.service_time(&qp.pkt, qp.from, now) + qp.overhead;
-        dev.in_service = Some(qp);
+        let ovs_hit = dev.ovs_lookup_hit(qp.from, now);
+        let lookup_cost = dev.service_time(&qp.pkt, qp.from, now);
+        let probe_cost = match ovs_hit {
+            Some(hit) => self.fire_ovs_hooks(i, &qp.pkt, CpuId(0), hit, lookup_cost),
+            None => SimDuration::ZERO,
+        };
+        let service = lookup_cost + qp.overhead + probe_cost;
+        self.dev_mut(i).in_service = Some(qp);
         self.route(node, now + service, Event::FinishService { dev: dev_id });
     }
 
@@ -728,8 +798,14 @@ impl<'w> Shard<'w> {
             .expect("checked non-empty");
         let fn_cost = self.fire_softirq_fn_hooks(i, &qp.pkt, cpu);
         let dev = self.dev_mut(i);
-        let service = dev.service_time(&qp.pkt, qp.from, now) + qp.overhead + fn_cost;
-        dev.in_service = Some(qp);
+        let ovs_hit = dev.ovs_lookup_hit(qp.from, now);
+        let lookup_cost = dev.service_time(&qp.pkt, qp.from, now);
+        let probe_cost = match ovs_hit {
+            Some(hit) => self.fire_ovs_hooks(i, &qp.pkt, cpu, hit, lookup_cost),
+            None => SimDuration::ZERO,
+        };
+        let service = lookup_cost + qp.overhead + fn_cost + probe_cost;
+        self.dev_mut(i).in_service = Some(qp);
         self.route(
             node,
             now + service,
@@ -819,14 +895,14 @@ impl<'w> Shard<'w> {
                     }
                     None => {
                         self.dev_mut(i).counters.dropped_no_route += 1;
-                        self.fire_drop_hook(i, &pkt);
+                        self.fire_drop_hook(i, &pkt, DropReason::NoRoute);
                     }
                 }
             }
             (false, Some(port_idx)) => {
                 let Some(port) = self.dev(i).ports.get(port_idx).copied() else {
                     self.dev_mut(i).counters.dropped_no_route += 1;
-                    self.fire_drop_hook(i, &pkt);
+                    self.fire_drop_hook(i, &pkt, DropReason::NoRoute);
                     return;
                 };
                 // A link profile overrides the wire's behaviour with the
@@ -848,7 +924,7 @@ impl<'w> Shard<'w> {
                         };
                         if lost {
                             self.dev_mut(i).counters.dropped_link += 1;
-                            self.fire_drop_hook(i, &pkt);
+                            self.fire_drop_hook(i, &pkt, DropReason::Link);
                             return;
                         }
                     }
@@ -894,7 +970,7 @@ impl<'w> Shard<'w> {
             }
             (false, None) => {
                 self.dev_mut(i).counters.dropped_no_route += 1;
-                self.fire_drop_hook(i, &pkt);
+                self.fire_drop_hook(i, &pkt, DropReason::NoRoute);
             }
         }
     }
@@ -922,6 +998,7 @@ impl<'w> Shard<'w> {
             direction: Direction::Rx,
             packet: Some(pkt),
             monotonic_ns: mono,
+            aux: 0,
         };
         probes.fire(&ev);
     }

@@ -451,7 +451,13 @@ impl ContainerScenario {
 
     /// Creates a tracer with agents for the host and both VMs.
     pub fn make_tracer(&self) -> VNetTracer {
-        let mut tracer = VNetTracer::new();
+        self.make_tracer_with_db(vnet_tsdb::TraceDb::new())
+    }
+
+    /// Like [`ContainerScenario::make_tracer`] with a caller-provided
+    /// trace database (e.g. a disk-backed one).
+    pub fn make_tracer_with_db(&self, db: vnet_tsdb::TraceDb) -> VNetTracer {
+        let mut tracer = VNetTracer::with_db(db);
         tracer.add_agent(Agent::new(self.host, "host", 20));
         tracer.add_agent(Agent::new(self.vm1, "vm1", 4));
         tracer.add_agent(Agent::new(self.vm2, "vm2", 4));

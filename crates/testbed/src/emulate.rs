@@ -44,7 +44,8 @@ use vnet_sim::profile::{
 };
 use vnet_sim::time::{SimDuration, SimTime};
 use vnet_workloads::datacenter_rack::{RackConfig, RackScenario};
-use vnettracer::config::{Action, ControlPackage, FilterRule, HookSpec, Proto, TraceSpec};
+use vnettracer::config::{FilterRule, GlobalConfig, Proto};
+use vnettracer::modules::{ModuleRegistry, ModuleScope, TapSpec};
 use vnettracer::{IngestSubscriber, VNetTracer};
 
 use crate::two_host::{
@@ -311,12 +312,14 @@ fn score(
     }
 }
 
-fn live_config(pairs: &[(&str, &str)], throughput: &str) -> LiveConfig {
-    let mut cfg =
-        LiveConfig::new(WindowSpec::tumbling(WINDOW.as_nanos())).track_throughput(throughput);
-    for (from, to) in pairs {
-        cfg = cfg.track_latency(from, to).track_loss(from, to);
-    }
+/// Builds the live-engine config from the scope's module metrics — the
+/// same declarations that drive `vnt live` — with the harness's pairing
+/// timeout applied.
+fn live_config(registry: &ModuleRegistry, scope: &ModuleScope) -> LiveConfig {
+    let specs = registry
+        .metrics("default", scope)
+        .expect("builtin default profile resolves");
+    let mut cfg = LiveConfig::from_metric_specs(WindowSpec::tumbling(WINDOW.as_nanos()), &specs);
     cfg.pair_timeout_ns = PAIR_TIMEOUT.as_nanos();
     cfg
 }
@@ -440,25 +443,28 @@ fn two_host_impl(
         }
     };
 
-    // The paper's four scripts plus a reverse-direction tap at server2's
+    // The paper's four taps plus a reverse-direction tap at server2's
     // bridge, so reply-path latency is measurable end to end.
-    let mut package = s.control_package();
     let req = FilterRule::udp_flow(
         (VM1_IP, SOCKPERF_CLIENT_PORT),
         (VM2_IP, SOCKPERF_SERVER_PORT),
     );
-    package.traces.push(TraceSpec {
-        name: "s2_ovs_br1_rev".into(),
-        node: "server2".into(),
-        hook: HookSpec::DeviceRx("ovs-br1".into()),
-        filter: req.reversed(),
-        action: Action::RecordPacketInfo,
-    });
+    let mut scope = s.module_scope();
+    scope.packet_taps.push(TapSpec::rx(
+        "s2_ovs_br1_rev",
+        "server2",
+        "ovs-br1",
+        req.reversed(),
+    ));
+    scope
+        .latency_pairs
+        .push(("s2_ovs_br1_rev".into(), "s1_ens3".into()));
+    let registry = ModuleRegistry::builtin();
+    let package = registry
+        .package("default", &scope, GlobalConfig::default())
+        .expect("builtin default profile resolves");
 
-    let live = live_config(
-        &[("s1_ovs_br1", "s2_ovs_br1"), ("s2_ovs_br1_rev", "s1_ens3")],
-        "s2_ovs_br1",
-    );
+    let live = live_config(&registry, &scope);
     let mut engine = LiveEngine::new(live);
     engine.register_agent("server1", None);
     engine.register_agent("server2", None);
@@ -587,24 +593,21 @@ fn rack_impl(
         dst_ip: Some(RackConfig::vm_ip(1, 0)),
         ..FilterRule::any()
     };
-    let package = ControlPackage::new(vec![
-        TraceSpec {
-            name: "emu_up".into(),
-            node: "host0".into(),
-            hook: HookSpec::DeviceRx("ovs-br".into()),
-            filter,
-            action: Action::RecordPacketInfo,
-        },
-        TraceSpec {
-            name: "emu_down".into(),
-            node: "host1".into(),
-            hook: HookSpec::DeviceRx("ovs-br".into()),
-            filter,
-            action: Action::RecordPacketInfo,
-        },
-    ]);
+    let scope = ModuleScope {
+        packet_taps: vec![
+            TapSpec::rx("emu_up", "host0", "ovs-br", filter),
+            TapSpec::rx("emu_down", "host1", "ovs-br", filter),
+        ],
+        latency_pairs: vec![("emu_up".into(), "emu_down".into())],
+        throughput_tables: vec!["emu_down".into()],
+        ..Default::default()
+    };
+    let registry = ModuleRegistry::builtin();
+    let package = registry
+        .package("default", &scope, GlobalConfig::default())
+        .expect("builtin default profile resolves");
 
-    let live = live_config(&[("emu_up", "emu_down")], "emu_down");
+    let live = live_config(&registry, &scope);
     let mut engine = LiveEngine::new(live);
     engine.register_agent("host0", None);
     engine.register_agent("host1", None);

@@ -20,13 +20,21 @@
 //!   handover, congested WAN, flapping, asymmetric skew, bursty loss)
 //!   replayed against the two-host and rack testbeds, with the
 //!   `vnet-live` anomaly detector scored against ground truth.
+//! * [`drop_lab`] — engineered drop lanes (one per typed
+//!   [`vnet_sim::device::DropReason`]) plus an OVS fabric bridge: the
+//!   ground-truth scenario for the `skb-drop` and `ovs-flow` modules.
+//! * [`memcached_chain`] — client → proxy → backend memcached tiers with
+//!   the in-band trace ID carried across the proxy hop: the
+//!   `request-trace` module's cross-tier decomposition scenario.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod container;
+pub mod drop_lab;
 pub mod emulate;
+pub mod memcached_chain;
 pub mod netperf_xen;
 pub mod ovs;
 pub mod rack;

@@ -35,7 +35,8 @@ use vnet_workloads::stats::{LatencyRecorder, ThroughputRecorder};
 use vnet_workloads::{
     IperfClient, IperfServer, NetperfServer, SockperfClient, SockperfServer, TcpStreamClient,
 };
-use vnettracer::config::{Action, ControlPackage, FilterRule, HookSpec, TraceSpec};
+use vnettracer::config::{ControlPackage, FilterRule, GlobalConfig};
+use vnettracer::modules::{ModuleRegistry, ModuleScope, OvsTap, TapSpec};
 use vnettracer::{Agent, VNetTracer};
 
 use crate::route;
@@ -381,25 +382,38 @@ impl OvsScenario {
         }
     }
 
-    /// The trace scripts used for the Fig. 9(a) decomposition: the
-    /// application socket, the OVS ingress port, and the receiving
-    /// stack's entry and delivery points, all filtered to the Sockperf
-    /// request flow.
-    pub fn control_package(&self) -> ControlPackage {
+    /// Where the module profiles attach on this testbed: packet taps at
+    /// the application socket, the OVS ingress port, and the receiving
+    /// stack's entry and delivery points (all filtered to the Sockperf
+    /// request flow), plus a host drop tap for `skb-drop` and an OVS tap
+    /// for `ovs-flow`.
+    pub fn module_scope(&self) -> ModuleScope {
         let req = FilterRule::udp_flow((VM0_IP, SOCKPERF_CPORT), (VM2_IP, SOCKPERF_SPORT));
-        let spec = |name: &str, hook: HookSpec| TraceSpec {
-            name: name.into(),
-            node: "server1".into(),
-            hook,
-            filter: req,
-            action: Action::RecordPacketInfo,
-        };
-        ControlPackage::new(vec![
-            spec("sock_em0", HookSpec::DeviceRx("em0".into())),
-            spec("sock_vnet0", HookSpec::DeviceRx("vnet0".into())),
-            spec("sock_em2_in", HookSpec::DeviceRx("em2".into())),
-            spec("sock_em2_out", HookSpec::DeviceTx("em2".into())),
-        ])
+        ModuleScope {
+            packet_taps: vec![
+                TapSpec::rx("sock_em0", "server1", "em0", req),
+                TapSpec::rx("sock_vnet0", "server1", "vnet0", req),
+                TapSpec::rx("sock_em2_in", "server1", "em2", req),
+                TapSpec::tx("sock_em2_out", "server1", "em2", req),
+            ],
+            latency_pairs: vec![("sock_em0".into(), "sock_em2_out".into())],
+            throughput_tables: vec!["sock_em2_out".into()],
+            drop_taps: vec![TapSpec::drops("host_drops", "server1", FilterRule::any())],
+            ovs_taps: vec![OvsTap {
+                prefix: "ovs_br".into(),
+                node: "server1".into(),
+                filter: req,
+            }],
+            ..Default::default()
+        }
+    }
+
+    /// The trace scripts used for the Fig. 9(a) decomposition — the
+    /// registry's `default` profile over [`OvsScenario::module_scope`].
+    pub fn control_package(&self) -> ControlPackage {
+        ModuleRegistry::builtin()
+            .package("default", &self.module_scope(), GlobalConfig::default())
+            .expect("builtin default profile resolves")
     }
 
     /// The tracepoint chain for [`vnettracer::metrics::decompose`],

@@ -4,7 +4,8 @@
 //! port — the configuration the scale and determinism evaluations run.
 
 use vnet_workloads::datacenter_rack::{RackConfig, RackScenario};
-use vnettracer::config::{Action, ControlPackage, FilterRule, HookSpec, TraceSpec};
+use vnettracer::config::{ControlPackage, FilterRule, GlobalConfig};
+use vnettracer::modules::{ModuleRegistry, ModuleScope, TapSpec};
 use vnettracer::{Agent, VNetTracer};
 
 /// The rack testbed: scenario plus tracer wiring.
@@ -25,29 +26,41 @@ impl RackTestbed {
         }
     }
 
-    /// Trace scripts at every hook in the rack: one `RecordPacketInfo`
-    /// script per host OVS bridge and per VM ethernet port, unfiltered.
-    pub fn control_package(&self) -> ControlPackage {
-        let mut traces = Vec::new();
+    /// Where the module profiles attach on the rack: one unfiltered
+    /// packet tap per host OVS bridge and per VM ethernet port, plus a
+    /// drop tap per host for the `skb-drop` module.
+    pub fn module_scope(&self) -> ModuleScope {
+        let mut scope = ModuleScope::default();
         for h in 0..self.cfg.hosts {
-            traces.push(TraceSpec {
-                name: format!("h{h}_ovs_br"),
-                node: format!("host{h}"),
-                hook: HookSpec::DeviceRx("ovs-br".into()),
-                filter: FilterRule::any(),
-                action: Action::RecordPacketInfo,
-            });
+            scope.packet_taps.push(TapSpec::rx(
+                &format!("h{h}_ovs_br"),
+                &format!("host{h}"),
+                "ovs-br",
+                FilterRule::any(),
+            ));
             for v in 0..self.cfg.vms_per_host {
-                traces.push(TraceSpec {
-                    name: format!("vm{h}_{v}_ens3"),
-                    node: format!("vm{h}-{v}"),
-                    hook: HookSpec::DeviceRx("ens3".into()),
-                    filter: FilterRule::any(),
-                    action: Action::RecordPacketInfo,
-                });
+                scope.packet_taps.push(TapSpec::rx(
+                    &format!("vm{h}_{v}_ens3"),
+                    &format!("vm{h}-{v}"),
+                    "ens3",
+                    FilterRule::any(),
+                ));
             }
+            scope.drop_taps.push(TapSpec::drops(
+                &format!("h{h}_drops"),
+                &format!("host{h}"),
+                FilterRule::any(),
+            ));
         }
-        ControlPackage::new(traces)
+        scope
+    }
+
+    /// Trace scripts at every hook in the rack — the registry's
+    /// `default` profile over [`RackTestbed::module_scope`].
+    pub fn control_package(&self) -> ControlPackage {
+        ModuleRegistry::builtin()
+            .package("default", &self.module_scope(), GlobalConfig::default())
+            .expect("builtin default profile resolves")
     }
 
     /// Creates a tracer with an agent registered on every node of the

@@ -21,7 +21,8 @@ use vnet_sim::world::World;
 use vnet_sim::NodeId;
 use vnet_workloads::stats::LatencyRecorder;
 use vnet_workloads::{IperfClient, IperfServer, SockperfClient, SockperfServer};
-use vnettracer::config::{Action, ControlPackage, FilterRule, HookSpec, TraceSpec};
+use vnettracer::config::{ControlPackage, FilterRule, GlobalConfig};
+use vnettracer::modules::{ModuleRegistry, ModuleScope, TapSpec};
 use vnettracer::{Agent, VNetTracer};
 
 use crate::route;
@@ -202,43 +203,38 @@ impl TwoHostScenario {
         }
     }
 
-    /// The paper's four trace scripts: OVS port and VM ethernet port on
-    /// both servers, filtered to the Sockperf flow.
-    pub fn control_package(&self) -> ControlPackage {
+    /// Where the module profiles attach on this topology: the paper's
+    /// four packet taps (OVS port and VM ethernet port on both servers,
+    /// filtered to the Sockperf flow) plus a drop tap per server for the
+    /// `skb-drop` module.
+    pub fn module_scope(&self) -> ModuleScope {
         let req = FilterRule::udp_flow(
             (VM1_IP, SOCKPERF_CLIENT_PORT),
             (VM2_IP, SOCKPERF_SERVER_PORT),
         );
-        ControlPackage::new(vec![
-            TraceSpec {
-                name: "s1_ovs_br1".into(),
-                node: "server1".into(),
-                hook: HookSpec::DeviceRx("ovs-br1".into()),
-                filter: req,
-                action: Action::RecordPacketInfo,
-            },
-            TraceSpec {
-                name: "s1_ens3".into(),
-                node: "server1".into(),
-                hook: HookSpec::DeviceRx("ens3".into()),
-                filter: req.reversed(),
-                action: Action::RecordPacketInfo,
-            },
-            TraceSpec {
-                name: "s2_ovs_br1".into(),
-                node: "server2".into(),
-                hook: HookSpec::DeviceRx("ovs-br1".into()),
-                filter: req,
-                action: Action::RecordPacketInfo,
-            },
-            TraceSpec {
-                name: "s2_ens3".into(),
-                node: "server2".into(),
-                hook: HookSpec::DeviceRx("ens3".into()),
-                filter: req,
-                action: Action::RecordPacketInfo,
-            },
-        ])
+        ModuleScope {
+            packet_taps: vec![
+                TapSpec::rx("s1_ovs_br1", "server1", "ovs-br1", req),
+                TapSpec::rx("s1_ens3", "server1", "ens3", req.reversed()),
+                TapSpec::rx("s2_ovs_br1", "server2", "ovs-br1", req),
+                TapSpec::rx("s2_ens3", "server2", "ens3", req),
+            ],
+            latency_pairs: vec![("s1_ovs_br1".into(), "s2_ovs_br1".into())],
+            throughput_tables: vec!["s2_ovs_br1".into()],
+            drop_taps: vec![
+                TapSpec::drops("s1_drops", "server1", FilterRule::any()),
+                TapSpec::drops("s2_drops", "server2", FilterRule::any()),
+            ],
+            ..Default::default()
+        }
+    }
+
+    /// The paper's four trace scripts — the registry's `default` profile
+    /// over this scenario's [`TwoHostScenario::module_scope`].
+    pub fn control_package(&self) -> ControlPackage {
+        ModuleRegistry::builtin()
+            .package("default", &self.module_scope(), GlobalConfig::default())
+            .expect("builtin default profile resolves")
     }
 
     /// Creates a tracer with agents registered for both servers.

@@ -52,9 +52,9 @@ pub use batch::{BatchGroup, RecordBatch};
 pub use persist::{read_json_lines, write_json_lines, PersistError};
 pub use point::{DataPoint, FieldValue};
 pub use query::{aggregate, percentile, percentiles, Aggregate, Query, ScanResult, ScanStats};
-pub use record::{CompactRecord, COMPACT_RECORD_BYTES};
+pub use record::{drop_reason_code, drop_reason_name, CompactRecord, COMPACT_RECORD_BYTES};
 pub use segment::{Segment, SegmentMeta};
 pub use sketch::{LogHistogram, DEFAULT_SKETCH_ERROR};
 pub use store::{MeasurementStorage, StorageStats, StoreError, StoreOptions, TraceDb};
 pub use symbol::{Symbol, SymbolTable};
-pub use table::{Entry, RecordShard, Table, TRACE_ID_TAG};
+pub use table::{Entry, RecordShard, Table, DROP_REASON_TAG, TRACE_ID_TAG};

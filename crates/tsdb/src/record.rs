@@ -9,7 +9,26 @@
 //! read instead.
 
 use crate::point::DataPoint;
-use crate::table::TRACE_ID_TAG;
+use crate::table::{DROP_REASON_TAG, TRACE_ID_TAG};
+
+/// Resolves a drop-reason code (record flag bits 1–3) to its canonical
+/// tag value. Code 0 means "not a drop record"; unknown codes also
+/// resolve to `None` so malformed flags never invent a tag.
+pub fn drop_reason_name(code: u8) -> Option<&'static str> {
+    match code {
+        1 => Some("queue-full"),
+        2 => Some("policed"),
+        3 => Some("device-down"),
+        4 => Some("no-route"),
+        5 => Some("link-loss"),
+        _ => None,
+    }
+}
+
+/// The inverse of [`drop_reason_name`].
+pub fn drop_reason_code(name: &str) -> Option<u8> {
+    (1..=5).find(|&c| drop_reason_name(c) == Some(name))
+}
 
 /// Bytes one record occupies on the wire (and, padded, in a shard) —
 /// used for ingest byte accounting.
@@ -69,6 +88,18 @@ impl CompactRecord {
         }
     }
 
+    /// The typed drop-reason code carried in flag bits 1–3 (0 when the
+    /// record is not a drop record).
+    pub fn drop_reason_code(&self) -> u8 {
+        (self.flags >> 1) & 0x7
+    }
+
+    /// The drop-reason tag value, when the record is a drop record with
+    /// a known reason code.
+    pub fn drop_reason(&self) -> Option<&'static str> {
+        drop_reason_name(self.drop_reason_code())
+    }
+
     /// Parses a canonical `flow` tag value (`src:sport->dst:dport`, as
     /// produced by [`CompactRecord::flow`]) back into its four numeric
     /// components. Returns `None` for anything non-canonical — a value
@@ -106,11 +137,14 @@ impl CompactRecord {
             "tx" => 1,
             _ => return None,
         };
-        let (trace_id, flags) = match point.tag_value(TRACE_ID_TAG) {
+        let (trace_id, mut flags) = match point.tag_value(TRACE_ID_TAG) {
             Some(hex) if hex.len() == 8 => (u32::from_str_radix(hex, 16).ok()?, 1),
             Some(_) => return None,
             None => (0, 0),
         };
+        if let Some(name) = point.tag_value(DROP_REASON_TAG) {
+            flags |= drop_reason_code(name)? << 1;
+        }
         let record = CompactRecord {
             timestamp_ns: point.timestamp_ns,
             trace_id,
@@ -138,6 +172,9 @@ impl CompactRecord {
             .field("cpu", u64::from(self.cpu));
         if self.has_trace_id() {
             p = p.tag(TRACE_ID_TAG, self.trace_id_hex());
+        }
+        if let Some(reason) = self.drop_reason() {
+            p = p.tag(DROP_REASON_TAG, reason);
         }
         p
     }
@@ -238,6 +275,24 @@ mod tests {
         ] {
             assert_eq!(CompactRecord::parse_flow(bad), None, "{bad:?}");
         }
+    }
+
+    #[test]
+    fn drop_reason_round_trips_through_point_form() {
+        for code in 1u8..=5 {
+            let mut r = sample();
+            r.flags = 1 | (code << 1);
+            let p = r.to_point("skb_drop", "n");
+            assert_eq!(p.tag_value(DROP_REASON_TAG), drop_reason_name(code));
+            let (_, back) = CompactRecord::from_point(&p).unwrap();
+            assert_eq!(back, r);
+            assert_eq!(back.drop_reason_code(), code);
+        }
+        // Unknown codes never materialize a tag (and so never round trip).
+        let mut r = sample();
+        r.flags = 7 << 1;
+        assert_eq!(r.drop_reason(), None);
+        assert_eq!(r.to_point("skb_drop", "n").tag_value(DROP_REASON_TAG), None);
     }
 
     #[test]

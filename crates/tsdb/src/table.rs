@@ -20,6 +20,10 @@ use crate::symbol::Symbol;
 /// across tracepoints ("records are indexed by their packet IDs", §III-C).
 pub const TRACE_ID_TAG: &str = "trace_id";
 
+/// The tag key under which drop records carry their typed drop reason
+/// (derived from record flag bits 1–3; absent on non-drop records).
+pub const DROP_REASON_TAG: &str = "drop_reason";
+
 /// All compact records one node contributed to a table. Shards are
 /// append-only and keyed by the node's interned [`Symbol`]; the resolved
 /// name is cached once per shard for read-side materialization.
@@ -128,6 +132,7 @@ impl<'a> Entry<'a> {
                 "flow" => Some(Cow::Owned(record.flow())),
                 "direction" => Some(Cow::Borrowed(record.direction_str())),
                 TRACE_ID_TAG if record.has_trace_id() => Some(Cow::Owned(record.trace_id_hex())),
+                DROP_REASON_TAG => record.drop_reason().map(Cow::Borrowed),
                 _ => None,
             },
         }

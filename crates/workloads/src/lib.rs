@@ -36,7 +36,7 @@ pub mod wire;
 
 pub use datacenter_rack::{FlowFanClient, RackConfig, RackScenario};
 pub use iperf::{IperfClient, IperfServer};
-pub use memcached::{DataCachingClient, DataCachingServer};
+pub use memcached::{DataCachingClient, DataCachingServer, MemcachedProxy};
 pub use netperf::{NetperfClient, NetperfServer};
 pub use sockperf::{SockperfClient, SockperfMode, SockperfServer};
 pub use stats::{LatencyRecorder, LatencySummary, ThroughputRecorder};

@@ -98,6 +98,69 @@ impl App for DataCachingClient {
     }
 }
 
+/// A memcached proxy tier (mcrouter-style): forwards client requests to
+/// an upstream backend and relays responses back, keeping a pending map
+/// from sequence number to the originating client flow.
+///
+/// The proxy forwards the request *payload verbatim* — including the
+/// 4-byte trace-ID trailer a sender-side `TraceIdRole::Inject` device
+/// appended — so the in-band context crosses the tier boundary and the
+/// `request-trace` module can join the client-side and backend-side
+/// observations of one request into a single chain. For that to work the
+/// proxy's devices must neither strip (`StripUdpTrailer` on ingress) nor
+/// re-inject (`Inject` on egress) trace IDs.
+#[derive(Debug)]
+pub struct MemcachedProxy {
+    upstream: FlowKey,
+    pending: std::collections::HashMap<u64, FlowKey>,
+    forwarded: u64,
+    relayed: u64,
+}
+
+impl MemcachedProxy {
+    /// Creates a proxy forwarding requests on `upstream`
+    /// (proxy → backend).
+    pub fn new(upstream: FlowKey) -> Self {
+        MemcachedProxy {
+            upstream,
+            pending: std::collections::HashMap::new(),
+            forwarded: 0,
+            relayed: 0,
+        }
+    }
+
+    /// `(requests forwarded, responses relayed)` so far.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.forwarded, self.relayed)
+    }
+}
+
+impl App for MemcachedProxy {
+    fn on_packet(&mut self, ctx: &mut AppCtx<'_>, pkt: Packet) {
+        let Ok(parsed) = pkt.parse() else { return };
+        let Some((op, seq, _)) = wire::decode(parsed.payload) else {
+            return;
+        };
+        match op {
+            Op::Get | Op::Set => {
+                self.pending.insert(seq, parsed.flow().reversed());
+                self.forwarded += 1;
+                let fwd = PacketBuilder::udp(self.upstream, parsed.payload.to_vec()).build();
+                ctx.send(fwd);
+            }
+            Op::Response => {
+                let Some(client) = self.pending.remove(&seq) else {
+                    return;
+                };
+                self.relayed += 1;
+                let reply = PacketBuilder::udp(client, parsed.payload.to_vec()).build();
+                ctx.send(reply);
+            }
+            Op::Echo => {}
+        }
+    }
+}
+
 /// The memcached server: answers GETs with values and SETs with a status.
 #[derive(Debug, Default)]
 pub struct DataCachingServer {
